@@ -1,0 +1,45 @@
+//! Criterion bench: modified Apriori over community-sized transaction
+//! sets at the paper's 20% support.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mawilab_mining::{mine_rules, Transaction};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn transactions(n: usize) -> Vec<Transaction> {
+    let mut state = 3u64;
+    let mut rnd = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as u32
+    };
+    (0..n)
+        .map(|i| {
+            if i % 3 == 0 {
+                // Recurrent pattern (the anomaly).
+                Transaction::new(Ipv4Addr::new(9, 9, 9, 9), 31337, Ipv4Addr::new(10, 0, 0, 1), 445)
+            } else {
+                Transaction::new(
+                    Ipv4Addr::from(rnd() % 1000 + 1),
+                    (rnd() % 60000 + 1024) as u16,
+                    Ipv4Addr::from(rnd() % 500 + 1_000_000),
+                    (rnd() % 1000) as u16,
+                )
+            }
+        })
+        .collect()
+}
+
+fn bench_apriori(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apriori");
+    for n in [100usize, 1000, 5000] {
+        let txs = transactions(n);
+        g.throughput(criterion::Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &txs, |b, txs| {
+            b.iter(|| black_box(mine_rules(black_box(txs), 0.2)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apriori);
+criterion_main!(benches);

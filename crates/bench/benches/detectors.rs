@@ -1,0 +1,31 @@
+//! Criterion bench: each detector family (optimal tuning) on one
+//! default trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mawilab_detectors::{
+    Detector, GammaDetector, HoughDetector, KlDetector, PcaDetector, TraceView, Tuning,
+};
+use mawilab_model::FlowTable;
+use mawilab_synth::{SynthConfig, TraceGenerator};
+use std::hint::black_box;
+
+fn bench_detectors(c: &mut Criterion) {
+    let lt = TraceGenerator::new(SynthConfig::default().with_seed(77)).generate();
+    let flows = FlowTable::build(&lt.trace.packets);
+    let view = TraceView::new(&lt.trace, &flows);
+    let detectors: Vec<(&str, Box<dyn Detector>)> = vec![
+        ("pca", Box::new(PcaDetector::new(Tuning::Optimal))),
+        ("gamma", Box::new(GammaDetector::new(Tuning::Optimal))),
+        ("hough", Box::new(HoughDetector::new(Tuning::Optimal))),
+        ("kl", Box::new(KlDetector::new(Tuning::Optimal))),
+    ];
+    let mut g = c.benchmark_group("detectors");
+    g.throughput(criterion::Throughput::Elements(lt.trace.len() as u64));
+    for (name, det) in &detectors {
+        g.bench_function(*name, |b| b.iter(|| black_box(det.analyze(black_box(&view)))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench: the full four-step pipeline on one default trace
+//! (the §6 runtime claim in microbenchmark form).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mawilab_core::{MawilabPipeline, PipelineConfig};
+use mawilab_synth::{SynthConfig, TraceGenerator};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let lt = TraceGenerator::new(SynthConfig::default().with_seed(77)).generate();
+    let pipeline = MawilabPipeline::new(PipelineConfig::default());
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(lt.trace.len() as u64));
+    g.bench_function("end_to_end_60s_trace", |b| {
+        b.iter(|| black_box(pipeline.run(black_box(&lt.trace))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: SCANN classification (indicator table + CA + SVD
+//! + reference projection) as a function of community count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mawilab_combiner::{CombinationStrategy, Scann, VoteTable};
+use std::hint::black_box;
+
+fn vote_table(n: usize) -> VoteTable {
+    let mut state = 5u64;
+    let mut rnd = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as usize
+    };
+    VoteTable::from_rows(
+        (0..n)
+            .map(|_| {
+                let mut row = [false; 12];
+                let pattern = rnd() % 4;
+                match pattern {
+                    0 => {} // silence
+                    1 => row[rnd() % 12] = true,
+                    2 => {
+                        let d = rnd() % 4;
+                        for t in 0..3 {
+                            row[d * 3 + t] = true;
+                        }
+                    }
+                    _ => {
+                        for slot in row.iter_mut() {
+                            *slot = rnd() % 2 == 0;
+                        }
+                    }
+                }
+                row
+            })
+            .collect(),
+    )
+}
+
+fn bench_scann(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scann");
+    for n in [20usize, 200, 2000] {
+        let table = vote_table(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &table, |b, table| {
+            b.iter(|| black_box(Scann::default().classify(black_box(table))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scann);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: similarity-graph construction (traffic extraction
+//! is measured implicitly through the pipeline bench; here the focus
+//! is the inverted-index pair scoring).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mawilab_similarity::SimilarityEstimator;
+use std::hint::black_box;
+
+/// Alarm traffic sets with realistic overlap structure: groups of ~6
+/// alarms share most of their items.
+fn alarm_sets(n: usize) -> Vec<Vec<u32>> {
+    let mut state = 11u64;
+    let mut rnd = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as u32
+    };
+    (0..n)
+        .map(|i| {
+            let group = (i / 6) as u32;
+            let base = group * 400;
+            let mut set: Vec<u32> =
+                (0..80).map(|_| base + rnd() % 300).collect();
+            set.sort_unstable();
+            set.dedup();
+            set
+        })
+        .collect()
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let est = SimilarityEstimator::default();
+    let mut g = c.benchmark_group("similarity_graph");
+    for n in [50usize, 200, 1000] {
+        let sets = alarm_sets(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &sets, |b, sets| {
+            b.iter(|| black_box(est.build_graph(black_box(sets))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

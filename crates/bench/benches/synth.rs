@@ -1,0 +1,23 @@
+//! Criterion bench: synthetic archive-day generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mawilab_model::{FlowTable, TraceDate};
+use mawilab_synth::{ArchiveConfig, ArchiveSimulator};
+use std::hint::black_box;
+
+fn bench_synth(c: &mut Criterion) {
+    let sim = ArchiveSimulator::new(ArchiveConfig::default());
+    let day = TraceDate::new(2004, 6, 2);
+    let mut g = c.benchmark_group("synth");
+    g.sample_size(20);
+    g.bench_function("archive_day", |b| b.iter(|| black_box(sim.generate(black_box(day)))));
+    let lt = sim.generate(day);
+    g.throughput(criterion::Throughput::Elements(lt.trace.len() as u64));
+    g.bench_function("flow_table", |b| {
+        b.iter(|| black_box(FlowTable::build(black_box(&lt.trace.packets))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_synth);
+criterion_main!(benches);

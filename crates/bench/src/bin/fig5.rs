@@ -1,0 +1,161 @@
+//! Figure 5: number of communities as a function of community size
+//! and the number of detectors reporting alarms in them, coloured by
+//! the Table-1 category of their traffic.
+//!
+//! Also prints the §4.1.2 side results: the per-detector single-
+//! community counts and attack ratios (paper: PCA 6%, Hough 33%,
+//! Gamma 22%, KL 56%), and the share of non-single one-detector
+//! communities owned by PCA (paper: 58%).
+//!
+//! ```sh
+//! cargo run --release -p mawilab-bench --bin fig5
+//! ```
+
+use mawilab_bench::{out, run_days, Args};
+use mawilab_core::PipelineConfig;
+use mawilab_detectors::DetectorKind;
+use mawilab_label::HeuristicCategory;
+use std::collections::HashMap;
+
+fn size_bucket(size: usize) -> &'static str {
+    match size {
+        1 => "1alarm",
+        2 => "2alarms",
+        3..=4 => "3-4alarms",
+        5..=20 => "5-20alarms",
+        _ => "21+alarms",
+    }
+}
+
+const BUCKETS: [&str; 5] = ["1alarm", "2alarms", "3-4alarms", "5-20alarms", "21+alarms"];
+
+fn main() {
+    let args = Args::parse();
+    let days = args.days();
+    eprintln!("fig5: {} days at scale {}", days.len(), args.scale);
+
+    type Key = (&'static str, usize); // (size bucket, #detectors)
+    type Cell = [usize; 3]; // attack, special, unknown
+
+    // Also: per-detector singles (count, attack) and one-detector
+    // non-single ownership.
+    #[derive(Default)]
+    struct Acc {
+        grid: HashMap<Key, Cell>,
+        singles: HashMap<DetectorKind, (usize, usize)>,
+        nonsingle_one_detector: HashMap<DetectorKind, usize>,
+    }
+
+    let per_day = run_days(&days, args.scale, PipelineConfig::default(), |ctx| {
+        let mut acc = Acc::default();
+        let communities = &ctx.report.communities;
+        let sizes = communities.sizes();
+        for lc in &ctx.report.labeled.communities {
+            let c = lc.community;
+            let detectors = communities.detectors_in(c);
+            let key = (size_bucket(sizes[c]), detectors.len());
+            let cell = acc.grid.entry(key).or_default();
+            match lc.heuristic.category() {
+                HeuristicCategory::Attack => cell[0] += 1,
+                HeuristicCategory::Special => cell[1] += 1,
+                HeuristicCategory::Unknown => cell[2] += 1,
+            }
+            if sizes[c] == 1 {
+                let d = detectors[0];
+                let slot = acc.singles.entry(d).or_default();
+                slot.0 += 1;
+                if lc.heuristic.category() == HeuristicCategory::Attack {
+                    slot.1 += 1;
+                }
+            } else if detectors.len() == 1 {
+                *acc.nonsingle_one_detector.entry(detectors[0]).or_default() += 1;
+            }
+        }
+        acc
+    });
+
+    // Merge days.
+    let mut grid: HashMap<Key, Cell> = HashMap::new();
+    let mut singles: HashMap<DetectorKind, (usize, usize)> = HashMap::new();
+    let mut nonsingle: HashMap<DetectorKind, usize> = HashMap::new();
+    for day in per_day {
+        for (k, v) in day.grid {
+            let cell = grid.entry(k).or_default();
+            for i in 0..3 {
+                cell[i] += v[i];
+            }
+        }
+        for (d, (n, a)) in day.singles {
+            let slot = singles.entry(d).or_default();
+            slot.0 += n;
+            slot.1 += a;
+        }
+        for (d, n) in day.nonsingle_one_detector {
+            *nonsingle.entry(d).or_default() += n;
+        }
+    }
+
+    println!("\n== Fig 5: communities by size × #detectors (counts by category) ==");
+    let mut table = Vec::new();
+    let mut rows = Vec::new();
+    for bucket in BUCKETS {
+        for ndet in 1..=4usize {
+            if let Some(cell) = grid.get(&(bucket, ndet)) {
+                let total = cell[0] + cell[1] + cell[2];
+                let ratio = cell[0] as f64 / total.max(1) as f64;
+                table.push(vec![
+                    format!("{bucket} {ndet}detec."),
+                    total.to_string(),
+                    cell[0].to_string(),
+                    cell[1].to_string(),
+                    cell[2].to_string(),
+                    format!("{:.2}", ratio),
+                ]);
+                rows.push(vec![
+                    bucket.to_string(),
+                    ndet.to_string(),
+                    cell[0].to_string(),
+                    cell[1].to_string(),
+                    cell[2].to_string(),
+                ]);
+            }
+        }
+    }
+    out::print_table(
+        &["class", "total", "attack", "special", "unknown", "attack ratio"],
+        &table,
+    );
+    let path = out::write_csv_series(
+        &args.out_dir,
+        "fig5",
+        &["size_bucket", "n_detectors", "attack", "special", "unknown"],
+        &rows,
+    )
+    .unwrap();
+    println!("series → {path}");
+
+    println!("\n== §4.1.2: single communities per detector ==");
+    let mut t2 = Vec::new();
+    for d in DetectorKind::ALL {
+        let (n, a) = singles.get(&d).copied().unwrap_or((0, 0));
+        t2.push(vec![
+            d.to_string(),
+            n.to_string(),
+            format!("{:.0}%", a as f64 / n.max(1) as f64 * 100.0),
+        ]);
+    }
+    out::print_table(&["detector", "single communities", "attack ratio"], &t2);
+    println!("(paper: PCA has by far the most singles; attack ratios PCA 6%,");
+    println!(" Hough 33%, Gamma 22%, KL 56%)");
+
+    let total_nonsingle: usize = nonsingle.values().sum();
+    if total_nonsingle > 0 {
+        let pca = nonsingle.get(&DetectorKind::Pca).copied().unwrap_or(0);
+        println!(
+            "\nnon-single one-detector communities owned by PCA: {:.0}% (paper: 58%)",
+            pca as f64 / total_nonsingle as f64 * 100.0
+        );
+    }
+    println!("\npaper shape check: attack ratio rises with the number of detectors");
+    println!("reporting a community; the 4-detector intersection is small.");
+}

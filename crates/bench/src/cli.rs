@@ -1,0 +1,124 @@
+//! Minimal command-line flags shared by the experiment binaries.
+
+/// Parsed experiment flags.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// First archive year (default 2001).
+    pub year_from: u16,
+    /// Last archive year inclusive (default 2009).
+    pub year_to: u16,
+    /// Sample days per month (default 2).
+    pub days_per_month: u8,
+    /// Traffic scale multiplier (default 1.0 = miniature traces).
+    pub scale: f64,
+    /// Output directory for CSV series (default `results`).
+    pub out_dir: String,
+    /// Figure panel selector (`a`, `b`, `c`, `d`; empty = all).
+    pub panel: String,
+    /// Extra mode flag (binary-specific, e.g. `--exclusive`).
+    pub exclusive: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            year_from: 2001,
+            year_to: 2009,
+            days_per_month: 2,
+            scale: 1.0,
+            out_dir: "results".to_string(),
+            panel: String::new(),
+            exclusive: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`, accepting:
+    /// `--years FROM:TO`, `--days N`, `--scale X`, `--out DIR`,
+    /// `--panel P`, `--exclusive`.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = Args::default();
+        let mut it = iter.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = || it.next().unwrap_or_default();
+            match flag.as_str() {
+                "--years" => {
+                    let v = take();
+                    let (a, b) = v.split_once(':').unwrap_or((v.as_str(), v.as_str()));
+                    args.year_from = a.parse().expect("bad --years");
+                    args.year_to = b.parse().expect("bad --years");
+                }
+                "--days" => args.days_per_month = take().parse().expect("bad --days"),
+                "--scale" => args.scale = take().parse().expect("bad --scale"),
+                "--out" => args.out_dir = take(),
+                "--panel" => args.panel = take(),
+                "--exclusive" => args.exclusive = true,
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+        }
+        assert!(args.year_from <= args.year_to, "--years range inverted");
+        args
+    }
+
+    /// The sample days this run covers.
+    pub fn days(&self) -> Vec<mawilab_model::TraceDate> {
+        mawilab_synth::archive::sample_days(self.year_from, self.year_to, self.days_per_month)
+    }
+
+    /// Whether a panel is selected (empty selector = all panels).
+    pub fn wants_panel(&self, p: &str) -> bool {
+        self.panel.is_empty() || self.panel == p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults_cover_the_archive() {
+        let a = Args::default();
+        assert_eq!(a.days().len(), 9 * 12 * 2);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse("--years 2003:2005 --days 1 --scale 0.5 --out /tmp/x --panel b --exclusive");
+        assert_eq!((a.year_from, a.year_to), (2003, 2005));
+        assert_eq!(a.days_per_month, 1);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.out_dir, "/tmp/x");
+        assert!(a.wants_panel("b"));
+        assert!(!a.wants_panel("a"));
+        assert!(a.exclusive);
+        assert_eq!(a.days().len(), 36);
+    }
+
+    #[test]
+    fn single_year_shorthand() {
+        let a = parse("--years 2004");
+        assert_eq!((a.year_from, a.year_to), (2004, 2004));
+    }
+
+    #[test]
+    fn empty_panel_wants_everything() {
+        let a = parse("");
+        assert!(a.wants_panel("a") && a.wants_panel("d"));
+    }
+
+    #[test]
+    #[should_panic(expected = "range inverted")]
+    fn inverted_years_panic() {
+        parse("--years 2009:2001");
+    }
+}

@@ -1,0 +1,22 @@
+//! # mawilab-bench
+//!
+//! Experiment harness regenerating **every table and figure** of the
+//! paper's evaluation (see DESIGN.md §5 for the exhibit index).
+//! Each `fig*`/`table*` binary reruns its workload on the simulated
+//! archive and prints gnuplot-ready series plus a human-readable
+//! summary; `EXPERIMENTS.md` records paper-vs-measured shapes.
+//!
+//! The shared pieces live here:
+//! * [`cli`] — the tiny flag parser every binary uses
+//!   (`--years`, `--days`, `--scale`, `--out`, `--panel`);
+//! * [`harness`] — the archive→pipeline day runner with thread-pool
+//!   parallelism across days;
+//! * [`out`] — aligned-table printing and CSV emission under
+//!   `results/`.
+
+pub mod cli;
+pub mod harness;
+pub mod out;
+
+pub use cli::Args;
+pub use harness::{run_days, DayContext};

@@ -1,0 +1,87 @@
+//! Output helpers: aligned tables on stdout, CSV series on disk.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Prints an aligned text table: `headers` then `rows`.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Writes a CSV series into `<dir>/<name>.csv` and returns its path.
+pub fn write_csv_series(
+    dir: &str,
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<String> {
+    fs::create_dir_all(dir)?;
+    let path = Path::new(dir).join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(path.display().to_string())
+}
+
+/// Formats an `f64` compactly for tables/CSV.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_series_writes_file() {
+        let dir = std::env::temp_dir().join("mawilab-bench-test");
+        let dir = dir.to_str().unwrap();
+        let path = write_csv_series(
+            dir,
+            "unit",
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn fmt_scales() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.1234567), "0.1235");
+        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(1234.5), "1234"); // ties-to-even f64 formatting
+    }
+}

@@ -1,0 +1,289 @@
+//! SCANN: combination by correspondence analysis (Merz 1999;
+//! paper §2.2.3).
+//!
+//! SCANN stores every community's configuration votes in an indicator
+//! table (one *voted* and one *abstained* column per configuration, so
+//! each row carries equal mass), reduces the table by correspondence
+//! analysis, and projects two *reference* communities into the reduced
+//! space: the unanimously-accepted pattern (every configuration votes)
+//! and the unanimously-rejected pattern (none votes). A community's
+//! class is the nearer reference point.
+//!
+//! The dimensionality reduction is what gives SCANN its selectivity:
+//! a configuration that votes indiscriminately (or never) contributes
+//! no discriminating inertia and is factored out — exactly how the
+//! paper explains SCANN ignoring the PCA detector's noise while
+//! keeping the KL detector's sparse-but-precise votes (§4.2.3).
+//!
+//! **Relative distance.** The paper defines `(d_rej/d_acc) − 1` with
+//! range `[0, ∞)` and 0 on the decision boundary. Taken literally the
+//! formula goes negative for rejected communities, so — consistent
+//! with the stated range and Fig. 10's usage — we compute
+//! `d_other/d_own − 1`: the distance to the *other* class's reference
+//! over the distance to the *assigned* class's reference. 0 = on the
+//! boundary; large = deep inside the assigned class.
+
+use crate::strategies::CombinationStrategy;
+use crate::votes::{Decision, VoteTable, N_CONFIGS};
+use mawilab_linalg::ca::CaDims;
+use mawilab_linalg::matrix::distance;
+use mawilab_linalg::{CorrespondenceAnalysis, Matrix};
+
+/// The SCANN combination strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Scann {
+    /// Retained CA dimensionality.
+    ///
+    /// For a two-class vote table the dominant axis *is* the
+    /// accept/reject direction; additional axes encode *which
+    /// detector bloc* voted, which blurs nearest-reference
+    /// classification. The default keeps only the dominant axis —
+    /// the very low dimensionality Merz's formulation operates at.
+    pub dims: CaDims,
+}
+
+impl Default for Scann {
+    fn default() -> Self {
+        Scann { dims: CaDims::Count(1) }
+    }
+}
+
+impl Scann {
+    /// Builds the indicator row of a vote pattern: `[voted, abstained]`
+    /// per configuration.
+    fn indicator_row(votes: &[bool; N_CONFIGS]) -> Vec<f64> {
+        let mut row = Vec::with_capacity(2 * N_CONFIGS);
+        for &v in votes {
+            row.push(if v { 1.0 } else { 0.0 });
+            row.push(if v { 0.0 } else { 1.0 });
+        }
+        row
+    }
+
+    /// Classifies with full diagnostics. Falls back to the majority
+    /// vote when the table carries no discriminating inertia (e.g.
+    /// every community has the identical vote pattern).
+    pub fn classify_detailed(&self, table: &VoteTable) -> Vec<Decision> {
+        if table.is_empty() {
+            return Vec::new();
+        }
+        let rows: Vec<Vec<f64>> =
+            (0..table.len()).map(|c| Self::indicator_row(table.row(c))).collect();
+        let t = Matrix::from_rows(&rows);
+        let ca = CorrespondenceAnalysis::fit(&t, self.dims);
+        let total_inertia: f64 = ca.inertia().iter().sum();
+        if total_inertia < 1e-12 {
+            // Degenerate: all rows share one profile; no geometry to
+            // classify with. Fall back to the raw majority rule.
+            return crate::strategies::MajorityVote.classify(table);
+        }
+        let accept_ref = ca.project_row(&Self::indicator_row(&[true; N_CONFIGS]));
+        let reject_ref = ca.project_row(&Self::indicator_row(&[false; N_CONFIGS]));
+        (0..table.len())
+            .map(|c| {
+                let x = ca.row_coords(c);
+                let d_acc = distance(x, &accept_ref);
+                let d_rej = distance(x, &reject_ref);
+                let accepted = d_acc < d_rej;
+                let (d_own, d_other) = if accepted { (d_acc, d_rej) } else { (d_rej, d_acc) };
+                let rel = if d_own > 0.0 {
+                    d_other / d_own - 1.0
+                } else if d_other > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                Decision { accepted, relative_distance: Some(rel) }
+            })
+            .collect()
+    }
+}
+
+impl CombinationStrategy for Scann {
+    fn name(&self) -> &'static str {
+        "SCANN"
+    }
+
+    fn classify(&self, table: &VoteTable) -> Vec<Decision> {
+        self.classify_detailed(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(on: &[usize]) -> [bool; N_CONFIGS] {
+        let mut r = [false; N_CONFIGS];
+        for &i in on {
+            r[i] = true;
+        }
+        r
+    }
+
+    /// A table with clear structure: heavily-voted communities and
+    /// barely-voted ones.
+    fn structured() -> VoteTable {
+        VoteTable::from_rows(vec![
+            row(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]), // unanimous
+            row(&[0, 1, 3, 4, 5, 9, 10, 11]),             // strong
+            row(&[3, 4, 5, 9, 10, 11]),                   // two detectors full
+            row(&[0]),                                    // single config
+            row(&[6]),                                    // single config
+            row(&[]),                                     // silence
+        ])
+    }
+
+    #[test]
+    fn unanimous_accepted_silence_rejected() {
+        let d = Scann::default().classify(&structured());
+        assert!(d[0].accepted, "unanimous community rejected");
+        assert!(!d[5].accepted, "silent community accepted");
+    }
+
+    #[test]
+    fn strong_support_accepted_weak_rejected() {
+        let d = Scann::default().classify(&structured());
+        assert!(d[1].accepted, "8-vote community rejected");
+        assert!(!d[3].accepted, "1-vote community accepted");
+        assert!(!d[4].accepted);
+    }
+
+    #[test]
+    fn relative_distance_present_and_nonnegative() {
+        let d = Scann::default().classify(&structured());
+        for (i, dec) in d.iter().enumerate() {
+            let rel = dec.relative_distance.expect("SCANN must report distances");
+            assert!(rel >= 0.0, "negative relative distance at {i}");
+        }
+    }
+
+    #[test]
+    fn boundary_cases_have_smaller_relative_distance() {
+        let d = Scann::default().classify(&structured());
+        // The silent community is deeper in "rejected" than the
+        // single-vote ones.
+        let rel_silent = d[5].relative_distance.unwrap();
+        let rel_single = d[3].relative_distance.unwrap();
+        assert!(
+            rel_silent >= rel_single,
+            "silence ({rel_silent}) should be deeper than one vote ({rel_single})"
+        );
+    }
+
+    #[test]
+    fn ignores_an_uninformative_detector() {
+        // Hough (configs 6..9) votes for *everything* — it carries no
+        // information. Communities differing only in the informative
+        // detectors must still be separated.
+        let t = VoteTable::from_rows(vec![
+            row(&[6, 7, 8, 0, 1, 2, 3, 4, 5, 9, 10, 11]),
+            row(&[6, 7, 8, 0, 1, 2, 3, 4, 5]),
+            row(&[6, 7, 8]),
+            row(&[6, 7, 8]),
+            row(&[6, 7, 8]),
+            row(&[6, 7, 8]),
+        ]);
+        let d = Scann::default().classify(&t);
+        assert!(d[0].accepted);
+        assert!(d[1].accepted);
+        assert!(!d[2].accepted, "Hough-only community accepted despite Hough being noise");
+    }
+
+    /// A realistic mixed table: unanimous communities, two strong
+    /// blocs anchored by KL, single-config noise, KL-exclusive
+    /// communities.
+    fn realistic() -> VoteTable {
+        let mut rows = Vec::new();
+        for _ in 0..5 {
+            rows.push(row(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]));
+        }
+        for _ in 0..10 {
+            rows.push(row(&[3, 4, 5, 9, 10, 11])); // Gamma+KL
+        }
+        for _ in 0..10 {
+            rows.push(row(&[2, 6, 7, 8, 9, 10, 11])); // Hough+KL (+PCA sens.)
+        }
+        for _ in 0..15 {
+            rows.push(row(&[2])); // PCA-sensitive noise
+        }
+        for _ in 0..10 {
+            rows.push(row(&[1, 2])); // PCA noise
+        }
+        for _ in 0..8 {
+            rows.push(row(&[8])); // Hough-sensitive noise
+        }
+        for _ in 0..5 {
+            rows.push(row(&[9, 10, 11])); // KL-exclusive
+        }
+        VoteTable::from_rows(rows)
+    }
+
+    #[test]
+    fn realistic_table_separates_strong_from_noise() {
+        let t = realistic();
+        let d = Scann::default().classify(&t);
+        assert!((0..25).all(|c| d[c].accepted), "strong communities rejected");
+        assert!((25..58).all(|c| !d[c].accepted), "noise accepted");
+    }
+
+    #[test]
+    fn exclusive_reliable_detector_sits_near_the_boundary() {
+        // §4.2.3/§5: communities reported only by the accurate KL
+        // detector are either accepted, or rejected with a *small*
+        // relative distance (→ Suspicious in the taxonomy), while
+        // single-config noise is rejected deep in the rejected region
+        // (→ Notice). The average rule cannot express this at all: it
+        // inherently rejects every single-detector community.
+        let t = realistic();
+        let d = Scann::default().classify(&t);
+        let kl_rel: f64 = (58..63)
+            .map(|c| d[c].relative_distance.unwrap())
+            .fold(0.0, f64::max);
+        let noise_rel: f64 = (25..58)
+            .filter(|&c| !d[c].accepted)
+            .map(|c| d[c].relative_distance.unwrap())
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (58..63).all(|c| d[c].accepted) || kl_rel < noise_rel,
+            "KL-exclusive (rel {kl_rel}) not better placed than noise (rel {noise_rel})"
+        );
+        // The average strategy rejects all single-detector communities
+        // by construction (max ϕ contribution = 1/4).
+        let avg = crate::strategies::Average.classify(&t);
+        assert!((58..63).all(|c| !avg[c].accepted));
+        assert!((25..58).all(|c| !avg[c].accepted));
+    }
+
+    #[test]
+    fn degenerate_identical_rows_fall_back_to_majority() {
+        let t = VoteTable::from_rows(vec![row(&[0, 1, 2, 3, 4, 5, 6, 7]); 4]);
+        let d = Scann::default().classify(&t);
+        // 8 of 12 votes → majority accepts.
+        assert!(d.iter().all(|x| x.accepted));
+        let t2 = VoteTable::from_rows(vec![row(&[0]); 4]);
+        let d2 = Scann::default().classify(&t2);
+        assert!(d2.iter().all(|x| !x.accepted));
+    }
+
+    #[test]
+    fn empty_table_is_empty_output() {
+        assert!(Scann::default().classify(&VoteTable::from_rows(vec![])).is_empty());
+    }
+
+    #[test]
+    fn single_community_tables_do_not_panic() {
+        for votes in [row(&[]), row(&[0, 1, 2]), row(&(0..12).collect::<Vec<_>>())] {
+            let t = VoteTable::from_rows(vec![votes]);
+            let d = Scann::default().classify(&t);
+            assert_eq!(d.len(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Scann::default().classify(&structured());
+        let b = Scann::default().classify(&structured());
+        assert_eq!(a, b);
+    }
+}

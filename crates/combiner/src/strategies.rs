@@ -1,0 +1,226 @@
+//! Confidence-score aggregation strategies (paper §2.2.3).
+
+use crate::votes::{Decision, VoteTable};
+
+/// An unsupervised combination strategy: classifies every community
+/// of a vote table as accepted or rejected.
+pub trait CombinationStrategy: Send + Sync {
+    /// Strategy name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Classifies all communities.
+    fn classify(&self, table: &VoteTable) -> Vec<Decision>;
+}
+
+/// Accept iff the **average** of the four confidence scores exceeds
+/// 0.5. Fig. 2 example: mean = 5/9 → accepted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Average;
+
+impl CombinationStrategy for Average {
+    fn name(&self) -> &'static str {
+        "average"
+    }
+
+    fn classify(&self, table: &VoteTable) -> Vec<Decision> {
+        (0..table.len())
+            .map(|c| {
+                let phi = table.confidences(c);
+                let mu = phi.iter().sum::<f64>() / phi.len() as f64;
+                Decision::new(mu > 0.5)
+            })
+            .collect()
+    }
+}
+
+/// Accept iff the **minimum** confidence exceeds 0.5 — the pessimistic
+/// strategy: every detector must support the decision. Fig. 2
+/// example: min = 0 → rejected.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Minimum;
+
+impl CombinationStrategy for Minimum {
+    fn name(&self) -> &'static str {
+        "minimum"
+    }
+
+    fn classify(&self, table: &VoteTable) -> Vec<Decision> {
+        (0..table.len())
+            .map(|c| {
+                let phi = table.confidences(c);
+                let mu = phi.iter().copied().fold(f64::INFINITY, f64::min);
+                Decision::new(mu > 0.5)
+            })
+            .collect()
+    }
+}
+
+/// Accept iff the **maximum** confidence exceeds 0.5 — the optimistic
+/// strategy: one convinced detector suffices. Fig. 2 example:
+/// max = 1 → accepted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Maximum;
+
+impl CombinationStrategy for Maximum {
+    fn name(&self) -> &'static str {
+        "maximum"
+    }
+
+    fn classify(&self, table: &VoteTable) -> Vec<Decision> {
+        (0..table.len())
+            .map(|c| {
+                let phi = table.confidences(c);
+                let mu = phi.iter().copied().fold(0.0, f64::max);
+                Decision::new(mu > 0.5)
+            })
+            .collect()
+    }
+}
+
+/// The classical majority vote over raw configurations (paper §2.2.1,
+/// the Condorcet discussion): accept when more than half of all
+/// configurations voted. Not one of the paper's four evaluated
+/// strategies — kept as the baseline its §2.2.1 analysis refers to.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityVote;
+
+impl CombinationStrategy for MajorityVote {
+    fn name(&self) -> &'static str {
+        "majority"
+    }
+
+    fn classify(&self, table: &VoteTable) -> Vec<Decision> {
+        (0..table.len())
+            .map(|c| Decision::new(2 * table.vote_count(c) > crate::votes::N_CONFIGS))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::votes::N_CONFIGS;
+
+    /// Paper Fig. 2: ϕ_A = 2/3, ϕ_B = 1, ϕ_C = 0 (and a fourth
+    /// detector D with ϕ_D = 0 since our table has four families).
+    fn fig2() -> VoteTable {
+        let mut row = [false; N_CONFIGS];
+        row[0] = true;
+        row[1] = true;
+        row[3] = true;
+        row[4] = true;
+        row[5] = true;
+        VoteTable::from_rows(vec![row])
+    }
+
+    #[test]
+    fn paper_fig2_strategy_outcomes() {
+        // With three detectors the paper gets avg = 5/9 → accept.
+        // Our table has four families (the fourth scoring 0), so the
+        // average drops to 5/12 → reject; min/max match the paper
+        // exactly: min = 0 → reject, max = 1 → accept.
+        let t = fig2();
+        assert!(!Average.classify(&t)[0].accepted);
+        assert!(!Minimum.classify(&t)[0].accepted);
+        assert!(Maximum.classify(&t)[0].accepted);
+    }
+
+    #[test]
+    fn three_detector_fig2_average_accepts() {
+        // Restrict to the paper's three-detector setting by giving the
+        // fourth detector full support: avg of (2/3, 1, 0, 1) > 0.5.
+        let mut row = [false; N_CONFIGS];
+        row[0] = true;
+        row[1] = true;
+        row[3] = true;
+        row[4] = true;
+        row[5] = true;
+        row[9] = true;
+        row[10] = true;
+        row[11] = true;
+        let t = VoteTable::from_rows(vec![row]);
+        assert!(Average.classify(&t)[0].accepted);
+    }
+
+    #[test]
+    fn unanimous_and_empty_rows() {
+        let all = [true; N_CONFIGS];
+        let none = [false; N_CONFIGS];
+        let t = VoteTable::from_rows(vec![all, none]);
+        for s in strategies() {
+            let d = s.classify(&t);
+            assert!(d[0].accepted, "{} rejected unanimity", s.name());
+            assert!(!d[1].accepted, "{} accepted silence", s.name());
+        }
+    }
+
+    #[test]
+    fn minimum_is_subset_of_average_is_subset_of_maximum() {
+        // min ≤ avg ≤ max pointwise ⇒ accepted sets are nested.
+        let rows: Vec<[bool; N_CONFIGS]> = (0..256u32)
+            .map(|s| {
+                let mut r = [false; N_CONFIGS];
+                for (k, slot) in r.iter_mut().enumerate() {
+                    *slot = (s >> k) & 1 == 1 || (s % 3 == 0 && k % 4 == 1);
+                }
+                r
+            })
+            .collect();
+        let t = VoteTable::from_rows(rows);
+        let mins = Minimum.classify(&t);
+        let avgs = Average.classify(&t);
+        let maxs = Maximum.classify(&t);
+        for c in 0..t.len() {
+            if mins[c].accepted {
+                assert!(avgs[c].accepted, "min ⊄ avg at {c}");
+            }
+            if avgs[c].accepted {
+                assert!(maxs[c].accepted, "avg ⊄ max at {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn majority_needs_seven_of_twelve() {
+        let mut six = [false; N_CONFIGS];
+        for s in six.iter_mut().take(6) {
+            *s = true;
+        }
+        let mut seven = six;
+        seven[6] = true;
+        let t = VoteTable::from_rows(vec![six, seven]);
+        let d = MajorityVote.classify(&t);
+        assert!(!d[0].accepted);
+        assert!(d[1].accepted);
+    }
+
+    #[test]
+    fn single_detector_unanimity_accepted_only_by_maximum() {
+        // One detector's 3 configs all vote; others silent.
+        let mut row = [false; N_CONFIGS];
+        row[9] = true;
+        row[10] = true;
+        row[11] = true;
+        let t = VoteTable::from_rows(vec![row]);
+        assert!(Maximum.classify(&t)[0].accepted);
+        assert!(!Average.classify(&t)[0].accepted);
+        assert!(!Minimum.classify(&t)[0].accepted);
+        assert!(!MajorityVote.classify(&t)[0].accepted);
+    }
+
+    fn strategies() -> Vec<Box<dyn CombinationStrategy>> {
+        vec![
+            Box::new(Average),
+            Box::new(Minimum),
+            Box::new(Maximum),
+            Box::new(MajorityVote),
+        ]
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<&str> =
+            strategies().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

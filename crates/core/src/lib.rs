@@ -1,0 +1,26 @@
+//! # mawilab-core
+//!
+//! End-to-end orchestration of the MAWILab methodology — the four
+//! steps of the paper's proposed method, wired together:
+//!
+//! 1. run every detector configuration over the trace
+//!    (`mawilab-detectors`),
+//! 2. cluster the alarms into communities with the similarity
+//!    estimator (`mawilab-similarity`),
+//! 3. classify each community accepted/rejected with a combination
+//!    strategy (`mawilab-combiner`),
+//! 4. label the trace: taxonomy labels, Table-1 heuristics, and
+//!    association-rule summaries (`mawilab-label`).
+//!
+//! [`MawilabPipeline`] is the main entry point; [`benchmark`] hosts
+//! the downstream use-case the database exists for — scoring a *new*
+//! detector's alarms against the labels through the same similarity
+//! machinery (paper §5).
+
+pub mod benchmark;
+pub mod pipeline;
+
+pub use benchmark::{benchmark_alarms, BenchmarkResult};
+pub use pipeline::{
+    LabeledReport, MawilabPipeline, PipelineConfig, PipelineReport, PipelineTimings, StrategyKind,
+};

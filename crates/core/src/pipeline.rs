@@ -1,0 +1,347 @@
+//! The four-step MAWILab pipeline.
+
+use mawilab_combiner::{
+    Average, CombinationStrategy, Decision, MajorityVote, Maximum, Minimum, Scann, VoteTable,
+};
+use mawilab_detectors::{run_all, standard_configurations, Detector, TraceView};
+use mawilab_label::{label_communities, LabeledCommunity, MawilabLabel};
+use mawilab_model::{FlowTable, Granularity, Trace};
+use mawilab_similarity::{AlarmCommunities, SimilarityEstimator, SimilarityMeasure};
+use std::time::{Duration, Instant};
+
+/// Which combination strategy step 3 uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyKind {
+    /// Mean confidence > 0.5.
+    Average,
+    /// Min confidence > 0.5.
+    Minimum,
+    /// Max confidence > 0.5.
+    Maximum,
+    /// Correspondence-analysis SCANN — the paper's pick (§5).
+    #[default]
+    Scann,
+    /// Raw majority of configurations (baseline, §2.2.1).
+    Majority,
+}
+
+impl StrategyKind {
+    /// All strategies, in the paper's presentation order.
+    pub const ALL: [StrategyKind; 5] = [
+        StrategyKind::Average,
+        StrategyKind::Minimum,
+        StrategyKind::Maximum,
+        StrategyKind::Scann,
+        StrategyKind::Majority,
+    ];
+
+    /// Instantiates the strategy.
+    pub fn build(self) -> Box<dyn CombinationStrategy> {
+        match self {
+            StrategyKind::Average => Box::new(Average),
+            StrategyKind::Minimum => Box::new(Minimum),
+            StrategyKind::Maximum => Box::new(Maximum),
+            StrategyKind::Scann => Box::new(Scann::default()),
+            StrategyKind::Majority => Box::new(MajorityVote),
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Average => "average",
+            StrategyKind::Minimum => "minimum",
+            StrategyKind::Maximum => "maximum",
+            StrategyKind::Scann => "SCANN",
+            StrategyKind::Majority => "majority",
+        }
+    }
+}
+
+/// Pipeline configuration. The default matches the paper's released
+/// settings: uniflow granularity, Simpson similarity, SCANN
+/// combination, 20% rule support.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Traffic granularity for the similarity estimator.
+    pub granularity: Granularity,
+    /// Edge-weight measure of the similarity graph.
+    pub measure: SimilarityMeasure,
+    /// Combination strategy.
+    pub strategy: StrategyKind,
+    /// Apriori support threshold for community summaries (paper:
+    /// 0.2).
+    pub min_support: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            granularity: Granularity::Uniflow,
+            measure: SimilarityMeasure::Simpson,
+            strategy: StrategyKind::Scann,
+            min_support: 0.2,
+        }
+    }
+}
+
+/// Wall-clock cost of each pipeline step (§6 discusses runtime).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineTimings {
+    /// Detector execution (all configurations, parallel).
+    pub detect: Duration,
+    /// Traffic extraction + graph + Louvain.
+    pub estimate: Duration,
+    /// Vote table + combination strategy.
+    pub combine: Duration,
+    /// Heuristics + Apriori summaries + taxonomy.
+    pub label: Duration,
+}
+
+impl PipelineTimings {
+    /// Total wall-clock time.
+    pub fn total(&self) -> Duration {
+        self.detect + self.estimate + self.combine + self.label
+    }
+}
+
+/// The labeled output of one trace.
+#[derive(Debug, Clone)]
+pub struct LabeledReport {
+    /// One labeled entry per community.
+    pub communities: Vec<LabeledCommunity>,
+}
+
+impl LabeledReport {
+    /// Communities labeled `Anomalous`.
+    pub fn anomalies(&self) -> impl Iterator<Item = &LabeledCommunity> {
+        self.communities.iter().filter(|c| c.label == MawilabLabel::Anomalous)
+    }
+
+    /// Number of communities carrying `label`.
+    pub fn count(&self, label: MawilabLabel) -> usize {
+        self.communities.iter().filter(|c| c.label == label).count()
+    }
+}
+
+/// Everything the pipeline produced for one trace.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// Step-2 output: alarms, traffic sets, graph, partition.
+    pub communities: AlarmCommunities,
+    /// Step-3 input: the 12-configuration vote table.
+    pub votes: VoteTable,
+    /// Step-3 output: one decision per community.
+    pub decisions: Vec<Decision>,
+    /// Step-4 output: labeled communities.
+    pub labeled: LabeledReport,
+    /// Wall-clock accounting.
+    pub timings: PipelineTimings,
+}
+
+impl PipelineReport {
+    /// Total number of alarms the detectors raised.
+    pub fn alarm_count(&self) -> usize {
+        self.communities.alarms.len()
+    }
+
+    /// Number of communities.
+    pub fn community_count(&self) -> usize {
+        self.communities.community_count()
+    }
+}
+
+/// The end-to-end MAWILab pipeline.
+pub struct MawilabPipeline {
+    config: PipelineConfig,
+    detectors: Vec<Box<dyn Detector>>,
+}
+
+impl MawilabPipeline {
+    /// Builds the pipeline with the paper's 12 standard detector
+    /// configurations.
+    pub fn new(config: PipelineConfig) -> Self {
+        MawilabPipeline { config, detectors: standard_configurations() }
+    }
+
+    /// Replaces the detector set (e.g. to ablate a family or add an
+    /// emerging detector — §6 explicitly invites this).
+    pub fn with_detectors(mut self, detectors: Vec<Box<dyn Detector>>) -> Self {
+        self.detectors = detectors;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs all four steps on one trace.
+    pub fn run(&self, trace: &Trace) -> PipelineReport {
+        let flows = FlowTable::build(&trace.packets);
+        let view = TraceView::new(trace, &flows);
+
+        let t0 = Instant::now();
+        let alarms = run_all(&self.detectors, &view);
+        let detect = t0.elapsed();
+
+        let t1 = Instant::now();
+        let estimator = SimilarityEstimator {
+            granularity: self.config.granularity,
+            measure: self.config.measure,
+            ..Default::default()
+        };
+        let communities = estimator.estimate(&view, alarms);
+        let estimate = t1.elapsed();
+
+        let t2 = Instant::now();
+        let votes = VoteTable::from_communities(&communities);
+        let decisions = self.config.strategy.build().classify(&votes);
+        let combine = t2.elapsed();
+
+        let t3 = Instant::now();
+        let labeled = LabeledReport {
+            communities: label_communities(
+                &view,
+                &communities,
+                &decisions,
+                self.config.min_support,
+            ),
+        };
+        let label = t3.elapsed();
+
+        PipelineReport {
+            communities,
+            votes,
+            decisions,
+            labeled,
+            timings: PipelineTimings { detect, estimate, combine, label },
+        }
+    }
+
+    /// Runs steps 1–2 once and classifies with *every* strategy —
+    /// the comparison workload of the paper's §4.2.
+    pub fn run_all_strategies(
+        &self,
+        trace: &Trace,
+    ) -> (PipelineReport, Vec<(StrategyKind, Vec<Decision>)>) {
+        let report = self.run(trace);
+        let per_strategy = StrategyKind::ALL
+            .iter()
+            .map(|&k| (k, k.build().classify(&report.votes)))
+            .collect();
+        (report, per_strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mawilab_synth::{SynthConfig, TraceGenerator};
+
+    fn small_trace() -> mawilab_synth::LabeledTrace {
+        TraceGenerator::new(SynthConfig::default().with_seed(99)).generate()
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_report() {
+        let lt = small_trace();
+        let report = MawilabPipeline::new(PipelineConfig::default()).run(&lt.trace);
+        assert!(report.alarm_count() > 0, "no alarms");
+        assert!(report.community_count() > 0);
+        assert_eq!(report.decisions.len(), report.community_count());
+        assert_eq!(report.labeled.communities.len(), report.community_count());
+        assert!(report.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn anomalous_label_matches_accepted_decision() {
+        let lt = small_trace();
+        let report = MawilabPipeline::new(PipelineConfig::default()).run(&lt.trace);
+        for (c, d) in report.decisions.iter().enumerate() {
+            let label = report.labeled.communities[c].label;
+            if d.accepted {
+                assert_eq!(label, MawilabLabel::Anomalous);
+            } else {
+                assert_ne!(label, MawilabLabel::Anomalous);
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let lt = small_trace();
+        let p = MawilabPipeline::new(PipelineConfig::default());
+        let a = p.run(&lt.trace);
+        let b = p.run(&lt.trace);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.votes, b.votes);
+        assert_eq!(
+            a.labeled.communities.iter().map(|c| c.label).collect::<Vec<_>>(),
+            b.labeled.communities.iter().map(|c| c.label).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn all_strategies_classify_every_community() {
+        let lt = small_trace();
+        let (report, per_strategy) =
+            MawilabPipeline::new(PipelineConfig::default()).run_all_strategies(&lt.trace);
+        assert_eq!(per_strategy.len(), 5);
+        for (kind, decisions) in &per_strategy {
+            assert_eq!(
+                decisions.len(),
+                report.community_count(),
+                "strategy {} skipped communities",
+                kind.name()
+            );
+        }
+        // Nesting sanity: minimum ⊆ average ⊆ maximum accepted sets.
+        let get = |k: StrategyKind| {
+            per_strategy.iter().find(|(kk, _)| *kk == k).map(|(_, d)| d.clone()).unwrap()
+        };
+        let (mins, avgs, maxs) =
+            (get(StrategyKind::Minimum), get(StrategyKind::Average), get(StrategyKind::Maximum));
+        for c in 0..report.community_count() {
+            if mins[c].accepted {
+                assert!(avgs[c].accepted);
+            }
+            if avgs[c].accepted {
+                assert!(maxs[c].accepted);
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_kinds_build_and_name() {
+        for k in StrategyKind::ALL {
+            let s = k.build();
+            assert_eq!(s.name(), k.name());
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let meta = mawilab_model::TraceMeta::standard(mawilab_model::TraceDate::new(2004, 6, 2));
+        let trace = Trace::new(meta, vec![]);
+        let report = MawilabPipeline::new(PipelineConfig::default()).run(&trace);
+        assert_eq!(report.alarm_count(), 0);
+        assert_eq!(report.community_count(), 0);
+        assert!(report.labeled.communities.is_empty());
+    }
+
+    #[test]
+    fn custom_detector_set_is_respected() {
+        use mawilab_detectors::{KlDetector, Tuning};
+        let lt = small_trace();
+        let pipeline = MawilabPipeline::new(PipelineConfig::default()).with_detectors(vec![
+            Box::new(KlDetector::new(Tuning::Sensitive)),
+        ]);
+        let report = pipeline.run(&lt.trace);
+        assert!(report
+            .communities
+            .alarms
+            .iter()
+            .all(|a| a.detector == mawilab_detectors::DetectorKind::Kl));
+    }
+}

@@ -1,0 +1,226 @@
+//! Alarms: what detectors report.
+//!
+//! An alarm is "a set of traffic features that designates a particular
+//! traffic identified by a detector" (paper §2.1.1). The four detector
+//! families use four different feature sets, captured by
+//! [`AlarmScope`]; the traffic extractor later resolves each scope +
+//! time window into concrete packet/flow sets.
+
+use mawilab_model::{FlowKey, Packet, TimeWindow, TrafficRule};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The four detector families of the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DetectorKind {
+    /// Sketch + principal-subspace detector.
+    Pca,
+    /// Sketch + multi-resolution Gamma-model detector.
+    Gamma,
+    /// Hough-transform line detector.
+    Hough,
+    /// KL-divergence histogram detector.
+    Kl,
+}
+
+impl DetectorKind {
+    /// All families, in the paper's presentation order.
+    pub const ALL: [DetectorKind; 4] =
+        [DetectorKind::Pca, DetectorKind::Gamma, DetectorKind::Hough, DetectorKind::Kl];
+
+    /// Stable index `0..4` (used for vote-table columns).
+    pub fn index(self) -> usize {
+        match self {
+            DetectorKind::Pca => 0,
+            DetectorKind::Gamma => 1,
+            DetectorKind::Hough => 2,
+            DetectorKind::Kl => 3,
+        }
+    }
+}
+
+impl fmt::Display for DetectorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectorKind::Pca => write!(f, "PCA"),
+            DetectorKind::Gamma => write!(f, "Gamma"),
+            DetectorKind::Hough => write!(f, "Hough"),
+            DetectorKind::Kl => write!(f, "KL"),
+        }
+    }
+}
+
+/// The three parameter tunings per detector (paper §3.2: "optimal,
+/// sensitive or conservative setting").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tuning {
+    /// High thresholds — few, high-confidence alarms.
+    Conservative,
+    /// The middle setting.
+    Optimal,
+    /// Low thresholds — many alarms, more false positives.
+    Sensitive,
+}
+
+impl Tuning {
+    /// All tunings, conservative first.
+    pub const ALL: [Tuning; 3] = [Tuning::Conservative, Tuning::Optimal, Tuning::Sensitive];
+
+    /// Stable index `0..3` within a detector family.
+    pub fn index(self) -> usize {
+        match self {
+            Tuning::Conservative => 0,
+            Tuning::Optimal => 1,
+            Tuning::Sensitive => 2,
+        }
+    }
+}
+
+impl fmt::Display for Tuning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tuning::Conservative => write!(f, "conservative"),
+            Tuning::Optimal => write!(f, "optimal"),
+            Tuning::Sensitive => write!(f, "sensitive"),
+        }
+    }
+}
+
+/// The traffic features an alarm designates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlarmScope {
+    /// All traffic *from* this host (PCA, Gamma-src).
+    SrcHost(Ipv4Addr),
+    /// All traffic *to* this host (Gamma-dst).
+    DstHost(Ipv4Addr),
+    /// An explicit set of unidirectional flows (Hough).
+    FlowSet(Vec<FlowKey>),
+    /// A 4-tuple pattern with wildcards (KL association rules).
+    Rule(TrafficRule),
+}
+
+impl AlarmScope {
+    /// Whether a packet matches the scope's feature constraints
+    /// (time is checked separately against the alarm window).
+    pub fn matches(&self, p: &Packet) -> bool {
+        match self {
+            AlarmScope::SrcHost(ip) => p.src == *ip,
+            AlarmScope::DstHost(ip) => p.dst == *ip,
+            AlarmScope::FlowSet(keys) => keys.contains(&FlowKey::of(p)),
+            AlarmScope::Rule(rule) => rule.matches(p),
+        }
+    }
+}
+
+impl fmt::Display for AlarmScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlarmScope::SrcHost(ip) => write!(f, "src {ip}"),
+            AlarmScope::DstHost(ip) => write!(f, "dst {ip}"),
+            AlarmScope::FlowSet(keys) => write!(f, "{} flows", keys.len()),
+            AlarmScope::Rule(r) => write!(f, "rule {r}"),
+        }
+    }
+}
+
+/// One alarm reported by one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alarm {
+    /// Detector family that raised it.
+    pub detector: DetectorKind,
+    /// Tuning of the raising configuration.
+    pub tuning: Tuning,
+    /// Time span the alarm covers.
+    pub window: TimeWindow,
+    /// Traffic features designated.
+    pub scope: AlarmScope,
+    /// Detector-specific anomaly score (larger = more anomalous);
+    /// comparable only within one configuration.
+    pub score: f64,
+}
+
+impl Alarm {
+    /// Global configuration index `0..12` (detector-major, tuning
+    /// minor) — the vote-table column of the raising configuration.
+    pub fn config_index(&self) -> usize {
+        self.detector.index() * 3 + self.tuning.index()
+    }
+}
+
+impl fmt::Display for Alarm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}/{}] {} in {} (score {:.2})",
+            self.detector, self.tuning, self.scope, self.window, self.score
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mawilab_model::{Protocol, TcpFlags};
+
+    fn ip(d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 9, 8, d)
+    }
+
+    fn pkt() -> Packet {
+        Packet::tcp(100, ip(1), 4000, ip(2), 80, TcpFlags::syn(), 40)
+    }
+
+    #[test]
+    fn scope_matching_src_dst() {
+        assert!(AlarmScope::SrcHost(ip(1)).matches(&pkt()));
+        assert!(!AlarmScope::SrcHost(ip(2)).matches(&pkt()));
+        assert!(AlarmScope::DstHost(ip(2)).matches(&pkt()));
+        assert!(!AlarmScope::DstHost(ip(1)).matches(&pkt()));
+    }
+
+    #[test]
+    fn scope_matching_flowset_and_rule() {
+        let key = FlowKey::of(&pkt());
+        assert!(AlarmScope::FlowSet(vec![key]).matches(&pkt()));
+        assert!(!AlarmScope::FlowSet(vec![key.reversed()]).matches(&pkt()));
+        let rule = TrafficRule {
+            dport: Some(80),
+            proto: Some(Protocol::Tcp),
+            ..Default::default()
+        };
+        assert!(AlarmScope::Rule(rule).matches(&pkt()));
+    }
+
+    #[test]
+    fn config_index_is_bijective_over_families_and_tunings() {
+        let mut seen = std::collections::HashSet::new();
+        for d in DetectorKind::ALL {
+            for t in Tuning::ALL {
+                let a = Alarm {
+                    detector: d,
+                    tuning: t,
+                    window: TimeWindow::new(0, 1),
+                    scope: AlarmScope::SrcHost(ip(1)),
+                    score: 1.0,
+                };
+                assert!(seen.insert(a.config_index()));
+                assert!(a.config_index() < 12);
+            }
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = Alarm {
+            detector: DetectorKind::Kl,
+            tuning: Tuning::Optimal,
+            window: TimeWindow::new(0, 1_000_000),
+            scope: AlarmScope::Rule(TrafficRule::dst_port(445, None)),
+            score: 3.25,
+        };
+        let s = a.to_string();
+        assert!(s.contains("KL"), "{s}");
+        assert!(s.contains("445"), "{s}");
+    }
+}

@@ -1,0 +1,104 @@
+//! The Condorcet jury theorem (paper §2.2.1).
+//!
+//! The paper motivates detector combination with the classical
+//! majority-vote analysis: with `L` independent detectors of
+//! individual accuracy `p`,
+//!
+//! ```text
+//! P_maj(L) = Σ_{m=⌊L/2⌋+1}^{L} C(L,m) p^m (1−p)^{L−m}
+//! ```
+//!
+//! is monotonically increasing in `L` when `p > 0.5` (→ 1), decreasing
+//! when `p < 0.5` (→ 0), and constant ½ at `p = ½`. The `condorcet`
+//! bench binary regenerates this curve; the tests below pin the
+//! theorem's statements.
+
+/// Binomial coefficient in `f64` (accurate for the small `L` used
+/// here).
+fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Probability that a majority of `l` independent detectors with
+/// accuracy `p` decides correctly — the paper's `P_maj(L)`.
+///
+/// # Panics
+/// Panics unless `p ∈ [0,1]` and `l ≥ 1`.
+pub fn majority_accuracy(l: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "accuracy outside [0,1]");
+    assert!(l >= 1, "need at least one detector");
+    let from = l / 2 + 1;
+    (from..=l).map(|m| binomial(l, m) * p.powi(m as i32) * (1.0 - p).powi((l - m) as i32)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomials_match_pascal() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert!((binomial(5, 2) - 10.0).abs() < 1e-9);
+        assert!((binomial(12, 6) - 924.0).abs() < 1e-9);
+        assert_eq!(binomial(3, 7), 0.0);
+    }
+
+    #[test]
+    fn single_detector_is_its_own_accuracy() {
+        for p in [0.1, 0.5, 0.9] {
+            assert!((majority_accuracy(1, p) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn good_detectors_improve_with_l() {
+        let p = 0.7;
+        let mut prev = 0.0;
+        for l in [1u64, 3, 5, 7, 9, 21, 51] {
+            let cur = majority_accuracy(l, p);
+            assert!(cur > prev, "P_maj not increasing at L={l}");
+            prev = cur;
+        }
+        assert!(majority_accuracy(101, p) > 0.999);
+    }
+
+    #[test]
+    fn bad_detectors_degrade_with_l() {
+        let p = 0.3;
+        let mut prev = 1.0;
+        for l in [1u64, 3, 5, 9, 21, 51] {
+            let cur = majority_accuracy(l, p);
+            assert!(cur < prev, "P_maj not decreasing at L={l}");
+            prev = cur;
+        }
+        assert!(majority_accuracy(101, p) < 0.001);
+    }
+
+    #[test]
+    fn coin_flippers_stay_at_half() {
+        for l in [1u64, 3, 5, 9, 33] {
+            // Odd L avoids the tie case the theorem states it for.
+            assert!((majority_accuracy(l, 0.5) - 0.5).abs() < 1e-12, "L={l}");
+        }
+    }
+
+    #[test]
+    fn perfect_and_broken_detectors_are_fixed_points() {
+        assert_eq!(majority_accuracy(7, 1.0), 1.0);
+        assert_eq!(majority_accuracy(7, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_probability_panics() {
+        majority_accuracy(3, 1.5);
+    }
+}

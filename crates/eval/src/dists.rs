@@ -1,0 +1,96 @@
+//! Distribution series for the figures: PDFs (normalised histograms)
+//! and empirical CDFs, in gnuplot-ready `(x, y)` form.
+
+/// Normalised-histogram PDF of `values` over `[lo, hi]` with `bins`
+/// cells: returns `(bin centre, density)` so the area integrates to 1.
+/// Values outside the range are clamped into the edge bins, mirroring
+/// how the paper's bounded metrics (ratios in `[0,1]`) behave.
+pub fn pdf_histogram(values: &[f64], bins: usize, lo: f64, hi: f64) -> Vec<(f64, f64)> {
+    assert!(bins >= 1, "need at least one bin");
+    assert!(hi > lo, "empty range");
+    let width = (hi - lo) / bins as f64;
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let idx = (((v - lo) / width) as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    let n = values.len().max(1) as f64;
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (lo + (i as f64 + 0.5) * width, c as f64 / n / width))
+        .collect()
+}
+
+/// Empirical CDF: sorted `(value, P(X ≤ value))` points, one per
+/// sample.
+pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+    let n = v.len() as f64;
+    v.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
+}
+
+/// Probability mass over small non-negative integer outcomes, e.g.
+/// the rule-degree distribution of Fig. 3(d): returns `pmf[k]` for
+/// `k in 0..=max`.
+pub fn discrete_pmf(values: &[u32], max: u32) -> Vec<f64> {
+    let mut counts = vec![0usize; max as usize + 1];
+    for &v in values {
+        counts[(v.min(max)) as usize] += 1;
+    }
+    let n = values.len().max(1) as f64;
+    counts.into_iter().map(|c| c as f64 / n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let values: Vec<f64> = (0..1000).map(|i| (i % 100) as f64 / 100.0).collect();
+        let pdf = pdf_histogram(&values, 20, 0.0, 1.0);
+        let area: f64 = pdf.iter().map(|&(_, d)| d * 0.05).sum();
+        assert!((area - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdf_clamps_outliers_into_edges() {
+        let pdf = pdf_histogram(&[-5.0, 0.5, 99.0], 2, 0.0, 1.0);
+        // All three samples land somewhere; total mass 1.
+        let area: f64 = pdf.iter().map(|&(_, d)| d * 0.5).sum();
+        assert!((area - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdf_of_empty_is_zero() {
+        let pdf = pdf_histogram(&[], 4, 0.0, 1.0);
+        assert!(pdf.iter().all(|&(_, d)| d == 0.0));
+    }
+
+    #[test]
+    fn cdf_is_monotone_ending_at_one() {
+        let values = [3.0, 1.0, 2.0, 2.0];
+        let cdf = cdf_points(&values);
+        assert_eq!(cdf.len(), 4);
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        assert_eq!(cdf[0], (1.0, 0.25));
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_clamps() {
+        let pmf = discrete_pmf(&[0, 1, 1, 4, 9], 4);
+        assert_eq!(pmf.len(), 5);
+        assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(pmf[4], 0.4); // the 9 clamps into 4
+        assert_eq!(pmf[1], 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_panics() {
+        pdf_histogram(&[1.0], 4, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Table 2: gains and losses of a combination strategy.
+//!
+//! For rejected communities, the *gain* is rejecting non-attacks
+//! (Special/Unknown) and the *cost* is rejecting attacks; for
+//! accepted communities the gain is accepting attacks and the cost is
+//! accepting non-attacks. Fig. 8 tracks these quantities over nine
+//! years, highlighting one detector per panel.
+
+use mawilab_combiner::Decision;
+use mawilab_detectors::DetectorKind;
+use mawilab_label::{HeuristicCategory, LabeledCommunity};
+use mawilab_similarity::AlarmCommunities;
+
+/// The four Table-2 quantities, in community counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GainCost {
+    /// Accepted ∧ Attack.
+    pub gain_acc: usize,
+    /// Accepted ∧ Special/Unknown.
+    pub cost_acc: usize,
+    /// Rejected ∧ Special/Unknown.
+    pub gain_rej: usize,
+    /// Rejected ∧ Attack.
+    pub cost_rej: usize,
+}
+
+impl GainCost {
+    /// Total communities counted.
+    pub fn total(&self) -> usize {
+        self.gain_acc + self.cost_acc + self.gain_rej + self.cost_rej
+    }
+}
+
+/// Computes Table 2 over all communities, or — when `detector` is
+/// given — over the communities containing at least one alarm of that
+/// detector (the per-detector curves of Fig. 8).
+pub fn gain_cost(
+    communities: &AlarmCommunities,
+    labeled: &[LabeledCommunity],
+    decisions: &[Decision],
+    detector: Option<DetectorKind>,
+) -> GainCost {
+    assert_eq!(labeled.len(), decisions.len(), "decision/label mismatch");
+    let mut out = GainCost::default();
+    for (lc, d) in labeled.iter().zip(decisions) {
+        if let Some(kind) = detector {
+            if !communities.detectors_in(lc.community).contains(&kind) {
+                continue;
+            }
+        }
+        let attack = lc.heuristic.category() == HeuristicCategory::Attack;
+        match (d.accepted, attack) {
+            (true, true) => out.gain_acc += 1,
+            (true, false) => out.cost_acc += 1,
+            (false, false) => out.gain_rej += 1,
+            (false, true) => out.cost_rej += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mawilab_combiner::Decision;
+    use mawilab_detectors::{Alarm, AlarmScope, Tuning};
+    use mawilab_graph::Partition;
+    use mawilab_label::{CommunitySummary, HeuristicLabel, MawilabLabel};
+    use mawilab_model::{Granularity, TimeWindow};
+    use std::net::Ipv4Addr;
+
+    fn alarm(d: DetectorKind) -> Alarm {
+        Alarm {
+            detector: d,
+            tuning: Tuning::Optimal,
+            window: TimeWindow::new(0, 1),
+            scope: AlarmScope::SrcHost(Ipv4Addr::new(1, 1, 1, 1)),
+            score: 1.0,
+        }
+    }
+
+    /// Two communities: c0 = {Gamma, KL alarms}, c1 = {Hough alarm}.
+    fn communities() -> AlarmCommunities {
+        let alarms =
+            vec![alarm(DetectorKind::Gamma), alarm(DetectorKind::Kl), alarm(DetectorKind::Hough)];
+        let est = mawilab_similarity::SimilarityEstimator::default();
+        let traffic = vec![vec![1, 2], vec![1, 2], vec![9]];
+        let graph = est.build_graph(&traffic);
+        AlarmCommunities {
+            alarms,
+            traffic,
+            graph,
+            partition: Partition::from_labels(vec![0, 0, 1]),
+            granularity: Granularity::Uniflow,
+        }
+    }
+
+    fn lc(community: usize, heuristic: HeuristicLabel) -> LabeledCommunity {
+        LabeledCommunity {
+            community,
+            label: MawilabLabel::Anomalous,
+            heuristic,
+            summary: CommunitySummary {
+                community,
+                rules: vec![],
+                rule_degree: 0.0,
+                rule_support: 0.0,
+                transactions: 0,
+            },
+            window: TimeWindow::new(0, 1),
+            alarms: 1,
+            detectors: 1,
+        }
+    }
+
+    #[test]
+    fn quadrants_are_counted() {
+        let comms = communities();
+        let labeled = vec![lc(0, HeuristicLabel::Smb), lc(1, HeuristicLabel::Unknown)];
+        let decisions = vec![Decision::new(true), Decision::new(false)];
+        let gc = gain_cost(&comms, &labeled, &decisions, None);
+        assert_eq!(gc, GainCost { gain_acc: 1, cost_acc: 0, gain_rej: 1, cost_rej: 0 });
+        assert_eq!(gc.total(), 2);
+    }
+
+    #[test]
+    fn per_detector_filters_membership() {
+        let comms = communities();
+        let labeled = vec![lc(0, HeuristicLabel::Smb), lc(1, HeuristicLabel::Unknown)];
+        let decisions = vec![Decision::new(false), Decision::new(false)];
+        // Gamma participates only in community 0 (Attack, rejected).
+        let gamma = gain_cost(&comms, &labeled, &decisions, Some(DetectorKind::Gamma));
+        assert_eq!(gamma, GainCost { gain_acc: 0, cost_acc: 0, gain_rej: 0, cost_rej: 1 });
+        // Hough only in community 1 (Unknown, rejected).
+        let hough = gain_cost(&comms, &labeled, &decisions, Some(DetectorKind::Hough));
+        assert_eq!(hough, GainCost { gain_acc: 0, cost_acc: 0, gain_rej: 1, cost_rej: 0 });
+        // PCA participates nowhere.
+        let pca = gain_cost(&comms, &labeled, &decisions, Some(DetectorKind::Pca));
+        assert_eq!(pca.total(), 0);
+    }
+
+    #[test]
+    fn all_four_quadrants_fill() {
+        let comms = communities();
+        // Duplicate labels to produce all cases over two communities
+        // by varying decisions.
+        let labeled = vec![lc(0, HeuristicLabel::Smb), lc(1, HeuristicLabel::Http)];
+        let d1 = vec![Decision::new(true), Decision::new(true)];
+        let gc1 = gain_cost(&comms, &labeled, &d1, None);
+        assert_eq!((gc1.gain_acc, gc1.cost_acc), (1, 1));
+        let d2 = vec![Decision::new(false), Decision::new(false)];
+        let gc2 = gain_cost(&comms, &labeled, &d2, None);
+        assert_eq!((gc2.gain_rej, gc2.cost_rej), (1, 1));
+    }
+}

@@ -1,0 +1,142 @@
+//! Attack ratios (paper §4.2.1).
+//!
+//! Lacking ground truth, the paper referees combination strategies by
+//! the Table-1 heuristics: a good strategy *accepts* a high fraction
+//! of `Attack`-labeled communities and *rejects* a low fraction. The
+//! attack ratio of a community class is `#Attack / #total` within the
+//! class.
+
+use mawilab_combiner::Decision;
+use mawilab_detectors::DetectorKind;
+use mawilab_label::{HeuristicCategory, LabeledCommunity};
+use mawilab_similarity::AlarmCommunities;
+
+/// Attack ratios of the accepted and rejected classes for one trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackRatios {
+    /// `#accepted ∧ Attack / #accepted` (`None` when nothing was
+    /// accepted).
+    pub accepted: Option<f64>,
+    /// `#rejected ∧ Attack / #rejected`.
+    pub rejected: Option<f64>,
+    /// Number of accepted communities.
+    pub n_accepted: usize,
+    /// Number of rejected communities.
+    pub n_rejected: usize,
+}
+
+/// Computes the accepted/rejected attack ratios of one classified
+/// trace. `labeled[i]` must describe community `i` and `decisions[i]`
+/// its decision.
+pub fn attack_ratio_by_class(
+    labeled: &[LabeledCommunity],
+    decisions: &[Decision],
+) -> AttackRatios {
+    assert_eq!(labeled.len(), decisions.len(), "decision/label mismatch");
+    let mut acc = (0usize, 0usize); // (attack, total)
+    let mut rej = (0usize, 0usize);
+    for (lc, d) in labeled.iter().zip(decisions) {
+        let slot = if d.accepted { &mut acc } else { &mut rej };
+        slot.1 += 1;
+        if lc.heuristic.category() == HeuristicCategory::Attack {
+            slot.0 += 1;
+        }
+    }
+    AttackRatios {
+        accepted: (acc.1 > 0).then(|| acc.0 as f64 / acc.1 as f64),
+        rejected: (rej.1 > 0).then(|| rej.0 as f64 / rej.1 as f64),
+        n_accepted: acc.1,
+        n_rejected: rej.1,
+    }
+}
+
+/// Attack ratio of the communities a given detector participates in
+/// (Fig. 6(c)): `#(communities with a d-alarm ∧ Attack) /
+/// #(communities with a d-alarm)`.
+pub fn detector_attack_ratio(
+    communities: &AlarmCommunities,
+    labeled: &[LabeledCommunity],
+    detector: DetectorKind,
+) -> Option<f64> {
+    let mut attack = 0usize;
+    let mut total = 0usize;
+    for lc in labeled {
+        if communities.detectors_in(lc.community).contains(&detector) {
+            total += 1;
+            if lc.heuristic.category() == HeuristicCategory::Attack {
+                attack += 1;
+            }
+        }
+    }
+    (total > 0).then(|| attack as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mawilab_label::{CommunitySummary, HeuristicLabel, MawilabLabel};
+    use mawilab_model::TimeWindow;
+
+    fn lc(community: usize, heuristic: HeuristicLabel) -> LabeledCommunity {
+        LabeledCommunity {
+            community,
+            label: MawilabLabel::Anomalous,
+            heuristic,
+            summary: CommunitySummary {
+                community,
+                rules: vec![],
+                rule_degree: 0.0,
+                rule_support: 0.0,
+                transactions: 0,
+            },
+            window: TimeWindow::new(0, 1),
+            alarms: 1,
+            detectors: 1,
+        }
+    }
+
+    fn dec(accepted: bool) -> Decision {
+        Decision::new(accepted)
+    }
+
+    #[test]
+    fn ratios_split_by_class() {
+        let labeled = vec![
+            lc(0, HeuristicLabel::Smb),      // attack, accepted
+            lc(1, HeuristicLabel::Http),     // special, accepted
+            lc(2, HeuristicLabel::Ping),     // attack, rejected
+            lc(3, HeuristicLabel::Unknown),  // unknown, rejected
+            lc(4, HeuristicLabel::Unknown),  // unknown, rejected
+        ];
+        let decisions = vec![dec(true), dec(true), dec(false), dec(false), dec(false)];
+        let r = attack_ratio_by_class(&labeled, &decisions);
+        assert_eq!(r.accepted, Some(0.5));
+        assert!((r.rejected.unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.n_accepted, 2);
+        assert_eq!(r.n_rejected, 3);
+    }
+
+    #[test]
+    fn empty_classes_are_none() {
+        let labeled = vec![lc(0, HeuristicLabel::Smb)];
+        let all_acc = attack_ratio_by_class(&labeled, &[dec(true)]);
+        assert_eq!(all_acc.accepted, Some(1.0));
+        assert_eq!(all_acc.rejected, None);
+        let all_rej = attack_ratio_by_class(&labeled, &[dec(false)]);
+        assert_eq!(all_rej.accepted, None);
+        assert_eq!(all_rej.rejected, Some(1.0));
+    }
+
+    #[test]
+    fn no_communities_is_all_none() {
+        let r = attack_ratio_by_class(&[], &[]);
+        assert_eq!(r.accepted, None);
+        assert_eq!(r.rejected, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_lengths_panic() {
+        attack_ratio_by_class(&[lc(0, HeuristicLabel::Smb)], &[]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Connected components of an undirected graph.
+//!
+//! Used as the degenerate-case baseline for community mining (a
+//! community can never span two components) and by tests validating
+//! Louvain output.
+
+use crate::graph::Graph;
+use crate::louvain::Partition;
+
+/// Computes connected components via iterative DFS; returns a
+/// [`Partition`] with one community per component, numbered by first
+/// appearance.
+pub fn connected_components(g: &Graph) -> Partition {
+    let n = g.node_count();
+    let mut labels = vec![usize::MAX; n];
+    let mut next = 0;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        labels[start] = next;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &(u, _) in g.neighbors(v) {
+                let u = u as usize;
+                if labels[u] == usize::MAX {
+                    labels[u] = next;
+                    stack.push(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    // Labels are already dense and first-appearance ordered.
+    Partition { community: labels, count: next }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::louvain::louvain;
+
+    #[test]
+    fn splits_disconnected_parts() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(4, 5, 1.0);
+        let p = connected_components(&g);
+        assert_eq!(p.community_count(), 3); // {0,1,2}, {3}, {4,5}
+        assert_eq!(p.of(0), p.of(2));
+        assert_ne!(p.of(0), p.of(3));
+        assert_ne!(p.of(3), p.of(4));
+    }
+
+    #[test]
+    fn fully_connected_is_one_component() {
+        let mut g = Graph::new(4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(i, j, 1.0);
+            }
+        }
+        assert_eq!(connected_components(&g).community_count(), 1);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        assert_eq!(connected_components(&Graph::new(0)).community_count(), 0);
+    }
+
+    #[test]
+    fn all_isolated_gives_n_components() {
+        assert_eq!(connected_components(&Graph::new(7)).community_count(), 7);
+    }
+
+    #[test]
+    fn self_loop_does_not_merge_anything() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 0, 1.0);
+        assert_eq!(connected_components(&g).community_count(), 2);
+    }
+
+    #[test]
+    fn louvain_refines_components() {
+        // Every Louvain community must fall within one component.
+        let mut g = Graph::new(8);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(4, 5, 1.0);
+        g.add_edge(5, 6, 1.0);
+        let comps = connected_components(&g);
+        let comms = louvain(&g, 1.0);
+        for v in 0..8 {
+            for u in 0..8 {
+                if comms.of(v) == comms.of(u) {
+                    assert_eq!(comps.of(v), comps.of(u), "community crosses components");
+                }
+            }
+        }
+    }
+}

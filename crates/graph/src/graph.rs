@@ -1,0 +1,173 @@
+//! Weighted undirected graph with adjacency lists.
+
+/// Weighted undirected graph over nodes `0..n`.
+///
+/// Parallel edges are merged by summing weights; self-loops are
+/// allowed and stored once. Edge weights must be positive (similarity
+/// measures are in `(0, 1]`).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adj: Vec<Vec<(u32, f64)>>,
+    self_loops: Vec<f64>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], self_loops: vec![0.0; n], edge_count: 0 }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of distinct edges (self-loops included).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds (or accumulates onto) the undirected edge `u—v` with
+    /// weight `w > 0`.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(w > 0.0 && w.is_finite(), "edge weight must be positive");
+        if u == v {
+            if self.self_loops[u] == 0.0 {
+                self.edge_count += 1;
+            }
+            self.self_loops[u] += w;
+            return;
+        }
+        match self.adj[u].iter_mut().find(|(n, _)| *n as usize == v) {
+            Some((_, weight)) => {
+                *weight += w;
+                let back = self.adj[v]
+                    .iter_mut()
+                    .find(|(n, _)| *n as usize == u)
+                    .expect("asymmetric adjacency");
+                back.1 += w;
+            }
+            None => {
+                self.adj[u].push((v as u32, w));
+                self.adj[v].push((u as u32, w));
+                self.edge_count += 1;
+            }
+        }
+    }
+
+    /// Neighbours of `u` (excluding any self-loop) with edge weights.
+    pub fn neighbors(&self, u: usize) -> &[(u32, f64)] {
+        &self.adj[u]
+    }
+
+    /// Self-loop weight of `u` (0 when absent).
+    pub fn self_loop(&self, u: usize) -> f64 {
+        self.self_loops[u]
+    }
+
+    /// Weighted degree: Σ incident edge weights, self-loops counted
+    /// twice (the standard modularity convention).
+    pub fn degree(&self, u: usize) -> f64 {
+        self.adj[u].iter().map(|(_, w)| w).sum::<f64>() + 2.0 * self.self_loops[u]
+    }
+
+    /// Total edge weight `m` (each edge once, self-loops once).
+    pub fn total_weight(&self) -> f64 {
+        let half: f64 =
+            self.adj.iter().flat_map(|l| l.iter().map(|(_, w)| w)).sum::<f64>() / 2.0;
+        half + self.self_loops.iter().sum::<f64>()
+    }
+
+    /// True when `u` has no incident edges at all.
+    pub fn is_isolated(&self, u: usize) -> bool {
+        self.adj[u].is_empty() && self.self_loops[u] == 0.0
+    }
+
+    /// Number of isolated nodes.
+    pub fn isolated_count(&self) -> usize {
+        (0..self.node_count()).filter(|&u| self.is_isolated(u)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_is_symmetric() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 0.5);
+        assert_eq!(g.neighbors(0), &[(1, 0.5)]);
+        assert_eq!(g.neighbors(1), &[(0, 0.5)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 0.3);
+        g.add_edge(1, 0, 0.2);
+        assert_eq!(g.edge_count(), 1);
+        assert!((g.neighbors(0)[0].1 - 0.5).abs() < 1e-12);
+        assert!((g.neighbors(1)[0].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loop_counts_twice_in_degree() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 0, 1.5);
+        g.add_edge(0, 1, 1.0);
+        assert_eq!(g.degree(0), 4.0);
+        assert_eq!(g.degree(1), 1.0);
+        assert_eq!(g.self_loop(0), 1.5);
+    }
+
+    #[test]
+    fn total_weight_counts_each_edge_once() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 2, 0.5);
+        assert!((g.total_weight() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_degrees_is_twice_total_weight() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 0.7);
+        g.add_edge(1, 2, 0.9);
+        g.add_edge(3, 3, 0.4);
+        let deg_sum: f64 = (0..4).map(|u| g.degree(u)).sum();
+        assert!((deg_sum - 2.0 * g.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_nodes_are_reported() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 1.0);
+        assert_eq!(g.isolated_count(), 3);
+        assert!(g.is_isolated(4));
+        assert!(!g.is_isolated(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::new(2).add_edge(0, 5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_weight_panics() {
+        Graph::new(2).add_edge(0, 1, 0.0);
+    }
+
+    #[test]
+    fn empty_graph_is_consistent() {
+        let g = Graph::new(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.total_weight(), 0.0);
+    }
+}

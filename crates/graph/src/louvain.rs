@@ -1,0 +1,412 @@
+//! The Louvain community-detection method (Blondel et al. 2008).
+//!
+//! The paper (§2.1.3) selects Louvain because it identifies
+//! communities *locally* — groups of just a few alarms are found even
+//! in graphs dominated by disconnected false-positive nodes — and
+//! because it is fast and accurate on sparse graphs.
+//!
+//! The implementation is the classic two-phase loop: (1) greedy local
+//! moving, scanning nodes in deterministic order and relocating each
+//! to the neighbouring community with maximal modularity gain;
+//! (2) aggregation of communities into super-nodes; repeat until no
+//! move improves modularity. Determinism matters here — the whole
+//! MAWILab pipeline must label a trace identically on every run.
+
+use crate::graph::Graph;
+
+/// A partition of graph nodes into communities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `community[v]` = community id of node `v`. Ids are dense
+    /// (`0..community_count`), ordered by first appearance.
+    pub community: Vec<usize>,
+    pub(crate) count: usize,
+}
+
+impl Partition {
+    /// Builds a partition from arbitrary (possibly sparse) labels,
+    /// renumbering them to dense ids in order of first appearance.
+    /// Labels must be `< labels.len()`.
+    pub fn from_labels(mut labels: Vec<usize>) -> Self {
+        // Renumber to dense ids in order of first appearance.
+        let mut remap: Vec<Option<usize>> = vec![None; labels.len().max(1)];
+        let mut next = 0;
+        for l in &mut labels {
+            let slot = remap.get_mut(*l).expect("label out of range");
+            match slot {
+                Some(id) => *l = *id,
+                None => {
+                    *slot = Some(next);
+                    *l = next;
+                    next += 1;
+                }
+            }
+        }
+        Partition { community: labels, count: next }
+    }
+
+    /// Number of communities.
+    pub fn community_count(&self) -> usize {
+        self.count
+    }
+
+    /// Community id of node `v`.
+    pub fn of(&self, v: usize) -> usize {
+        self.community[v]
+    }
+
+    /// Members of every community, indexed by community id.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (v, &c) in self.community.iter().enumerate() {
+            out[c].push(v);
+        }
+        out
+    }
+
+    /// Sizes of communities, indexed by community id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut out = vec![0; self.count];
+        for &c in &self.community {
+            out[c] += 1;
+        }
+        out
+    }
+}
+
+/// Modularity `Q` of a partition:
+/// `Q = Σ_c [ Σ_in(c)/(2m) − (Σ_tot(c)/(2m))² ]`.
+///
+/// Returns 0 for graphs without edges (the convention that keeps the
+/// similarity estimator well defined on all-singleton days).
+pub fn modularity(g: &Graph, p: &Partition) -> f64 {
+    assert_eq!(p.community.len(), g.node_count(), "partition size mismatch");
+    let two_m = 2.0 * g.total_weight();
+    if two_m == 0.0 {
+        return 0.0;
+    }
+    let nc = p.community_count();
+    let mut sigma_in = vec![0.0; nc]; // 2× intra-community weight
+    let mut sigma_tot = vec![0.0; nc];
+    for v in 0..g.node_count() {
+        let cv = p.of(v);
+        sigma_tot[cv] += g.degree(v);
+        sigma_in[cv] += 2.0 * g.self_loop(v);
+        for &(u, w) in g.neighbors(v) {
+            if p.of(u as usize) == cv {
+                sigma_in[cv] += w; // each intra edge visited twice
+            }
+        }
+    }
+    (0..nc)
+        .map(|c| sigma_in[c] / two_m - (sigma_tot[c] / two_m).powi(2))
+        .sum()
+}
+
+/// Runs Louvain to convergence and returns the final partition on the
+/// original nodes.
+///
+/// `resolution` scales the null-model term of the gain (1.0 =
+/// classical modularity; the paper uses the classical setting).
+pub fn louvain(g: &Graph, resolution: f64) -> Partition {
+    assert!(resolution > 0.0, "resolution must be positive");
+    let n = g.node_count();
+    if n == 0 {
+        return Partition { community: vec![], count: 0 };
+    }
+    // node → community on the *original* graph, refined level by level.
+    let mut assignment: Vec<usize> = (0..n).collect();
+    let mut level_graph = g.clone();
+
+    loop {
+        let (labels, improved) = one_level(&level_graph, resolution);
+        if !improved {
+            break;
+        }
+        let level_part = Partition::from_labels(labels);
+        // Propagate: original node → its community at this level.
+        for a in assignment.iter_mut() {
+            *a = level_part.of(*a);
+        }
+        if level_part.community_count() == level_graph.node_count() {
+            break; // aggregation would be a no-op
+        }
+        level_graph = aggregate(&level_graph, &level_part);
+    }
+    Partition::from_labels(assignment)
+}
+
+/// One round of greedy local moving. Returns the label vector and
+/// whether any node moved.
+fn one_level(g: &Graph, resolution: f64) -> (Vec<usize>, bool) {
+    let n = g.node_count();
+    let two_m = 2.0 * g.total_weight();
+    let mut labels: Vec<usize> = (0..n).collect();
+    if two_m == 0.0 {
+        return (labels, false);
+    }
+    let degrees: Vec<f64> = (0..n).map(|v| g.degree(v)).collect();
+    let mut sigma_tot: Vec<f64> = degrees.clone();
+    let mut improved_any = false;
+
+    // Scratch: community id → accumulated edge weight from the node
+    // being scanned (reset lazily via a generation stamp).
+    let mut weight_to = vec![0.0f64; n];
+    let mut stamp = vec![0u32; n];
+    let mut generation = 0u32;
+
+    loop {
+        let mut moved = false;
+        for v in 0..n {
+            let cv = labels[v];
+            generation += 1;
+            // Gather neighbour-community weights.
+            let mut candidates: Vec<usize> = Vec::new();
+            for &(u, w) in g.neighbors(v) {
+                let cu = labels[u as usize];
+                if stamp[cu] != generation {
+                    stamp[cu] = generation;
+                    weight_to[cu] = 0.0;
+                    candidates.push(cu);
+                }
+                weight_to[cu] += w;
+            }
+            // Remove v from its community.
+            sigma_tot[cv] -= degrees[v];
+            let w_own = if stamp[cv] == generation { weight_to[cv] } else { 0.0 };
+            let base_gain = w_own - resolution * sigma_tot[cv] * degrees[v] / two_m;
+
+            // Best neighbouring community (ties keep the lowest id so
+            // results are order-independent of HashMap iteration).
+            let mut best_c = cv;
+            let mut best_gain = base_gain;
+            candidates.sort_unstable();
+            for &c in &candidates {
+                if c == cv {
+                    continue;
+                }
+                let gain = weight_to[c] - resolution * sigma_tot[c] * degrees[v] / two_m;
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best_c = c;
+                }
+            }
+            sigma_tot[best_c] += degrees[v];
+            if best_c != cv {
+                labels[v] = best_c;
+                moved = true;
+                improved_any = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    (labels, improved_any)
+}
+
+/// Builds the aggregated graph: one node per community, inter-community
+/// weights summed, intra-community weight folded into self-loops.
+fn aggregate(g: &Graph, p: &Partition) -> Graph {
+    let nc = p.community_count();
+    let mut agg = Graph::new(nc);
+    // Self-loops: intra-community edge weight + old self-loops.
+    let mut intra = vec![0.0f64; nc];
+    let mut inter: std::collections::BTreeMap<(usize, usize), f64> =
+        std::collections::BTreeMap::new();
+    for v in 0..g.node_count() {
+        let cv = p.of(v);
+        intra[cv] += g.self_loop(v);
+        for &(u, w) in g.neighbors(v) {
+            let cu = p.of(u as usize);
+            if cu == cv {
+                if (u as usize) > v {
+                    intra[cv] += w;
+                }
+            } else if (u as usize) > v {
+                let key = (cv.min(cu), cv.max(cu));
+                *inter.entry(key).or_insert(0.0) += w;
+            }
+        }
+    }
+    for (c, &w) in intra.iter().enumerate() {
+        if w > 0.0 {
+            agg.add_edge(c, c, w);
+        }
+    }
+    for ((a, b), w) in inter {
+        agg.add_edge(a, b, w);
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two dense triangles joined by one weak edge.
+    fn two_triangles() -> Graph {
+        let mut g = Graph::new(6);
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(a, b, 1.0);
+        }
+        g.add_edge(2, 3, 0.1);
+        g
+    }
+
+    #[test]
+    fn separates_two_triangles() {
+        let g = two_triangles();
+        let p = louvain(&g, 1.0);
+        assert_eq!(p.community_count(), 2);
+        assert_eq!(p.of(0), p.of(1));
+        assert_eq!(p.of(1), p.of(2));
+        assert_eq!(p.of(3), p.of(4));
+        assert_ne!(p.of(0), p.of(3));
+    }
+
+    #[test]
+    fn modularity_of_good_partition_beats_trivial() {
+        let g = two_triangles();
+        let good = louvain(&g, 1.0);
+        let trivial = Partition::from_labels(vec![0; 6]);
+        let singletons = Partition::from_labels((0..6).collect());
+        assert!(modularity(&g, &good) > modularity(&g, &trivial));
+        assert!(modularity(&g, &good) > modularity(&g, &singletons));
+    }
+
+    #[test]
+    fn isolated_nodes_stay_singleton() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 1.0);
+        // Nodes 2, 3, 4 isolated (false-positive alarms in the paper).
+        let p = louvain(&g, 1.0);
+        assert_eq!(p.of(0), p.of(1));
+        let c2 = p.of(2);
+        let c3 = p.of(3);
+        let c4 = p.of(4);
+        assert_ne!(c2, c3);
+        assert_ne!(c3, c4);
+        assert_eq!(p.community_count(), 4);
+    }
+
+    #[test]
+    fn edgeless_graph_is_all_singletons_with_zero_modularity() {
+        let g = Graph::new(4);
+        let p = louvain(&g, 1.0);
+        assert_eq!(p.community_count(), 4);
+        assert_eq!(modularity(&g, &p), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::new(0);
+        let p = louvain(&g, 1.0);
+        assert_eq!(p.community_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = two_triangles();
+        let p1 = louvain(&g, 1.0);
+        let p2 = louvain(&g, 1.0);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn ring_of_cliques_finds_each_clique() {
+        // Four 4-cliques in a ring, the standard Louvain sanity graph.
+        let k = 4;
+        let cliques = 4;
+        let mut g = Graph::new(k * cliques);
+        for c in 0..cliques {
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    g.add_edge(c * k + i, c * k + j, 1.0);
+                }
+            }
+        }
+        for c in 0..cliques {
+            let next = (c + 1) % cliques;
+            g.add_edge(c * k, next * k + 1, 0.2);
+        }
+        let p = louvain(&g, 1.0);
+        assert_eq!(p.community_count(), cliques);
+        for c in 0..cliques {
+            for i in 1..k {
+                assert_eq!(p.of(c * k), p.of(c * k + i), "clique {c} split");
+            }
+        }
+    }
+
+    #[test]
+    fn weights_drive_membership() {
+        // Node 2 connects to both sides; heavier edge wins.
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(1, 2, 0.9);
+        g.add_edge(2, 3, 0.1);
+        let p = louvain(&g, 1.0);
+        assert_eq!(p.of(2), p.of(1));
+        assert_ne!(p.of(2), p.of(3));
+    }
+
+    #[test]
+    fn modularity_matches_hand_computation() {
+        // Single edge graph, both nodes together: Q = 1/2... compute:
+        // m = 1, degrees = 1,1. Q = Σ_in/(2m) − (Σ_tot/(2m))²
+        //   = 2/2 − (2/2)² = 1 − 1 = 0 for the merged partition;
+        // singletons: each c has Σ_in=0, Σ_tot=1 → Q = −2·(1/2)² = −0.5.
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 1.0);
+        let merged = Partition::from_labels(vec![0, 0]);
+        let single = Partition::from_labels(vec![0, 1]);
+        assert!((modularity(&g, &merged) - 0.0).abs() < 1e-12);
+        assert!((modularity(&g, &single) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn louvain_never_decreases_vs_singletons() {
+        // Pseudo-random sparse graph; Louvain must beat or match the
+        // all-singleton baseline.
+        let n = 60;
+        let mut g = Graph::new(n);
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _ in 0..120 {
+            let a = next() % n;
+            let b = next() % n;
+            if a != b {
+                g.add_edge(a, b, ((next() % 9) + 1) as f64 / 10.0);
+            }
+        }
+        let p = louvain(&g, 1.0);
+        let singles = Partition::from_labels((0..n).collect());
+        assert!(modularity(&g, &p) >= modularity(&g, &singles) - 1e-12);
+    }
+
+    #[test]
+    fn partition_members_and_sizes_agree() {
+        let g = two_triangles();
+        let p = louvain(&g, 1.0);
+        let members = p.members();
+        let sizes = p.sizes();
+        assert_eq!(members.len(), sizes.len());
+        for (c, m) in members.iter().enumerate() {
+            assert_eq!(m.len(), sizes[c]);
+            for &v in m {
+                assert_eq!(p.of(v), c);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn zero_resolution_panics() {
+        louvain(&Graph::new(1), 0.0);
+    }
+}

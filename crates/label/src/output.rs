@@ -1,0 +1,212 @@
+//! Output writers: MAWILab-style CSV and admd-flavoured XML.
+//!
+//! The published MAWILab database distributes, per trace, a list of
+//! labeled anomalies with their feature filters. These writers emit
+//! the same information from a [`LabeledCommunity`] report: a flat
+//! CSV (one row per community rule) and an XML annotation file in the
+//! spirit of the admd schema the MAWILab site uses.
+
+use crate::taxonomy::LabeledCommunity;
+use std::io::{self, Write};
+
+/// CSV header written by [`write_csv`].
+pub const CSV_HEADER: &str =
+    "community,label,heuristic,category,alarms,detectors,start_s,end_s,src,sport,dst,dport,rule_support_units";
+
+fn opt<T: std::fmt::Display>(v: &Option<T>) -> String {
+    v.as_ref().map_or_else(String::new, |x| x.to_string())
+}
+
+/// Writes the labeled communities as CSV, one row per (community,
+/// rule); communities without rules emit a single row with empty
+/// filter columns.
+pub fn write_csv<W: Write>(mut w: W, report: &[LabeledCommunity]) -> io::Result<()> {
+    writeln!(w, "{CSV_HEADER}")?;
+    for lc in report {
+        let base = format!(
+            "{},{},{},{},{},{},{:.6},{:.6}",
+            lc.community,
+            lc.label,
+            lc.heuristic,
+            lc.heuristic.category(),
+            lc.alarms,
+            lc.detectors,
+            lc.window.start_us as f64 / 1e6,
+            lc.window.end_us as f64 / 1e6,
+        );
+        if lc.summary.rules.is_empty() {
+            writeln!(w, "{base},,,,,0")?;
+        } else {
+            for (rule, n) in &lc.summary.rules {
+                writeln!(
+                    w,
+                    "{base},{},{},{},{},{n}",
+                    opt(&rule.src),
+                    opt(&rule.sport),
+                    opt(&rule.dst),
+                    opt(&rule.dport),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Writes the labeled communities as an admd-style XML annotation
+/// document.
+pub fn write_xml<W: Write>(mut w: W, trace_name: &str, report: &[LabeledCommunity]) -> io::Result<()> {
+    writeln!(w, r#"<?xml version="1.0" encoding="UTF-8"?>"#)?;
+    writeln!(
+        w,
+        r#"<admd:data xmlns:admd="http://www.fukuda-lab.org/mawilab/admd" source="{}">"#,
+        xml_escape(trace_name)
+    )?;
+    for lc in report {
+        writeln!(
+            w,
+            r#"  <anomaly community="{}" type="{}" heuristic="{}" alarms="{}" detectors="{}">"#,
+            lc.community,
+            lc.label,
+            xml_escape(&lc.heuristic.to_string()),
+            lc.alarms,
+            lc.detectors
+        )?;
+        writeln!(
+            w,
+            r#"    <slice start="{:.6}" end="{:.6}"/>"#,
+            lc.window.start_us as f64 / 1e6,
+            lc.window.end_us as f64 / 1e6
+        )?;
+        for (rule, n) in &lc.summary.rules {
+            write!(w, r#"    <filter units="{n}""#)?;
+            if let Some(v) = rule.src {
+                write!(w, r#" src_ip="{v}""#)?;
+            }
+            if let Some(v) = rule.sport {
+                write!(w, r#" src_port="{v}""#)?;
+            }
+            if let Some(v) = rule.dst {
+                write!(w, r#" dst_ip="{v}""#)?;
+            }
+            if let Some(v) = rule.dport {
+                write!(w, r#" dst_port="{v}""#)?;
+            }
+            writeln!(w, "/>")?;
+        }
+        writeln!(w, "  </anomaly>")?;
+    }
+    writeln!(w, "</admd:data>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::HeuristicLabel;
+    use crate::summary::CommunitySummary;
+    use crate::taxonomy::MawilabLabel;
+    use mawilab_model::{TimeWindow, TrafficRule};
+    use std::net::Ipv4Addr;
+
+    fn sample_report() -> Vec<LabeledCommunity> {
+        vec![
+            LabeledCommunity {
+                community: 0,
+                label: MawilabLabel::Anomalous,
+                heuristic: HeuristicLabel::Smb,
+                summary: CommunitySummary {
+                    community: 0,
+                    rules: vec![(
+                        TrafficRule {
+                            src: Some(Ipv4Addr::new(9, 8, 7, 6)),
+                            dport: Some(445),
+                            ..Default::default()
+                        },
+                        42,
+                    )],
+                    rule_degree: 2.0,
+                    rule_support: 0.9,
+                    transactions: 47,
+                },
+                window: TimeWindow::new(1_000_000, 2_000_000),
+                alarms: 5,
+                detectors: 3,
+            },
+            LabeledCommunity {
+                community: 1,
+                label: MawilabLabel::Notice,
+                heuristic: HeuristicLabel::Unknown,
+                summary: CommunitySummary {
+                    community: 1,
+                    rules: vec![],
+                    rule_degree: 0.0,
+                    rule_support: 0.0,
+                    transactions: 3,
+                },
+                window: TimeWindow::new(0, 500_000),
+                alarms: 1,
+                detectors: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &sample_report()).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines.len(), 3); // header + 1 rule row + 1 empty row
+        assert!(lines[1].contains("anomalous"));
+        assert!(lines[1].contains("9.8.7.6"));
+        assert!(lines[1].contains("445"));
+        assert!(lines[2].ends_with(",,,,,0"));
+    }
+
+    #[test]
+    fn csv_column_count_is_consistent() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &sample_report()).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let n_cols = CSV_HEADER.split(',').count();
+        for line in s.lines() {
+            assert_eq!(line.split(',').count(), n_cols, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn xml_is_well_formed_ish() {
+        let mut buf = Vec::new();
+        write_xml(&mut buf, "20040602.pcap", &sample_report()).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("<?xml"));
+        assert_eq!(s.matches("<anomaly").count(), 2);
+        assert_eq!(s.matches("</anomaly>").count(), 2);
+        assert!(s.contains(r#"dst_port="445""#));
+        assert!(s.contains(r#"type="anomalous""#));
+        assert!(s.trim_end().ends_with("</admd:data>"));
+    }
+
+    #[test]
+    fn xml_escapes_special_characters() {
+        let mut buf = Vec::new();
+        write_xml(&mut buf, r#"a<b>&"c"#, &sample_report()).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("a&lt;b&gt;&amp;&quot;c"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &[]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap().lines().count(), 1);
+        let mut buf2 = Vec::new();
+        write_xml(&mut buf2, "x", &[]).unwrap();
+        let s = String::from_utf8(buf2).unwrap();
+        assert!(s.contains("</admd:data>"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Community summaries: concise association-rule descriptions.
+//!
+//! The number of labels MAWILab publishes is far smaller than the
+//! number of raw alarms because each community is condensed into a
+//! handful of wildcard 4-tuples by the modified Apriori algorithm
+//! (paper §4.1.1, §5). This module extracts those rules from a
+//! community's traffic at the estimator's granularity.
+
+use mawilab_detectors::TraceView;
+use mawilab_mining::{mine_rules, Transaction};
+use mawilab_model::{Granularity, TrafficRule};
+use mawilab_similarity::AlarmCommunities;
+
+/// The mined summary of one community.
+#[derive(Debug, Clone)]
+pub struct CommunitySummary {
+    /// Community id.
+    pub community: usize,
+    /// Maximal frequent rules with their support counts, strongest
+    /// first.
+    pub rules: Vec<(TrafficRule, usize)>,
+    /// Mean rule degree (0–4, paper §4.1.1).
+    pub rule_degree: f64,
+    /// Fraction of community traffic covered by ≥1 rule.
+    pub rule_support: f64,
+    /// Number of transactions mined (traffic units of the community).
+    pub transactions: usize,
+}
+
+/// Builds the transactions of a community at the estimator's
+/// granularity: one transaction per packet, unidirectional flow, or
+/// bidirectional flow in the community's traffic.
+pub fn community_transactions(
+    view: &TraceView<'_>,
+    communities: &AlarmCommunities,
+    community: usize,
+) -> Vec<Transaction> {
+    let ids = communities.community_traffic(community);
+    match communities.granularity {
+        Granularity::Packet => ids
+            .iter()
+            .map(|&i| Transaction::of_packet(&view.trace.packets[i as usize]))
+            .collect(),
+        Granularity::Uniflow => ids
+            .iter()
+            .map(|&f| {
+                let k = view.flows.uniflow_key(f);
+                Transaction::new(k.src, k.sport, k.dst, k.dport)
+            })
+            .collect(),
+        Granularity::Biflow => ids
+            .iter()
+            .map(|&f| {
+                let k = view.flows.biflow_key(f);
+                Transaction::new(k.a, k.aport, k.b, k.bport)
+            })
+            .collect(),
+    }
+}
+
+/// Mines the association-rule summary of one community with the
+/// paper's percentage-support Apriori (`min_support` = the paper's
+/// `s`, 0.2 in the experiments).
+pub fn summarize_community(
+    view: &TraceView<'_>,
+    communities: &AlarmCommunities,
+    community: usize,
+    min_support: f64,
+) -> CommunitySummary {
+    let txs = community_transactions(view, communities, community);
+    let mined = mine_rules(&txs, min_support);
+    CommunitySummary {
+        community,
+        rules: mined.rules,
+        rule_degree: mined.rule_degree,
+        rule_support: mined.rule_support,
+        transactions: txs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mawilab_detectors::{standard_configurations, run_all};
+    use mawilab_model::FlowTable;
+    use mawilab_similarity::SimilarityEstimator;
+    use mawilab_synth::{AnomalySpec, SynthConfig, TraceGenerator};
+
+    fn pipeline_communities(
+        granularity: Granularity,
+    ) -> (mawilab_synth::LabeledTrace, FlowTable, AlarmCommunities) {
+        let cfg = SynthConfig::default().with_seed(777).with_anomalies(vec![
+            AnomalySpec::SynFlood {
+                victim: 3,
+                dport: 80,
+                rate_pps: 250.0,
+                duration_s: 15.0,
+                spoofed: true,
+            },
+            AnomalySpec::SasserWorm { infected: 5, scans: 900, rate_pps: 70.0 },
+        ]);
+        let lt = TraceGenerator::new(cfg).generate();
+        let flows = FlowTable::build(&lt.trace.packets);
+        let alarms = {
+            let view = TraceView::new(&lt.trace, &flows);
+            run_all(&standard_configurations(), &view)
+        };
+        let est = SimilarityEstimator { granularity, ..Default::default() };
+        let communities = {
+            let view = TraceView::new(&lt.trace, &flows);
+            est.estimate(&view, alarms)
+        };
+        (lt, flows, communities)
+    }
+
+    #[test]
+    fn summaries_have_valid_metrics() {
+        let (lt, flows, communities) = pipeline_communities(Granularity::Uniflow);
+        let view = TraceView::new(&lt.trace, &flows);
+        assert!(communities.community_count() > 0);
+        for c in 0..communities.community_count() {
+            let s = summarize_community(&view, &communities, c, 0.2);
+            assert!((0.0..=4.0).contains(&s.rule_degree), "degree {}", s.rule_degree);
+            assert!((0.0..=1.0).contains(&s.rule_support), "support {}", s.rule_support);
+            if !s.rules.is_empty() {
+                assert!(s.rule_support > 0.0);
+                // Rule counts are bounded by the transaction count.
+                assert!(s.rules.iter().all(|&(_, n)| n <= s.transactions));
+            }
+        }
+    }
+
+    #[test]
+    fn summaries_are_concise_relative_to_alarms() {
+        // §6: #labels << #alarms. Rules across all communities should
+        // be far fewer than raw alarms.
+        let (lt, flows, communities) = pipeline_communities(Granularity::Uniflow);
+        let view = TraceView::new(&lt.trace, &flows);
+        let total_rules: usize = (0..communities.community_count())
+            .map(|c| summarize_community(&view, &communities, c, 0.2).rules.len())
+            .sum();
+        let alarms = communities.alarms.len();
+        assert!(
+            total_rules <= alarms,
+            "rules ({total_rules}) should not exceed alarms ({alarms})"
+        );
+    }
+
+    #[test]
+    fn granularities_produce_transactions() {
+        for g in [Granularity::Packet, Granularity::Uniflow, Granularity::Biflow] {
+            let (lt, flows, communities) = pipeline_communities(g);
+            let view = TraceView::new(&lt.trace, &flows);
+            let non_empty = (0..communities.community_count())
+                .any(|c| !community_transactions(&view, &communities, c).is_empty());
+            assert!(non_empty, "no transactions at {g}");
+        }
+    }
+}

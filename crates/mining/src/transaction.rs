@@ -1,0 +1,184 @@
+//! Transactions and items for traffic association-rule mining.
+
+use mawilab_model::{Packet, TrafficRule};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The four feature positions of the paper's rule tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Field {
+    /// Source IPv4 address.
+    SrcIp,
+    /// Source port.
+    SrcPort,
+    /// Destination IPv4 address.
+    DstIp,
+    /// Destination port.
+    DstPort,
+}
+
+impl Field {
+    /// All fields in tuple order.
+    pub const ALL: [Field; 4] = [Field::SrcIp, Field::SrcPort, Field::DstIp, Field::DstPort];
+}
+
+/// One (field, value) atom. Encoded compactly so itemsets hash fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Item {
+    /// Which tuple position this item constrains.
+    pub field: Field,
+    /// The concrete value (IPv4 as u32, ports zero-extended).
+    pub value: u32,
+}
+
+impl Item {
+    /// Item for a source address.
+    pub fn src_ip(ip: Ipv4Addr) -> Self {
+        Item { field: Field::SrcIp, value: u32::from(ip) }
+    }
+
+    /// Item for a destination address.
+    pub fn dst_ip(ip: Ipv4Addr) -> Self {
+        Item { field: Field::DstIp, value: u32::from(ip) }
+    }
+
+    /// Item for a source port.
+    pub fn src_port(p: u16) -> Self {
+        Item { field: Field::SrcPort, value: p as u32 }
+    }
+
+    /// Item for a destination port.
+    pub fn dst_port(p: u16) -> Self {
+        Item { field: Field::DstPort, value: p as u32 }
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.field {
+            Field::SrcIp => write!(f, "src={}", Ipv4Addr::from(self.value)),
+            Field::DstIp => write!(f, "dst={}", Ipv4Addr::from(self.value)),
+            Field::SrcPort => write!(f, "sport={}", self.value),
+            Field::DstPort => write!(f, "dport={}", self.value),
+        }
+    }
+}
+
+/// A transaction: the four feature items of one packet or flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    items: [Item; 4],
+}
+
+impl Transaction {
+    /// Builds the transaction of a packet.
+    pub fn of_packet(p: &Packet) -> Self {
+        Transaction {
+            items: [
+                Item::src_ip(p.src),
+                Item::src_port(p.sport),
+                Item::dst_ip(p.dst),
+                Item::dst_port(p.dport),
+            ],
+        }
+    }
+
+    /// Builds a transaction from explicit endpoint features.
+    pub fn new(src: Ipv4Addr, sport: u16, dst: Ipv4Addr, dport: u16) -> Self {
+        Transaction {
+            items: [
+                Item::src_ip(src),
+                Item::src_port(sport),
+                Item::dst_ip(dst),
+                Item::dst_port(dport),
+            ],
+        }
+    }
+
+    /// The four items.
+    pub fn items(&self) -> &[Item; 4] {
+        &self.items
+    }
+
+    /// Whether this transaction contains every item of `set`.
+    pub fn contains_all(&self, set: &[Item]) -> bool {
+        set.iter().all(|i| self.items.contains(i))
+    }
+}
+
+/// Renders an itemset as the paper's wildcard 4-tuple.
+pub fn itemset_to_rule(items: &[Item]) -> TrafficRule {
+    let mut rule = TrafficRule::default();
+    for item in items {
+        match item.field {
+            Field::SrcIp => rule.src = Some(Ipv4Addr::from(item.value)),
+            Field::DstIp => rule.dst = Some(Ipv4Addr::from(item.value)),
+            Field::SrcPort => rule.sport = Some(item.value as u16),
+            Field::DstPort => rule.dport = Some(item.value as u16),
+        }
+    }
+    rule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mawilab_model::TcpFlags;
+
+    fn ip(d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(192, 0, 2, d)
+    }
+
+    #[test]
+    fn transaction_of_packet_has_four_items() {
+        let p = Packet::tcp(0, ip(1), 4444, ip(2), 80, TcpFlags::syn(), 40);
+        let t = Transaction::of_packet(&p);
+        assert_eq!(t.items().len(), 4);
+        assert!(t.contains_all(&[Item::src_ip(ip(1)), Item::dst_port(80)]));
+        assert!(!t.contains_all(&[Item::dst_port(443)]));
+    }
+
+    #[test]
+    fn empty_itemset_is_contained_in_everything() {
+        let t = Transaction::new(ip(1), 1, ip(2), 2);
+        assert!(t.contains_all(&[]));
+    }
+
+    #[test]
+    fn itemset_to_rule_maps_fields() {
+        let rule = itemset_to_rule(&[Item::src_ip(ip(9)), Item::dst_port(53)]);
+        assert_eq!(rule.src, Some(ip(9)));
+        assert_eq!(rule.dport, Some(53));
+        assert_eq!(rule.sport, None);
+        assert_eq!(rule.dst, None);
+        assert_eq!(rule.degree(), 2);
+    }
+
+    #[test]
+    fn rule_degree_matches_itemset_size() {
+        for k in 0..=4usize {
+            let items: Vec<Item> = [
+                Item::src_ip(ip(1)),
+                Item::src_port(1000),
+                Item::dst_ip(ip(2)),
+                Item::dst_port(80),
+            ][..k]
+                .to_vec();
+            assert_eq!(itemset_to_rule(&items).degree() as usize, k);
+        }
+    }
+
+    #[test]
+    fn item_display_is_readable() {
+        assert_eq!(Item::src_ip(ip(7)).to_string(), "src=192.0.2.7");
+        assert_eq!(Item::dst_port(80).to_string(), "dport=80");
+    }
+
+    #[test]
+    fn items_order_by_field_then_value() {
+        let mut v = [Item::dst_port(2), Item::src_ip(ip(1)), Item::dst_port(1)];
+        v.sort();
+        assert_eq!(v[0].field, Field::SrcIp);
+        assert_eq!(v[1], Item::dst_port(1));
+    }
+}

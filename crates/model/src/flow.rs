@@ -1,0 +1,374 @@
+//! Flow keys and the packet→flow index.
+//!
+//! The similarity estimator compares alarms at three *traffic
+//! granularities* (paper §2.1.1): raw packets, unidirectional flows and
+//! bidirectional flows. [`FlowTable`] precomputes, once per trace, the
+//! dense flow id of every packet at both flow granularities so that
+//! alarm-traffic extraction is a single array lookup per packet.
+
+use crate::packet::{Packet, Protocol};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Dense identifier of a flow within one [`FlowTable`].
+pub type FlowId = u32;
+
+/// Traffic granularity at which alarm traffic is expressed
+/// (paper §2.1.1 and Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Granularity {
+    /// Individual packets.
+    Packet,
+    /// Unidirectional 5-tuple flows — the paper's final choice (§5).
+    #[default]
+    Uniflow,
+    /// Bidirectional flows (both directions folded together).
+    Biflow,
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Granularity::Packet => write!(f, "packet"),
+            Granularity::Uniflow => write!(f, "uniflow"),
+            Granularity::Biflow => write!(f, "biflow"),
+        }
+    }
+}
+
+/// Unidirectional flow key: the classic 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Source port (ICMP type for ICMP).
+    pub sport: u16,
+    /// Destination port (ICMP code for ICMP).
+    pub dport: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+}
+
+impl FlowKey {
+    /// Extracts the unidirectional key of a packet.
+    pub fn of(p: &Packet) -> Self {
+        FlowKey { src: p.src, dst: p.dst, sport: p.sport, dport: p.dport, proto: p.proto }
+    }
+
+    /// The same flow viewed from the opposite direction.
+    pub fn reversed(&self) -> Self {
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+            sport: self.dport,
+            dport: self.sport,
+            proto: self.proto,
+        }
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}:{} > {}:{}", self.proto, self.src, self.sport, self.dst, self.dport)
+    }
+}
+
+/// Bidirectional flow key: a [`FlowKey`] canonicalised so that both
+/// directions of a conversation map to the same key.
+///
+/// Canonical form: the (address, port) endpoint pair that compares
+/// smaller becomes the `a` side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BiflowKey {
+    /// Lower endpoint address.
+    pub a: Ipv4Addr,
+    /// Lower endpoint port.
+    pub aport: u16,
+    /// Upper endpoint address.
+    pub b: Ipv4Addr,
+    /// Upper endpoint port.
+    pub bport: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+}
+
+impl BiflowKey {
+    /// Canonicalises a packet's endpoints into a bidirectional key.
+    pub fn of(p: &Packet) -> Self {
+        Self::from_flow(&FlowKey::of(p))
+    }
+
+    /// Canonicalises a unidirectional key.
+    pub fn from_flow(k: &FlowKey) -> Self {
+        if (k.src, k.sport) <= (k.dst, k.dport) {
+            BiflowKey { a: k.src, aport: k.sport, b: k.dst, bport: k.dport, proto: k.proto }
+        } else {
+            BiflowKey { a: k.dst, aport: k.dport, b: k.src, bport: k.sport, proto: k.proto }
+        }
+    }
+}
+
+impl fmt::Display for BiflowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}:{} <> {}:{}", self.proto, self.a, self.aport, self.b, self.bport)
+    }
+}
+
+/// Per-flow aggregate statistics, used by the Table-1 heuristics and
+/// the Hough detector.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlowStats {
+    /// Number of packets in the flow.
+    pub packets: u32,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Packets with SYN set.
+    pub syn: u32,
+    /// Packets with RST set.
+    pub rst: u32,
+    /// Packets with FIN set.
+    pub fin: u32,
+    /// First packet timestamp (µs).
+    pub first_ts: u64,
+    /// Last packet timestamp (µs).
+    pub last_ts: u64,
+}
+
+impl FlowStats {
+    fn update(&mut self, p: &Packet) {
+        if self.packets == 0 {
+            self.first_ts = p.ts_us;
+        }
+        self.packets += 1;
+        self.bytes += p.len as u64;
+        self.syn += p.flags.is_syn() as u32;
+        self.rst += p.flags.is_rst() as u32;
+        self.fin += p.flags.is_fin() as u32;
+        self.last_ts = p.ts_us;
+    }
+
+    /// Flow duration in microseconds (0 for single-packet flows).
+    pub fn duration_us(&self) -> u64 {
+        self.last_ts.saturating_sub(self.first_ts)
+    }
+}
+
+/// Packet→flow index for one trace, at both flow granularities.
+///
+/// Built in a single pass over the packets. Uniflow and biflow ids are
+/// assigned densely in order of first appearance, so they double as
+/// indices into the per-flow statistics vectors.
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    uni_of_packet: Vec<FlowId>,
+    bi_of_packet: Vec<FlowId>,
+    uni_keys: Vec<FlowKey>,
+    bi_keys: Vec<BiflowKey>,
+    uni_stats: Vec<FlowStats>,
+    bi_stats: Vec<FlowStats>,
+    uni_index: HashMap<FlowKey, FlowId>,
+    bi_index: HashMap<BiflowKey, FlowId>,
+}
+
+impl FlowTable {
+    /// Builds the flow index for a packet sequence.
+    pub fn build(packets: &[Packet]) -> Self {
+        let mut t = FlowTable {
+            uni_of_packet: Vec::with_capacity(packets.len()),
+            bi_of_packet: Vec::with_capacity(packets.len()),
+            uni_keys: Vec::new(),
+            bi_keys: Vec::new(),
+            uni_stats: Vec::new(),
+            bi_stats: Vec::new(),
+            uni_index: HashMap::new(),
+            bi_index: HashMap::new(),
+        };
+        for p in packets {
+            let uk = FlowKey::of(p);
+            let uid = *t.uni_index.entry(uk).or_insert_with(|| {
+                t.uni_keys.push(uk);
+                t.uni_stats.push(FlowStats::default());
+                (t.uni_keys.len() - 1) as FlowId
+            });
+            t.uni_stats[uid as usize].update(p);
+            t.uni_of_packet.push(uid);
+
+            let bk = BiflowKey::from_flow(&uk);
+            let bid = *t.bi_index.entry(bk).or_insert_with(|| {
+                t.bi_keys.push(bk);
+                t.bi_stats.push(FlowStats::default());
+                (t.bi_keys.len() - 1) as FlowId
+            });
+            t.bi_stats[bid as usize].update(p);
+            t.bi_of_packet.push(bid);
+        }
+        t
+    }
+
+    /// Number of packets indexed.
+    pub fn packet_count(&self) -> usize {
+        self.uni_of_packet.len()
+    }
+
+    /// Number of distinct unidirectional flows.
+    pub fn uniflow_count(&self) -> usize {
+        self.uni_keys.len()
+    }
+
+    /// Number of distinct bidirectional flows.
+    pub fn biflow_count(&self) -> usize {
+        self.bi_keys.len()
+    }
+
+    /// Uniflow id of packet `i`.
+    pub fn uniflow_of(&self, packet_idx: usize) -> FlowId {
+        self.uni_of_packet[packet_idx]
+    }
+
+    /// Biflow id of packet `i`.
+    pub fn biflow_of(&self, packet_idx: usize) -> FlowId {
+        self.bi_of_packet[packet_idx]
+    }
+
+    /// Key of uniflow `id`.
+    pub fn uniflow_key(&self, id: FlowId) -> &FlowKey {
+        &self.uni_keys[id as usize]
+    }
+
+    /// Key of biflow `id`.
+    pub fn biflow_key(&self, id: FlowId) -> &BiflowKey {
+        &self.bi_keys[id as usize]
+    }
+
+    /// Statistics of uniflow `id`.
+    pub fn uniflow_stats(&self, id: FlowId) -> &FlowStats {
+        &self.uni_stats[id as usize]
+    }
+
+    /// Statistics of biflow `id`.
+    pub fn biflow_stats(&self, id: FlowId) -> &FlowStats {
+        &self.bi_stats[id as usize]
+    }
+
+    /// Looks up the id of a unidirectional key, if seen in the trace.
+    pub fn find_uniflow(&self, key: &FlowKey) -> Option<FlowId> {
+        self.uni_index.get(key).copied()
+    }
+
+    /// Looks up the id of a bidirectional key, if seen in the trace.
+    pub fn find_biflow(&self, key: &BiflowKey) -> Option<FlowId> {
+        self.bi_index.get(key).copied()
+    }
+
+    /// All unidirectional keys, indexed by flow id.
+    pub fn uniflow_keys(&self) -> &[FlowKey] {
+        &self.uni_keys
+    }
+
+    /// All bidirectional keys, indexed by flow id.
+    pub fn biflow_keys(&self) -> &[BiflowKey] {
+        &self.bi_keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TcpFlags;
+
+    fn ip(d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, d)
+    }
+
+    fn pkts() -> Vec<Packet> {
+        vec![
+            Packet::tcp(0, ip(1), 1000, ip(2), 80, TcpFlags::syn(), 40),
+            Packet::tcp(10, ip(2), 80, ip(1), 1000, TcpFlags::syn_ack(), 40),
+            Packet::tcp(20, ip(1), 1000, ip(2), 80, TcpFlags::ack(), 40),
+            Packet::udp(30, ip(3), 53, ip(1), 999, 100),
+        ]
+    }
+
+    #[test]
+    fn uniflow_splits_directions_biflow_folds_them() {
+        let t = FlowTable::build(&pkts());
+        assert_eq!(t.uniflow_count(), 3);
+        assert_eq!(t.biflow_count(), 2);
+        // fwd and rev TCP packets share the biflow but not the uniflow.
+        assert_eq!(t.biflow_of(0), t.biflow_of(1));
+        assert_ne!(t.uniflow_of(0), t.uniflow_of(1));
+        assert_eq!(t.uniflow_of(0), t.uniflow_of(2));
+    }
+
+    #[test]
+    fn biflow_key_is_direction_invariant() {
+        let k = FlowKey { src: ip(9), dst: ip(1), sport: 4444, dport: 80, proto: Protocol::Tcp };
+        assert_eq!(BiflowKey::from_flow(&k), BiflowKey::from_flow(&k.reversed()));
+    }
+
+    #[test]
+    fn reversed_twice_is_identity() {
+        let k = FlowKey { src: ip(9), dst: ip(1), sport: 4444, dport: 80, proto: Protocol::Tcp };
+        assert_eq!(k.reversed().reversed(), k);
+    }
+
+    #[test]
+    fn stats_accumulate_flags_and_bytes() {
+        let t = FlowTable::build(&pkts());
+        let fwd = t.uniflow_of(0);
+        let s = t.uniflow_stats(fwd);
+        assert_eq!(s.packets, 2); // SYN + ACK
+        assert_eq!(s.syn, 1);
+        assert_eq!(s.bytes, 80);
+        assert_eq!(s.first_ts, 0);
+        assert_eq!(s.last_ts, 20);
+        assert_eq!(s.duration_us(), 20);
+
+        let bi = t.biflow_of(0);
+        let bs = t.biflow_stats(bi);
+        assert_eq!(bs.packets, 3);
+        assert_eq!(bs.syn, 2); // SYN + SYN/ACK
+    }
+
+    #[test]
+    fn lookup_by_key_round_trips() {
+        let t = FlowTable::build(&pkts());
+        for (i, p) in pkts().iter().enumerate() {
+            let uk = FlowKey::of(p);
+            assert_eq!(t.find_uniflow(&uk), Some(t.uniflow_of(i)));
+            let bk = BiflowKey::of(p);
+            assert_eq!(t.find_biflow(&bk), Some(t.biflow_of(i)));
+        }
+        let missing =
+            FlowKey { src: ip(250), dst: ip(251), sport: 1, dport: 2, proto: Protocol::Tcp };
+        assert_eq!(t.find_uniflow(&missing), None);
+    }
+
+    #[test]
+    fn empty_trace_builds_empty_table() {
+        let t = FlowTable::build(&[]);
+        assert_eq!(t.packet_count(), 0);
+        assert_eq!(t.uniflow_count(), 0);
+        assert_eq!(t.biflow_count(), 0);
+    }
+
+    #[test]
+    fn flow_ids_are_dense_and_first_seen_ordered() {
+        let t = FlowTable::build(&pkts());
+        assert_eq!(t.uniflow_of(0), 0);
+        assert_eq!(t.uniflow_of(1), 1);
+        assert_eq!(t.uniflow_of(3), 2);
+        assert_eq!(t.uniflow_keys().len(), t.uniflow_count());
+    }
+
+    #[test]
+    fn icmp_flows_keyed_by_type_code() {
+        let a = Packet::icmp(0, ip(1), ip(2), 8, 0, 64);
+        let b = Packet::icmp(1, ip(1), ip(2), 0, 0, 64); // echo reply: different type
+        let t = FlowTable::build(&[a, b]);
+        assert_eq!(t.uniflow_count(), 2);
+    }
+}

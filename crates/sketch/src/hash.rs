@@ -1,0 +1,108 @@
+//! 2-universal hashing over `u64` keys.
+//!
+//! Multiply–add–shift hashing (Dietzfelbinger et al.): with odd random
+//! `a` and random `b`, `h(x) = (a·x + b) >> (64 − ℓ)` is universal on
+//! `ℓ`-bit outputs; the result is then reduced modulo the (arbitrary)
+//! width. Deterministic given the seed, which keeps every detector
+//! reproducible.
+
+/// One hash function from a 2-universal family, mapping `u64` keys to
+/// `0..width`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniversalHash {
+    a: u64,
+    b: u64,
+    width: u64,
+}
+
+impl UniversalHash {
+    /// Derives the `index`-th function of the family identified by
+    /// `seed`, with output range `0..width`.
+    pub fn new(seed: u64, index: u64, width: usize) -> Self {
+        assert!(width >= 1, "hash width must be at least 1");
+        // SplitMix64 expansion of (seed, index) into the (a, b) pair.
+        let mut s = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let a = next() | 1; // multiplier must be odd
+        let b = next();
+        UniversalHash { a, b, width: width as u64 }
+    }
+
+    /// Output range.
+    pub fn width(&self) -> usize {
+        self.width as usize
+    }
+
+    /// Hashes a key into `0..width`.
+    pub fn hash(&self, key: u64) -> usize {
+        let mixed = self.a.wrapping_mul(key).wrapping_add(self.b);
+        // Take the high 32 bits (best-mixed under multiply) and reduce.
+        ((mixed >> 32) % self.width) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let h1 = UniversalHash::new(7, 0, 64);
+        let h2 = UniversalHash::new(7, 0, 64);
+        for k in 0..1000u64 {
+            assert_eq!(h1.hash(k), h2.hash(k));
+        }
+    }
+
+    #[test]
+    fn different_indices_give_different_functions() {
+        let h1 = UniversalHash::new(7, 0, 1024);
+        let h2 = UniversalHash::new(7, 1, 1024);
+        let diff = (0..1000u64).filter(|&k| h1.hash(k) != h2.hash(k)).count();
+        assert!(diff > 900, "only {diff} keys hash differently");
+    }
+
+    #[test]
+    fn output_always_in_range() {
+        for width in [1usize, 2, 3, 17, 64, 1000] {
+            let h = UniversalHash::new(42, 3, width);
+            for k in [0u64, 1, u64::MAX, 0xdead_beef] {
+                assert!(h.hash(k) < width);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_ips_spread_evenly() {
+        // IPv4 addresses in a /16 must not collide into few bins.
+        let h = UniversalHash::new(1, 0, 64);
+        let mut counts = vec![0u32; 64];
+        for k in 0..65_536u64 {
+            counts[h.hash(0x0a00_0000 + k)] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        let expected = 65_536.0 / 64.0;
+        assert!(max < expected * 1.4, "max bin {max}");
+        assert!(min > expected * 0.6, "min bin {min}");
+    }
+
+    #[test]
+    fn width_one_maps_everything_to_zero() {
+        let h = UniversalHash::new(5, 5, 1);
+        assert_eq!(h.hash(123), 0);
+        assert_eq!(h.hash(u64::MAX), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_panics() {
+        UniversalHash::new(0, 0, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! k-ary sketch families with reversible identification.
+
+use crate::hash::UniversalHash;
+
+/// A family of `rows` independent hash functions of common `width`,
+/// plus the reverse-identification step both sketch-based detectors
+/// share.
+#[derive(Debug, Clone)]
+pub struct SketchFamily {
+    rows: Vec<UniversalHash>,
+}
+
+impl SketchFamily {
+    /// Builds a family of `rows ≥ 1` hash functions with `width ≥ 1`
+    /// bins each, derived deterministically from `seed`.
+    pub fn new(rows: usize, width: usize, seed: u64) -> Self {
+        assert!(rows >= 1, "sketch needs at least one row");
+        SketchFamily {
+            rows: (0..rows as u64).map(|i| UniversalHash::new(seed, i, width)).collect(),
+        }
+    }
+
+    /// Number of hash rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Bins per row.
+    pub fn width(&self) -> usize {
+        self.rows[0].width()
+    }
+
+    /// Bin of `key` in row `row`.
+    pub fn bin(&self, row: usize, key: u64) -> usize {
+        self.rows[row].hash(key)
+    }
+
+    /// Bins of `key` in every row.
+    pub fn bins(&self, key: u64) -> Vec<usize> {
+        self.rows.iter().map(|h| h.hash(key)).collect()
+    }
+
+    /// Reverse identification: among `candidates`, returns the keys
+    /// whose bin is flagged in **every** row. `flagged[r]` is the
+    /// boolean flag vector of row `r` (length = width).
+    ///
+    /// This is how the sketch-based detectors name the IP address
+    /// behind an anomalous bin: a key must explain the anomaly in all
+    /// `H` independent projections, so hash collisions (innocent keys
+    /// sharing a bin with an attacker in one row) survive with
+    /// probability only ≈ `(f/M)^H`.
+    pub fn identify<I>(&self, candidates: I, flagged: &[Vec<bool>]) -> Vec<u64>
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        assert_eq!(flagged.len(), self.rows(), "one flag vector per row");
+        for (r, f) in flagged.iter().enumerate() {
+            assert_eq!(f.len(), self.rows[r].width(), "flag vector width mismatch");
+        }
+        candidates
+            .into_iter()
+            .filter(|&key| {
+                self.rows.iter().zip(flagged).all(|(h, f)| f[h.hash(key)])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_dimensions() {
+        let s = SketchFamily::new(4, 32, 99);
+        assert_eq!(s.rows(), 4);
+        assert_eq!(s.width(), 32);
+        assert_eq!(s.bins(12345).len(), 4);
+    }
+
+    #[test]
+    fn bins_match_per_row_bin() {
+        let s = SketchFamily::new(3, 17, 5);
+        let all = s.bins(777);
+        for (r, &b) in all.iter().enumerate() {
+            assert_eq!(s.bin(r, 777), b);
+        }
+    }
+
+    #[test]
+    fn identify_finds_the_planted_key() {
+        let s = SketchFamily::new(4, 64, 11);
+        let attacker = 0xBAD_CAFE_u64;
+        // Flag exactly the attacker's bins.
+        let mut flagged = vec![vec![false; 64]; 4];
+        for (r, f) in flagged.iter_mut().enumerate() {
+            f[s.bin(r, attacker)] = true;
+        }
+        let candidates: Vec<u64> = (0..10_000).chain([attacker]).collect();
+        let found = s.identify(candidates, &flagged);
+        assert!(found.contains(&attacker));
+        // Collisions must be rare: with f=1 flagged bin per row the
+        // expected survivors are 10_000/64⁴ ≈ 0.0006.
+        assert!(found.len() <= 2, "too many false identifications: {}", found.len());
+    }
+
+    #[test]
+    fn more_rows_reduce_false_identifications() {
+        let attacker = 424_242u64;
+        let candidates: Vec<u64> = (0..50_000).collect();
+        let survivors = |rows: usize| {
+            let s = SketchFamily::new(rows, 16, 3);
+            let mut flagged = vec![vec![false; 16]; rows];
+            for (r, f) in flagged.iter_mut().enumerate() {
+                f[s.bin(r, attacker)] = true;
+            }
+            s.identify(candidates.iter().copied(), &flagged).len()
+        };
+        assert!(survivors(4) < survivors(1));
+    }
+
+    #[test]
+    fn nothing_flagged_identifies_nothing() {
+        let s = SketchFamily::new(2, 8, 1);
+        let flagged = vec![vec![false; 8]; 2];
+        assert!(s.identify(0..100u64, &flagged).is_empty());
+    }
+
+    #[test]
+    fn everything_flagged_identifies_everything() {
+        let s = SketchFamily::new(2, 8, 1);
+        let flagged = vec![vec![true; 8]; 2];
+        assert_eq!(s.identify(0..100u64, &flagged).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "one flag vector per row")]
+    fn wrong_flag_row_count_panics() {
+        let s = SketchFamily::new(3, 8, 1);
+        let flagged = vec![vec![false; 8]; 2];
+        s.identify(0..10u64, &flagged);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_flag_width_panics() {
+        let s = SketchFamily::new(1, 8, 1);
+        let flagged = vec![vec![false; 9]];
+        s.identify(0..10u64, &flagged);
+    }
+}

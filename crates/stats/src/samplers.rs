@@ -1,0 +1,309 @@
+//! Random-variate samplers for Internet-like traffic synthesis.
+//!
+//! The MAWI archive substitute (`mawilab-synth`) needs the classic
+//! traffic-model ingredients: Zipf host popularity, Pareto flow sizes,
+//! log-normal transfer volumes, exponential inter-arrivals and Poisson
+//! batch counts. All samplers draw through `rand::Rng` so the whole
+//! generator stays deterministic under a seeded RNG.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`
+/// (`P(k) ∝ k^-s`). Sampling is inversion over the precomputed CDF —
+/// O(log n) per draw, exact.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `n ≥ 1` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `1..=n` (rank 1 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+
+    /// Probability of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&k));
+        let prev = if k == 1 { 0.0 } else { self.cdf[k - 2] };
+        self.cdf[k - 1] - prev
+    }
+}
+
+/// Pareto distribution with scale `xm > 0` and shape `a > 0`
+/// (`P(X > x) = (xm/x)^a` for `x ≥ xm`). Heavy-tailed flow sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto sampler.
+    pub fn new(xm: f64, alpha: f64) -> Self {
+        assert!(xm > 0.0 && xm.is_finite(), "Pareto scale must be positive");
+        assert!(alpha > 0.0 && alpha.is_finite(), "Pareto shape must be positive");
+        Pareto { xm, alpha }
+    }
+
+    /// Inversion sampling: `xm / U^{1/α}`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        self.xm / u.powf(1.0 / self.alpha)
+    }
+
+    /// Mean (infinite for `α ≤ 1`).
+    pub fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.xm / (self.alpha - 1.0)
+        }
+    }
+}
+
+/// Log-normal distribution with log-mean `mu` and log-stddev `sigma`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal sampler (`sigma ≥ 0`).
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// Box–Muller standard normal, then exponentiate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    /// Distribution mean `exp(μ + σ²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/λ`).
+/// Inter-arrival times of Poisson processes.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential sampler with rate `λ > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "rate must be positive");
+        Exponential { lambda }
+    }
+
+    /// Inversion sampling: `-ln(U)/λ`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / self.lambda
+    }
+}
+
+/// Poisson distribution with mean `lambda`.
+///
+/// Knuth multiplication for small λ, normal approximation (rounded,
+/// clamped at zero) for λ > 30 — adequate for batch counts in traffic
+/// synthesis.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson sampler with mean `λ ≥ 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be non-negative");
+        Poisson { lambda }
+    }
+
+    /// Draws one count.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda > 30.0 {
+            let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let x = self.lambda + self.lambda.sqrt() * z;
+            return x.round().max(0.0) as u64;
+        }
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const fn seed() -> u64 {
+        0x4d41_5749 // "MAWI"
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(seed());
+        let mut counts = vec![0u32; 101];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[10]);
+        assert!(counts[1] > counts[50]);
+        // Empirical top-rank share close to pmf(1).
+        let share = counts[1] as f64 / 20_000.0;
+        assert!((share - z.pmf(1)).abs() < 0.02, "share = {share}");
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 0.9);
+        let s: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_single_rank_always_returns_one() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed());
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale_floor() {
+        let p = Pareto::new(3.0, 1.5);
+        let mut rng = StdRng::seed_from_u64(seed());
+        for _ in 0..10_000 {
+            assert!(p.sample(&mut rng) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn pareto_sample_mean_approximates_theory() {
+        let p = Pareto::new(1.0, 2.5);
+        let mut rng = StdRng::seed_from_u64(seed());
+        let n = 200_000;
+        let m: f64 = (0..n).map(|_| p.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((m - p.mean()).abs() < 0.05, "mean = {m}, theory = {}", p.mean());
+    }
+
+    #[test]
+    fn pareto_heavy_tail_mean_is_infinite() {
+        assert!(Pareto::new(1.0, 0.9).mean().is_infinite());
+    }
+
+    #[test]
+    fn lognormal_mean_matches_theory() {
+        let ln = LogNormal::new(1.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(seed());
+        let n = 200_000;
+        let m: f64 = (0..n).map(|_| ln.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((m - ln.mean()).abs() / ln.mean() < 0.02, "mean = {m}");
+    }
+
+    #[test]
+    fn exponential_mean_is_reciprocal_rate() {
+        let e = Exponential::new(4.0);
+        let mut rng = StdRng::seed_from_u64(seed());
+        let n = 100_000;
+        let m: f64 = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((m - 0.25).abs() < 0.01, "mean = {m}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean_and_zero() {
+        let mut rng = StdRng::seed_from_u64(seed());
+        assert_eq!(Poisson::new(0.0).sample(&mut rng), 0);
+        let p = Poisson::new(3.0);
+        let n = 100_000;
+        let m: f64 = (0..n).map(|_| p.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((m - 3.0).abs() < 0.05, "mean = {m}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_path() {
+        let p = Poisson::new(200.0);
+        let mut rng = StdRng::seed_from_u64(seed());
+        let n = 50_000;
+        let samples: Vec<u64> = (0..n).map(|_| p.sample(&mut rng)).collect();
+        let m: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let v: f64 =
+            samples.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((m - 200.0).abs() < 1.0, "mean = {m}");
+        assert!((v - 200.0).abs() < 10.0, "var = {v}");
+    }
+
+    #[test]
+    fn samplers_are_deterministic_under_fixed_seed() {
+        let z = Zipf::new(20, 1.0);
+        let a: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..50).map(|_| z.sample(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..50).map(|_| z.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn exponential_zero_rate_panics() {
+        Exponential::new(0.0);
+    }
+}

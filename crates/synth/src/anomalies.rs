@@ -1,0 +1,644 @@
+//! Anomaly injectors.
+//!
+//! One injector per anomaly class the paper's evaluation revolves
+//! around. Attack classes map onto the Table-1 heuristics (Sasser /
+//! RPC / SMB / Ping / Other attacks / NetBIOS); the benign-but-odd
+//! classes (flash crowd, elephant flow) exist precisely because the
+//! paper shows they depress the attack ratio of both accepted and
+//! rejected communities after 2007 (§4.2.2).
+//!
+//! Every injector writes `(packet, tag)` pairs into the shared buffer
+//! and returns an [`AnomalyRecord`] documenting what an ideal detector
+//! should report.
+
+use crate::background::{emit_tcp_flow, HostModel};
+use crate::truth::AnomalyRecord;
+use mawilab_stats::LogNormal;
+use mawilab_model::{Packet, Protocol, TcpFlags, TimeWindow, TrafficRule};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Anomaly classes the generator can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnomalyKind {
+    /// TCP SYN flood against one server (DDoS).
+    SynFlood,
+    /// Vertical port scan of one victim host.
+    PortScan,
+    /// Sasser-style worm: SMB (445/tcp) sweep + 5554/9898 backdoor
+    /// flows.
+    SasserWorm,
+    /// Blaster-style worm: RPC (135/tcp) sweep + 4444/tcp follow-up.
+    BlasterWorm,
+    /// NetBIOS name-service probing (137/udp, 139/tcp).
+    NetbiosProbe,
+    /// ICMP echo flood.
+    PingFlood,
+    /// Flash crowd: many clients fetching from one web server
+    /// (benign; Table-1 labels it "Special/Http").
+    FlashCrowd,
+    /// Single high-volume transfer on ephemeral ports
+    /// (benign; Table-1 labels it "Unknown").
+    ElephantFlow,
+}
+
+impl AnomalyKind {
+    /// Whether this class is a genuine attack (drives the ground-truth
+    /// attack ids used by the evaluation crate).
+    pub fn is_attack(self) -> bool {
+        !matches!(self, AnomalyKind::FlashCrowd | AnomalyKind::ElephantFlow)
+    }
+}
+
+/// A parameterised anomaly to inject into one trace.
+#[derive(Debug, Clone)]
+pub enum AnomalySpec {
+    /// SYN flood: `rate_pps` SYNs for `duration_s` seconds against
+    /// internal server index `victim`, destination port `dport`.
+    SynFlood { victim: usize, dport: u16, rate_pps: f64, duration_s: f64, spoofed: bool },
+    /// Vertical scan of `ports` sequential ports on internal host
+    /// `victim` from external host `scanner`.
+    PortScan { scanner: usize, victim: usize, ports: u16, rate_pps: f64 },
+    /// Sasser-style worm from external host `infected`: `scans` SYNs
+    /// to 445/tcp of random hosts; ~5% "victims" receive follow-up
+    /// 5554/tcp and 9898/tcp connections.
+    SasserWorm { infected: usize, scans: usize, rate_pps: f64 },
+    /// Blaster-style worm from external host `infected`: `scans` SYNs
+    /// to 135/tcp, follow-up 4444/tcp on ~5%.
+    BlasterWorm { infected: usize, scans: usize, rate_pps: f64 },
+    /// NetBIOS probing from external host `prober`: `probes` 137/udp
+    /// datagrams plus some 139/tcp SYNs across internal hosts.
+    NetbiosProbe { prober: usize, probes: usize, rate_pps: f64 },
+    /// ICMP echo flood from external host `src` to internal host
+    /// `dst`.
+    PingFlood { src: usize, dst: usize, rate_pps: f64, duration_s: f64 },
+    /// `flows` complete HTTP fetches from distinct external clients to
+    /// internal server `server` within `duration_s`.
+    FlashCrowd { server: usize, flows: usize, duration_s: f64 },
+    /// One long transfer of `packets` large segments between an
+    /// internal and an external host on ephemeral ports.
+    ElephantFlow { packets: usize },
+}
+
+impl AnomalySpec {
+    /// The anomaly class of this spec.
+    pub fn kind(&self) -> AnomalyKind {
+        match self {
+            AnomalySpec::SynFlood { .. } => AnomalyKind::SynFlood,
+            AnomalySpec::PortScan { .. } => AnomalyKind::PortScan,
+            AnomalySpec::SasserWorm { .. } => AnomalyKind::SasserWorm,
+            AnomalySpec::BlasterWorm { .. } => AnomalyKind::BlasterWorm,
+            AnomalySpec::NetbiosProbe { .. } => AnomalyKind::NetbiosProbe,
+            AnomalySpec::PingFlood { .. } => AnomalyKind::PingFlood,
+            AnomalySpec::FlashCrowd { .. } => AnomalyKind::FlashCrowd,
+            AnomalySpec::ElephantFlow { .. } => AnomalyKind::ElephantFlow,
+        }
+    }
+
+    /// A balanced mix sized for the default 60-second trace: one of
+    /// each attack class plus the two benign oddities.
+    pub fn representative_mix() -> Vec<AnomalySpec> {
+        vec![
+            AnomalySpec::SynFlood {
+                victim: 0,
+                dport: 80,
+                rate_pps: 60.0,
+                duration_s: 20.0,
+                spoofed: true,
+            },
+            AnomalySpec::PortScan { scanner: 3, victim: 5, ports: 800, rate_pps: 80.0 },
+            AnomalySpec::SasserWorm { infected: 7, scans: 600, rate_pps: 50.0 },
+            AnomalySpec::PingFlood { src: 11, dst: 2, rate_pps: 40.0, duration_s: 15.0 },
+            AnomalySpec::NetbiosProbe { prober: 13, probes: 300, rate_pps: 30.0 },
+            AnomalySpec::FlashCrowd { server: 1, flows: 60, duration_s: 25.0 },
+            AnomalySpec::ElephantFlow { packets: 1200 },
+        ]
+    }
+
+    /// Injects this anomaly into `out` with tag `id`, placing it at a
+    /// random offset inside `window`. Returns the ground-truth record.
+    pub fn build(
+        &self,
+        id: u32,
+        window: TimeWindow,
+        hosts: &HostModel,
+        rng: &mut StdRng,
+        out: &mut Vec<(Packet, u32)>,
+    ) -> AnomalyRecord {
+        let before = out.len();
+        let (span, rule) = match *self {
+            AnomalySpec::SynFlood { victim, dport, rate_pps, duration_s, spoofed } => {
+                build_syn_flood(id, window, hosts, rng, out, victim, dport, rate_pps, duration_s, spoofed)
+            }
+            AnomalySpec::PortScan { scanner, victim, ports, rate_pps } => {
+                build_port_scan(id, window, hosts, rng, out, scanner, victim, ports, rate_pps)
+            }
+            AnomalySpec::SasserWorm { infected, scans, rate_pps } => build_worm(
+                id, window, hosts, rng, out, infected, scans, rate_pps, 445, &[5554, 9898],
+            ),
+            AnomalySpec::BlasterWorm { infected, scans, rate_pps } => {
+                build_worm(id, window, hosts, rng, out, infected, scans, rate_pps, 135, &[4444])
+            }
+            AnomalySpec::NetbiosProbe { prober, probes, rate_pps } => {
+                build_netbios(id, window, hosts, rng, out, prober, probes, rate_pps)
+            }
+            AnomalySpec::PingFlood { src, dst, rate_pps, duration_s } => {
+                build_ping_flood(id, window, hosts, rng, out, src, dst, rate_pps, duration_s)
+            }
+            AnomalySpec::FlashCrowd { server, flows, duration_s } => {
+                build_flash_crowd(id, window, hosts, rng, out, server, flows, duration_s)
+            }
+            AnomalySpec::ElephantFlow { packets } => {
+                build_elephant(id, window, hosts, rng, out, packets)
+            }
+        };
+        AnomalyRecord {
+            id,
+            kind: self.kind(),
+            window: span,
+            packet_count: out.len() - before,
+            rule,
+        }
+    }
+}
+
+/// Picks a start so that `duration_us` fits inside `window`.
+fn place(window: TimeWindow, duration_us: u64, rng: &mut StdRng) -> u64 {
+    let slack = window.len_us().saturating_sub(duration_us);
+    window.start_us + if slack == 0 { 0 } else { rng.random_range(0..slack) }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_syn_flood(
+    id: u32,
+    window: TimeWindow,
+    hosts: &HostModel,
+    rng: &mut StdRng,
+    out: &mut Vec<(Packet, u32)>,
+    victim: usize,
+    dport: u16,
+    rate_pps: f64,
+    duration_s: f64,
+    spoofed: bool,
+) -> (TimeWindow, TrafficRule) {
+    let dur_us = (duration_s * 1e6) as u64;
+    let t0 = place(window, dur_us, rng);
+    let victim_ip = hosts.internal_at(victim);
+    let n = (rate_pps * duration_s) as usize;
+    for i in 0..n {
+        let ts = t0 + (i as f64 / rate_pps * 1e6) as u64 + rng.random_range(0..5_000);
+        if !window.contains(ts) {
+            continue;
+        }
+        let src = if spoofed { HostModel::spoofed(rng) } else { hosts.external_at(i % 40) };
+        let sport: u16 = rng.random_range(1025..=65000);
+        out.push((Packet::tcp(ts, src, sport, victim_ip, dport, TcpFlags::syn(), 48), id));
+        // Victim backscatter: occasional SYN/ACK or RST.
+        if rng.random::<f64>() < 0.15 {
+            let ts2 = ts + rng.random_range(100..2_000);
+            if window.contains(ts2) {
+                out.push((
+                    Packet::tcp(ts2, victim_ip, dport, src, sport, TcpFlags::rst(), 40),
+                    id,
+                ));
+            }
+        }
+    }
+    (
+        TimeWindow::new(t0, (t0 + dur_us).min(window.end_us)),
+        TrafficRule { dst: Some(victim_ip), dport: Some(dport), proto: Some(Protocol::Tcp), ..Default::default() },
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_port_scan(
+    id: u32,
+    window: TimeWindow,
+    hosts: &HostModel,
+    rng: &mut StdRng,
+    out: &mut Vec<(Packet, u32)>,
+    scanner: usize,
+    victim: usize,
+    ports: u16,
+    rate_pps: f64,
+) -> (TimeWindow, TrafficRule) {
+    let dur_us = (ports as f64 / rate_pps * 1e6) as u64;
+    let t0 = place(window, dur_us, rng);
+    let src = hosts.external_at(scanner);
+    let dst = hosts.internal_at(victim);
+    let sport: u16 = rng.random_range(30_000..60_000);
+    for p in 1..=ports {
+        let ts = t0 + (p as f64 / rate_pps * 1e6) as u64;
+        if !window.contains(ts) {
+            continue;
+        }
+        out.push((Packet::tcp(ts, src, sport, dst, p, TcpFlags::syn(), 44), id));
+        // Closed ports answer RST.
+        if rng.random::<f64>() < 0.7 {
+            let ts2 = ts + rng.random_range(100..1_500);
+            if window.contains(ts2) {
+                out.push((Packet::tcp(ts2, dst, p, src, sport, TcpFlags::rst(), 40), id));
+            }
+        }
+    }
+    (
+        TimeWindow::new(t0, (t0 + dur_us).min(window.end_us)),
+        TrafficRule { src: Some(src), dst: Some(dst), proto: Some(Protocol::Tcp), ..Default::default() },
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_worm(
+    id: u32,
+    window: TimeWindow,
+    hosts: &HostModel,
+    rng: &mut StdRng,
+    out: &mut Vec<(Packet, u32)>,
+    infected: usize,
+    scans: usize,
+    rate_pps: f64,
+    scan_port: u16,
+    followup_ports: &[u16],
+) -> (TimeWindow, TrafficRule) {
+    let dur_us = (scans as f64 / rate_pps * 1e6) as u64;
+    let t0 = place(window, dur_us, rng);
+    let src = hosts.external_at(infected);
+    for i in 0..scans {
+        let ts = t0 + (i as f64 / rate_pps * 1e6) as u64 + rng.random_range(0..3_000);
+        if !window.contains(ts) {
+            continue;
+        }
+        // Worms sweep address space; half the probes hit our modelled
+        // internal hosts, half hit random addresses routed through.
+        let dst = if rng.random::<f64>() < 0.5 {
+            hosts.internal_at(rng.random_range(0..hosts.internal_count()))
+        } else {
+            HostModel::spoofed(rng)
+        };
+        let sport: u16 = rng.random_range(1025..=65000);
+        out.push((Packet::tcp(ts, src, sport, dst, scan_port, TcpFlags::syn(), 48), id));
+        // ~5% successful infections: SYN/ACK then backdoor transfer.
+        if rng.random::<f64>() < 0.05 {
+            let mut t = ts + rng.random_range(500..3_000);
+            if window.contains(t) {
+                out.push((
+                    Packet::tcp(t, dst, scan_port, src, sport, TcpFlags::syn_ack(), 48),
+                    id,
+                ));
+            }
+            for &fp in followup_ports {
+                let fsport: u16 = rng.random_range(1025..=65000);
+                for j in 0..6u64 {
+                    t += rng.random_range(2_000..20_000);
+                    if !window.contains(t) {
+                        break;
+                    }
+                    let (s, spt, d, dpt, flags, len) = if j == 0 {
+                        (src, fsport, dst, fp, TcpFlags::syn(), 48)
+                    } else if j == 1 {
+                        (dst, fp, src, fsport, TcpFlags::syn_ack(), 48)
+                    } else {
+                        (src, fsport, dst, fp, TcpFlags(TcpFlags::ACK | TcpFlags::PSH), 512)
+                    };
+                    out.push((Packet::tcp(t, s, spt, d, dpt, flags, len), id));
+                }
+            }
+        }
+    }
+    (
+        TimeWindow::new(t0, (t0 + dur_us).min(window.end_us)),
+        TrafficRule { src: Some(src), dport: Some(scan_port), proto: Some(Protocol::Tcp), ..Default::default() },
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_netbios(
+    id: u32,
+    window: TimeWindow,
+    hosts: &HostModel,
+    rng: &mut StdRng,
+    out: &mut Vec<(Packet, u32)>,
+    prober: usize,
+    probes: usize,
+    rate_pps: f64,
+) -> (TimeWindow, TrafficRule) {
+    let dur_us = (probes as f64 / rate_pps * 1e6) as u64;
+    let t0 = place(window, dur_us, rng);
+    let src = hosts.external_at(prober);
+    for i in 0..probes {
+        let ts = t0 + (i as f64 / rate_pps * 1e6) as u64 + rng.random_range(0..4_000);
+        if !window.contains(ts) {
+            continue;
+        }
+        let dst = hosts.internal_at(rng.random_range(0..hosts.internal_count()));
+        if rng.random::<f64>() < 0.8 {
+            // NetBIOS name service query.
+            out.push((Packet::udp(ts, src, 137, dst, 137, 78), id));
+        } else {
+            // Session service connection attempt.
+            let sport: u16 = rng.random_range(1025..=65000);
+            out.push((Packet::tcp(ts, src, sport, dst, 139, TcpFlags::syn(), 48), id));
+        }
+    }
+    (
+        TimeWindow::new(t0, (t0 + dur_us).min(window.end_us)),
+        TrafficRule { src: Some(src), dport: Some(137), ..Default::default() },
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_ping_flood(
+    id: u32,
+    window: TimeWindow,
+    hosts: &HostModel,
+    rng: &mut StdRng,
+    out: &mut Vec<(Packet, u32)>,
+    src: usize,
+    dst: usize,
+    rate_pps: f64,
+    duration_s: f64,
+) -> (TimeWindow, TrafficRule) {
+    let dur_us = (duration_s * 1e6) as u64;
+    let t0 = place(window, dur_us, rng);
+    let s = hosts.external_at(src);
+    let d = hosts.internal_at(dst);
+    let n = (rate_pps * duration_s) as usize;
+    for i in 0..n {
+        let ts = t0 + (i as f64 / rate_pps * 1e6) as u64 + rng.random_range(0..3_000);
+        if !window.contains(ts) {
+            continue;
+        }
+        out.push((Packet::icmp(ts, s, d, 8, 0, 1064), id));
+        if rng.random::<f64>() < 0.4 {
+            let ts2 = ts + rng.random_range(200..3_000);
+            if window.contains(ts2) {
+                out.push((Packet::icmp(ts2, d, s, 0, 0, 1064), id));
+            }
+        }
+    }
+    (
+        TimeWindow::new(t0, (t0 + dur_us).min(window.end_us)),
+        TrafficRule { src: Some(s), dst: Some(d), proto: Some(Protocol::Icmp), ..Default::default() },
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_flash_crowd(
+    id: u32,
+    window: TimeWindow,
+    hosts: &HostModel,
+    rng: &mut StdRng,
+    out: &mut Vec<(Packet, u32)>,
+    server: usize,
+    flows: usize,
+    duration_s: f64,
+) -> (TimeWindow, TrafficRule) {
+    let dur_us = (duration_s * 1e6) as u64;
+    let t0 = place(window, dur_us, rng);
+    let srv = hosts.internal_at(server);
+    let data = LogNormal::new(6.5, 0.6);
+    let before = out.len();
+    for f in 0..flows {
+        let start = t0 + rng.random_range(0..dur_us.max(1));
+        let client = hosts.external_at(200 + f); // distinct clients
+        let cport: u16 = rng.random_range(1025..=65000);
+        let n_data = rng.random_range(8..30);
+        emit_tcp_flow(start, window.end_us, client, cport, srv, 80, n_data, &data, rng, out);
+    }
+    // Retag: emit_tcp_flow writes background tags.
+    for entry in out[before..].iter_mut() {
+        entry.1 = id;
+    }
+    (
+        TimeWindow::new(t0, (t0 + dur_us).min(window.end_us)),
+        TrafficRule { dst: Some(srv), dport: Some(80), proto: Some(Protocol::Tcp), ..Default::default() },
+    )
+}
+
+fn build_elephant(
+    id: u32,
+    window: TimeWindow,
+    hosts: &HostModel,
+    rng: &mut StdRng,
+    out: &mut Vec<(Packet, u32)>,
+    packets: usize,
+) -> (TimeWindow, TrafficRule) {
+    let a = hosts.internal_at(rng.random_range(0..hosts.internal_count()));
+    let b = hosts.external_at(rng.random_range(0..400));
+    let aport: u16 = rng.random_range(10_000..60_000);
+    let bport: u16 = rng.random_range(10_000..60_000);
+    // Spread across most of the window: a persistent heavy transfer.
+    let dur_us = window.len_us() * 3 / 4;
+    let t0 = place(window, dur_us, rng);
+    // Budget the mean step so the requested packet count fits in the
+    // remaining window even with jitter (mean step = 9/8 · gap).
+    let avail = window.end_us.saturating_sub(t0);
+    let gap = (avail * 8 / 9) / packets.max(1) as u64;
+    let mut ts = t0;
+    for i in 0..packets {
+        ts += gap.max(1) + rng.random_range(0..gap.max(4) / 4 + 1);
+        if !window.contains(ts) {
+            break;
+        }
+        // Data flows b→a (download), sparse acks a→b.
+        if i % 8 == 7 {
+            out.push((Packet::tcp(ts, a, aport, b, bport, TcpFlags::ack(), 40), id));
+        } else {
+            out.push((
+                Packet::tcp(ts, b, bport, a, aport, TcpFlags(TcpFlags::ACK | TcpFlags::PSH), 1500),
+                id,
+            ));
+        }
+    }
+    (
+        TimeWindow::new(t0, (t0 + dur_us).min(window.end_us)),
+        TrafficRule {
+            src: Some(b),
+            sport: Some(bport),
+            dst: Some(a),
+            dport: Some(aport),
+            proto: Some(Protocol::Tcp),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthConfig;
+    use rand::SeedableRng;
+
+    fn setup() -> (HostModel, TimeWindow, StdRng) {
+        let cfg = SynthConfig::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let hosts = HostModel::new(&cfg, &mut rng);
+        (hosts, TimeWindow::new(0, 60_000_000), rng)
+    }
+
+    fn run(spec: AnomalySpec) -> (Vec<(Packet, u32)>, AnomalyRecord) {
+        let (hosts, window, mut rng) = setup();
+        let mut out = Vec::new();
+        let rec = spec.build(9, window, &hosts, &mut rng, &mut out);
+        (out, rec)
+    }
+
+    #[test]
+    fn syn_flood_is_mostly_syns_to_one_port() {
+        let (pkts, rec) = run(AnomalySpec::SynFlood {
+            victim: 0,
+            dport: 80,
+            rate_pps: 100.0,
+            duration_s: 10.0,
+            spoofed: true,
+        });
+        assert!(pkts.len() >= 900, "{} pkts", pkts.len());
+        let syns = pkts.iter().filter(|(p, _)| p.flags.is_syn() && !p.flags.has(TcpFlags::ACK)).count();
+        assert!(syns as f64 / pkts.len() as f64 > 0.8);
+        assert_eq!(rec.kind, AnomalyKind::SynFlood);
+        assert_eq!(rec.rule.dport, Some(80));
+        assert_eq!(rec.packet_count, pkts.len());
+        // Spoofed sources are diverse.
+        let srcs: std::collections::HashSet<_> =
+            pkts.iter().filter(|(p, _)| p.flags.is_syn() && !p.flags.has(TcpFlags::ACK)).map(|(p, _)| p.src).collect();
+        assert!(srcs.len() > 500);
+    }
+
+    #[test]
+    fn port_scan_covers_many_ports_one_victim() {
+        let (pkts, rec) = run(AnomalySpec::PortScan {
+            scanner: 1,
+            victim: 2,
+            ports: 500,
+            rate_pps: 100.0,
+        });
+        let dports: std::collections::HashSet<u16> = pkts
+            .iter()
+            .filter(|(p, _)| p.flags.is_syn() && !p.flags.has(TcpFlags::ACK))
+            .map(|(p, _)| p.dport)
+            .collect();
+        assert!(dports.len() > 400, "{} distinct ports", dports.len());
+        let victims: std::collections::HashSet<_> = pkts
+            .iter()
+            .filter(|(p, _)| p.flags.is_syn() && !p.flags.has(TcpFlags::ACK))
+            .map(|(p, _)| p.dst)
+            .collect();
+        assert_eq!(victims.len(), 1);
+        assert!(rec.rule.src.is_some() && rec.rule.dst.is_some());
+    }
+
+    #[test]
+    fn sasser_scans_445_with_backdoor_followups() {
+        let (pkts, rec) = run(AnomalySpec::SasserWorm { infected: 3, scans: 800, rate_pps: 100.0 });
+        let scan_445 = pkts.iter().filter(|(p, _)| p.dport == 445).count();
+        assert!(scan_445 > 600);
+        let backdoor = pkts
+            .iter()
+            .filter(|(p, _)| p.dport == 5554 || p.dport == 9898 || p.sport == 5554 || p.sport == 9898)
+            .count();
+        assert!(backdoor > 0, "no backdoor traffic");
+        assert_eq!(rec.rule.dport, Some(445));
+        // Many distinct destinations (sweep).
+        let dsts: std::collections::HashSet<_> =
+            pkts.iter().filter(|(p, _)| p.dport == 445).map(|(p, _)| p.dst).collect();
+        assert!(dsts.len() > 200);
+    }
+
+    #[test]
+    fn blaster_scans_135() {
+        let (pkts, _) = run(AnomalySpec::BlasterWorm { infected: 2, scans: 400, rate_pps: 80.0 });
+        assert!(pkts.iter().filter(|(p, _)| p.dport == 135).count() > 300);
+        assert!(pkts.iter().any(|(p, _)| p.dport == 4444 || p.sport == 4444));
+    }
+
+    #[test]
+    fn netbios_mixes_udp137_and_tcp139() {
+        let (pkts, _) = run(AnomalySpec::NetbiosProbe { prober: 4, probes: 400, rate_pps: 80.0 });
+        let udp137 = pkts
+            .iter()
+            .filter(|(p, _)| p.proto == Protocol::Udp && p.dport == 137)
+            .count();
+        let tcp139 = pkts
+            .iter()
+            .filter(|(p, _)| p.proto == Protocol::Tcp && p.dport == 139)
+            .count();
+        assert!(udp137 > 200);
+        assert!(tcp139 > 20);
+    }
+
+    #[test]
+    fn ping_flood_is_icmp_heavy() {
+        let (pkts, rec) = run(AnomalySpec::PingFlood {
+            src: 1,
+            dst: 1,
+            rate_pps: 80.0,
+            duration_s: 10.0,
+        });
+        assert!(pkts.iter().all(|(p, _)| p.proto == Protocol::Icmp));
+        assert!(pkts.len() > 700);
+        assert_eq!(rec.rule.proto, Some(Protocol::Icmp));
+    }
+
+    #[test]
+    fn flash_crowd_has_low_syn_ratio_on_port_80() {
+        let (pkts, rec) = run(AnomalySpec::FlashCrowd { server: 0, flows: 50, duration_s: 30.0 });
+        assert!(!pkts.is_empty());
+        assert!(pkts.iter().all(|(_, tag)| *tag == 9));
+        let to_80 = pkts.iter().filter(|(p, _)| p.dport == 80 || p.sport == 80).count();
+        assert!(to_80 as f64 / pkts.len() as f64 > 0.9);
+        let syn = pkts.iter().filter(|(p, _)| p.flags.is_syn()).count();
+        assert!((syn as f64 / pkts.len() as f64) < 0.3, "flash crowd looks like a SYN attack");
+        assert!(!rec.kind.is_attack());
+    }
+
+    #[test]
+    fn elephant_is_one_huge_flow() {
+        let (pkts, rec) = run(AnomalySpec::ElephantFlow { packets: 800 });
+        assert!(pkts.len() > 700);
+        let keys: std::collections::HashSet<_> = pkts
+            .iter()
+            .map(|(p, _)| {
+                let mut e = [(p.src, p.sport), (p.dst, p.dport)];
+                e.sort();
+                e
+            })
+            .collect();
+        assert_eq!(keys.len(), 1, "elephant spans multiple biflows");
+        assert_eq!(rec.rule.degree(), 4);
+        assert!(!rec.kind.is_attack());
+    }
+
+    #[test]
+    fn all_specs_stay_inside_window() {
+        for spec in AnomalySpec::representative_mix() {
+            let (hosts, window, mut rng) = setup();
+            let mut out = Vec::new();
+            spec.build(1, window, &hosts, &mut rng, &mut out);
+            assert!(
+                out.iter().all(|(p, _)| window.contains(p.ts_us)),
+                "{:?} leaked outside the window",
+                spec.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn record_counts_match_emitted_packets() {
+        for spec in AnomalySpec::representative_mix() {
+            let (out, rec) = run(spec);
+            assert_eq!(out.len(), rec.packet_count);
+            assert!(out.iter().all(|(_, t)| *t == 9));
+        }
+    }
+
+    #[test]
+    fn attack_classification_is_stable() {
+        assert!(AnomalyKind::SynFlood.is_attack());
+        assert!(AnomalyKind::SasserWorm.is_attack());
+        assert!(AnomalyKind::BlasterWorm.is_attack());
+        assert!(AnomalyKind::NetbiosProbe.is_attack());
+        assert!(AnomalyKind::PingFlood.is_attack());
+        assert!(AnomalyKind::PortScan.is_attack());
+        assert!(!AnomalyKind::FlashCrowd.is_attack());
+        assert!(!AnomalyKind::ElephantFlow.is_attack());
+    }
+}

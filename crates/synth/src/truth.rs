@@ -1,0 +1,154 @@
+//! Ground-truth bookkeeping for synthetic traces.
+//!
+//! The real MAWI archive has no ground truth — that absence is the
+//! paper's whole motivation. The synthetic substitute records, for
+//! every packet, which injected anomaly (if any) produced it. The
+//! evaluation crate uses this to score detectors and combination
+//! strategies with real precision/recall, something the original
+//! authors could only approximate through the Table-1 heuristics.
+
+use crate::anomalies::AnomalyKind;
+use mawilab_model::{TimeWindow, Trace, TrafficRule};
+use std::fmt;
+
+/// One injected anomaly.
+#[derive(Debug, Clone)]
+pub struct AnomalyRecord {
+    /// Tag carried by this anomaly's packets (1-based; 0 = background).
+    pub id: u32,
+    /// Anomaly class.
+    pub kind: AnomalyKind,
+    /// Time span of the injected packets.
+    pub window: TimeWindow,
+    /// Number of packets injected.
+    pub packet_count: usize,
+    /// Primary feature pattern describing the anomaly (the pattern an
+    /// ideal detector would report).
+    pub rule: TrafficRule,
+}
+
+impl fmt::Display for AnomalyRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {:?} {} pkts {} {}",
+            self.id, self.kind, self.packet_count, self.window, self.rule
+        )
+    }
+}
+
+/// Ground truth aligned with a trace's packet order.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    tags: Vec<Option<u32>>,
+    anomalies: Vec<AnomalyRecord>,
+}
+
+impl GroundTruth {
+    /// Builds ground truth from per-packet tags and anomaly records.
+    pub fn new(tags: Vec<Option<u32>>, anomalies: Vec<AnomalyRecord>) -> Self {
+        GroundTruth { tags, anomalies }
+    }
+
+    /// Per-packet anomaly tag, aligned with `trace.packets`.
+    pub fn tags(&self) -> &[Option<u32>] {
+        &self.tags
+    }
+
+    /// All injected anomalies.
+    pub fn anomalies(&self) -> &[AnomalyRecord] {
+        &self.anomalies
+    }
+
+    /// Record of anomaly `id`, if any.
+    pub fn anomaly(&self, id: u32) -> Option<&AnomalyRecord> {
+        self.anomalies.iter().find(|a| a.id == id)
+    }
+
+    /// Packet indices produced by anomaly `id`.
+    pub fn packets_of(&self, id: u32) -> Vec<usize> {
+        self.tags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| (*t == Some(id)).then_some(i))
+            .collect()
+    }
+
+    /// Fraction of packets that belong to any anomaly.
+    pub fn anomalous_fraction(&self) -> f64 {
+        if self.tags.is_empty() {
+            return 0.0;
+        }
+        self.tags.iter().filter(|t| t.is_some()).count() as f64 / self.tags.len() as f64
+    }
+
+    /// Ids of anomalies considered *attacks* (as opposed to benign
+    /// oddities like flash crowds / elephant flows).
+    pub fn attack_ids(&self) -> Vec<u32> {
+        self.anomalies.iter().filter(|a| a.kind.is_attack()).map(|a| a.id).collect()
+    }
+}
+
+/// A synthetic trace together with its ground truth.
+#[derive(Debug, Clone)]
+pub struct LabeledTrace {
+    /// The trace (what the pipeline sees).
+    pub trace: Trace,
+    /// Per-packet truth (what the evaluator sees).
+    pub truth: GroundTruth,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u32, kind: AnomalyKind, n: usize) -> AnomalyRecord {
+        AnomalyRecord {
+            id,
+            kind,
+            window: TimeWindow::new(0, 1_000_000),
+            packet_count: n,
+            rule: TrafficRule::any(),
+        }
+    }
+
+    #[test]
+    fn packets_of_selects_by_tag() {
+        let tags = vec![None, Some(1), Some(2), Some(1), None];
+        let gt = GroundTruth::new(
+            tags,
+            vec![record(1, AnomalyKind::SynFlood, 2), record(2, AnomalyKind::PortScan, 1)],
+        );
+        assert_eq!(gt.packets_of(1), vec![1, 3]);
+        assert_eq!(gt.packets_of(2), vec![2]);
+        assert!(gt.packets_of(9).is_empty());
+    }
+
+    #[test]
+    fn anomalous_fraction_counts_tagged() {
+        let gt = GroundTruth::new(vec![None, Some(1), None, Some(1)], vec![]);
+        assert_eq!(gt.anomalous_fraction(), 0.5);
+        assert_eq!(GroundTruth::new(vec![], vec![]).anomalous_fraction(), 0.0);
+    }
+
+    #[test]
+    fn attack_ids_exclude_benign_kinds() {
+        let gt = GroundTruth::new(
+            vec![],
+            vec![
+                record(1, AnomalyKind::SynFlood, 0),
+                record(2, AnomalyKind::FlashCrowd, 0),
+                record(3, AnomalyKind::SasserWorm, 0),
+                record(4, AnomalyKind::ElephantFlow, 0),
+            ],
+        );
+        assert_eq!(gt.attack_ids(), vec![1, 3]);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let gt = GroundTruth::new(vec![], vec![record(7, AnomalyKind::PingFlood, 3)]);
+        assert_eq!(gt.anomaly(7).unwrap().packet_count, 3);
+        assert!(gt.anomaly(8).is_none());
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-crate integration tests: the full pipeline on synthetic
+//! traces with ground truth.
+
+use mawilab::core::{MawilabPipeline, PipelineConfig, StrategyKind};
+use mawilab::detectors::{DetectorKind, TraceView};
+use mawilab::eval::ground_truth::{score_detector, score_strategy, GroundTruthMatcher};
+use mawilab::label::MawilabLabel;
+use mawilab::model::{FlowTable, Granularity};
+use mawilab::synth::{SynthConfig, TraceGenerator};
+
+fn generate(seed: u64) -> mawilab::synth::LabeledTrace {
+    TraceGenerator::new(SynthConfig::default().with_seed(seed)).generate()
+}
+
+#[test]
+fn pipeline_is_fully_deterministic_across_runs() {
+    let lt = generate(1001);
+    let p = MawilabPipeline::new(PipelineConfig::default());
+    let a = p.run(&lt.trace);
+    let b = p.run(&lt.trace);
+    assert_eq!(a.alarm_count(), b.alarm_count());
+    assert_eq!(a.votes, b.votes);
+    assert_eq!(a.decisions, b.decisions);
+    let la: Vec<_> = a.labeled.communities.iter().map(|c| (c.label, c.heuristic)).collect();
+    let lb: Vec<_> = b.labeled.communities.iter().map(|c| (c.label, c.heuristic)).collect();
+    assert_eq!(la, lb);
+}
+
+#[test]
+fn every_community_gets_exactly_one_label_and_decision() {
+    let lt = generate(1002);
+    let report = MawilabPipeline::new(PipelineConfig::default()).run(&lt.trace);
+    assert_eq!(report.decisions.len(), report.community_count());
+    assert_eq!(report.labeled.communities.len(), report.community_count());
+    // Taxonomy totality: every labeled community carries a real label.
+    for lc in &report.labeled.communities {
+        assert!(matches!(
+            lc.label,
+            MawilabLabel::Anomalous | MawilabLabel::Suspicious | MawilabLabel::Notice
+        ));
+        assert!(lc.alarms >= 1);
+        assert!(lc.detectors >= 1 && lc.detectors <= 4);
+    }
+    // Sum of community sizes equals the number of alarms.
+    let total: usize = report.labeled.communities.iter().map(|c| c.alarms).sum();
+    assert_eq!(total, report.alarm_count());
+}
+
+#[test]
+fn combined_pipeline_recalls_at_least_the_best_single_detector() {
+    // The paper's motivation: the ensemble beats each constituent.
+    // Across several traces, accepted communities (max strategy, the
+    // most inclusive) must cover at least as many true anomalies as
+    // any single detector's own alarms.
+    let mut ensemble_total = 0usize;
+    let mut best_single_total = 0usize;
+    for seed in [2001u64, 2002, 2003] {
+        let lt = generate(seed);
+        let flows = FlowTable::build(&lt.trace.packets);
+        let view = TraceView::new(&lt.trace, &flows);
+        let pipeline = MawilabPipeline::new(PipelineConfig {
+            strategy: StrategyKind::Maximum,
+            ..Default::default()
+        });
+        let report = pipeline.run(&lt.trace);
+        let matcher = GroundTruthMatcher::new(&view, &lt.truth, Granularity::Uniflow);
+        let ensemble = score_strategy(&matcher, &report.communities, &report.decisions);
+        let best_single = DetectorKind::ALL
+            .iter()
+            .map(|&d| score_detector(&matcher, &report.communities, d).len())
+            .max()
+            .unwrap_or(0);
+        ensemble_total += ensemble.detected.len();
+        best_single_total += best_single;
+    }
+    assert!(
+        ensemble_total >= best_single_total,
+        "ensemble {ensemble_total} < best single {best_single_total}"
+    );
+}
+
+#[test]
+fn scann_rejects_most_silent_noise_but_keeps_consensus() {
+    let lt = generate(1003);
+    let report = MawilabPipeline::new(PipelineConfig::default()).run(&lt.trace);
+    for (c, d) in report.decisions.iter().enumerate() {
+        let votes = report.votes.vote_count(c);
+        // Communities backed by most configurations must be accepted;
+        // one-vote communities must not be.
+        if votes >= 10 {
+            assert!(d.accepted, "community {c} with {votes} votes rejected");
+        }
+        if votes <= 1 {
+            assert!(!d.accepted, "community {c} with {votes} vote accepted");
+        }
+    }
+}
+
+#[test]
+fn labels_partition_matches_decisions() {
+    let lt = generate(1004);
+    let report = MawilabPipeline::new(PipelineConfig::default()).run(&lt.trace);
+    let anomalous = report.labeled.count(MawilabLabel::Anomalous);
+    let accepted = report.decisions.iter().filter(|d| d.accepted).count();
+    assert_eq!(anomalous, accepted);
+    let rejected = report.decisions.len() - accepted;
+    assert_eq!(
+        report.labeled.count(MawilabLabel::Suspicious) + report.labeled.count(MawilabLabel::Notice),
+        rejected
+    );
+}
+
+#[test]
+fn strategies_differ_on_real_tables() {
+    // §4.2: the strategies genuinely disagree — otherwise comparing
+    // them (Figs. 6-7) would be pointless. Check across a few traces
+    // that min ≠ max somewhere.
+    let mut any_difference = false;
+    for seed in [3001u64, 3002] {
+        let lt = generate(seed);
+        let (_, per_strategy) =
+            MawilabPipeline::new(PipelineConfig::default()).run_all_strategies(&lt.trace);
+        let get = |k: StrategyKind| {
+            per_strategy
+                .iter()
+                .find(|(kk, _)| *kk == k)
+                .map(|(_, d)| d.iter().filter(|x| x.accepted).count())
+                .unwrap()
+        };
+        if get(StrategyKind::Minimum) != get(StrategyKind::Maximum) {
+            any_difference = true;
+        }
+    }
+    assert!(any_difference, "minimum and maximum agreed everywhere");
+}

@@ -1,0 +1,170 @@
+//! Cross-crate property-based tests (proptest) on the pipeline's core
+//! invariants.
+
+use mawilab::combiner::{
+    Average, CombinationStrategy, MajorityVote, Maximum, Minimum, Scann, VoteTable,
+};
+use mawilab::graph::{louvain, modularity, Graph, Partition};
+use mawilab::mining::{apriori, Transaction};
+use mawilab::model::pcap::{read_pcap, write_pcap};
+use mawilab::model::{BiflowKey, FlowKey, Packet, Protocol, TcpFlags, Trace, TraceDate, TraceMeta};
+use mawilab::similarity::SimilarityMeasure;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        0u64..1_000_000,
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        40u16..1500,
+        prop_oneof![Just(0u8), Just(1), Just(2)],
+        any::<u8>(),
+    )
+        .prop_map(|(ts, src, dst, sport, dport, len, proto, flags)| {
+            let meta = TraceMeta::standard(TraceDate::new(2004, 6, 2));
+            let base = meta.window().start_us;
+            Packet {
+                ts_us: base + ts,
+                src: Ipv4Addr::from(src),
+                dst: Ipv4Addr::from(dst),
+                // ICMP carries type/code (u8) in the port fields.
+                sport: if proto == 2 { sport & 0xff } else { sport },
+                dport: if proto == 2 { dport & 0xff } else { dport },
+                len,
+                proto: match proto {
+                    0 => Protocol::Tcp,
+                    1 => Protocol::Udp,
+                    _ => Protocol::Icmp,
+                },
+                // TCP flags are only meaningful (and only serialised)
+                // for TCP packets.
+                flags: if proto == 0 { TcpFlags(flags & 0x3f) } else { TcpFlags::empty() },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// pcap round-trips arbitrary packets exactly.
+    #[test]
+    fn pcap_round_trip(packets in prop::collection::vec(arb_packet(), 0..50)) {
+        let meta = TraceMeta::standard(TraceDate::new(2004, 6, 2));
+        let trace = Trace::new(meta.clone(), packets);
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &trace).unwrap();
+        let (back, skipped) = read_pcap(std::io::Cursor::new(&buf), meta).unwrap();
+        prop_assert_eq!(skipped, 0);
+        prop_assert_eq!(back.packets, trace.packets);
+    }
+
+    /// Biflow keys are direction-invariant for arbitrary packets.
+    #[test]
+    fn biflow_direction_invariance(p in arb_packet()) {
+        let k = FlowKey::of(&p);
+        prop_assert_eq!(BiflowKey::from_flow(&k), BiflowKey::from_flow(&k.reversed()));
+    }
+
+    /// Similarity measures stay in [0,1] and are symmetric for any
+    /// set sizes.
+    #[test]
+    fn similarity_bounds(inter in 0usize..100, extra_a in 0usize..100, extra_b in 0usize..100) {
+        let a = inter + extra_a;
+        let b = inter + extra_b;
+        prop_assume!(a > 0 && b > 0);
+        for m in [SimilarityMeasure::Simpson, SimilarityMeasure::Jaccard, SimilarityMeasure::Constant] {
+            let v = m.value(inter, a, b);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert_eq!(v, m.value(inter, b, a));
+            if inter == 0 { prop_assert_eq!(v, 0.0); }
+            if inter == a.min(b) && inter > 0 && m == SimilarityMeasure::Simpson {
+                prop_assert_eq!(v, 1.0);
+            }
+        }
+    }
+
+    /// Louvain returns a valid partition and never does worse than
+    /// all-singletons, on arbitrary sparse graphs.
+    #[test]
+    fn louvain_validity(edges in prop::collection::vec((0usize..30, 0usize..30, 1u32..100), 0..80)) {
+        let mut g = Graph::new(30);
+        for (a, b, w) in edges {
+            g.add_edge(a, b, w as f64 / 100.0);
+        }
+        let p = louvain(&g, 1.0);
+        prop_assert_eq!(p.community.len(), 30);
+        // Dense ids.
+        for &c in &p.community {
+            prop_assert!(c < p.community_count());
+        }
+        let singles = Partition::from_labels((0..30).collect());
+        prop_assert!(modularity(&g, &p) >= modularity(&g, &singles) - 1e-9);
+    }
+
+    /// Every Apriori itemset's reported count is its true frequency,
+    /// and meets the threshold.
+    #[test]
+    fn apriori_support_soundness(
+        seeds in prop::collection::vec((0u8..6, 0u8..4, 0u8..6, 0u8..4), 1..40),
+        s_pct in 1u8..=10,
+    ) {
+        let txs: Vec<Transaction> = seeds
+            .iter()
+            .map(|&(a, sp, b, dp)| {
+                Transaction::new(
+                    Ipv4Addr::new(10, 0, 0, a),
+                    1000 + sp as u16,
+                    Ipv4Addr::new(10, 0, 1, b),
+                    2000 + dp as u16,
+                )
+            })
+            .collect();
+        let min_support = s_pct as f64 / 10.0;
+        let min_count = ((min_support * txs.len() as f64).ceil() as usize).max(1);
+        for f in apriori(&txs, min_support) {
+            let real = txs.iter().filter(|t| t.contains_all(&f.items)).count();
+            prop_assert_eq!(real, f.count);
+            prop_assert!(f.count >= min_count);
+        }
+    }
+
+    /// All strategies produce one decision per community, and accepted
+    /// sets nest: minimum ⊆ average ⊆ maximum.
+    #[test]
+    fn strategy_nesting(rows in prop::collection::vec(any::<u16>(), 1..60)) {
+        let table = VoteTable::from_rows(
+            rows.iter()
+                .map(|&bits| {
+                    let mut r = [false; 12];
+                    for (k, slot) in r.iter_mut().enumerate() {
+                        *slot = (bits >> k) & 1 == 1;
+                    }
+                    r
+                })
+                .collect(),
+        );
+        let strategies: Vec<Box<dyn CombinationStrategy>> = vec![
+            Box::new(Average), Box::new(Minimum), Box::new(Maximum),
+            Box::new(Scann::default()), Box::new(MajorityVote),
+        ];
+        for s in &strategies {
+            prop_assert_eq!(s.classify(&table).len(), table.len());
+        }
+        let mins = Minimum.classify(&table);
+        let avgs = Average.classify(&table);
+        let maxs = Maximum.classify(&table);
+        for c in 0..table.len() {
+            if mins[c].accepted { prop_assert!(avgs[c].accepted); }
+            if avgs[c].accepted { prop_assert!(maxs[c].accepted); }
+        }
+        // SCANN relative distances are finite-or-infinite nonnegative.
+        for d in Scann::default().classify(&table) {
+            if let Some(rel) = d.relative_distance {
+                prop_assert!(rel >= 0.0);
+            }
+        }
+    }
+}
