@@ -19,7 +19,7 @@
 use crate::alarm::{Alarm, AlarmScope, DetectorKind, Tuning};
 use crate::{Detector, TraceView};
 use mawilab_mining::{mine_rules, Transaction};
-use mawilab_stats::{kl_divergence, mad, median, Histogram};
+use mawilab_stats::{kl_contributions, kl_divergence_counts, mad, median, Histogram};
 use mawilab_model::TimeWindow;
 use std::collections::HashSet;
 
@@ -124,11 +124,13 @@ impl Detector for KlDetector {
         let mut alarms = Vec::new();
         let mut seen: HashSet<(usize, mawilab_model::TrafficRule)> = HashSet::new();
         for (fi, f) in FEATURES.iter().enumerate() {
-            // Divergence series between consecutive bins.
-            let probs: Vec<Vec<f64>> =
-                (0..t_bins).map(|t| hists[fi][t].probabilities()).collect();
+            // Divergence series between consecutive bins, on raw
+            // counts with Laplace smoothing (pseudo-count ½ per cell):
+            // sparse cells flipping between 0 and a few packets must
+            // not drown a real distribution shift.
+            const PSEUDO: f64 = 0.5;
             let series: Vec<f64> = (1..t_bins)
-                .map(|t| kl_divergence(&probs[t], &probs[t - 1]))
+                .map(|t| kl_divergence_counts(hists[fi][t].counts(), hists[fi][t - 1].counts(), PSEUDO))
                 .collect();
             // Robust baseline: the anomaly's own spikes must not lift
             // the threshold (median/MAD instead of mean/σ).
@@ -142,17 +144,14 @@ impl Detector for KlDetector {
                     continue;
                 }
                 let t = si + 1;
-                // Cells contributing most to the divergence.
-                let cur = &probs[t];
-                let prev = &probs[t - 1];
-                let mut contrib: Vec<(usize, f64)> = (0..self.hist_bins)
-                    .map(|c| {
-                        let p = cur[c].max(1e-12);
-                        let q = prev[c].max(1e-12);
-                        (c, p * (p / q).ln())
-                    })
-                    .filter(|&(_, v)| v > 0.0)
-                    .collect();
+                // Cells contributing most to the divergence, under the
+                // same Laplace smoothing as the series itself.
+                let mut contrib: Vec<(usize, f64)> =
+                    kl_contributions(hists[fi][t].counts(), hists[fi][t - 1].counts(), PSEUDO)
+                        .into_iter()
+                        .enumerate()
+                        .filter(|&(_, v)| v > 0.0)
+                        .collect();
                 contrib.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN contribution"));
                 let top: HashSet<usize> =
                     contrib.iter().take(self.top_cells).map(|&(c, _)| c).collect();

@@ -23,7 +23,7 @@ pub mod histogram;
 pub mod samplers;
 pub mod summary;
 
-pub use divergence::{js_divergence, kl_divergence};
+pub use divergence::{js_divergence, kl_contributions, kl_divergence, kl_divergence_counts};
 pub use gamma::Gamma;
 pub use histogram::Histogram;
 pub use samplers::{Exponential, LogNormal, Pareto, Poisson, Zipf};

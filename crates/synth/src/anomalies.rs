@@ -186,7 +186,7 @@ fn build_syn_flood(
     let victim_ip = hosts.internal_at(victim);
     let n = (rate_pps * duration_s) as usize;
     for i in 0..n {
-        let ts = t0 + (i as f64 / rate_pps * 1e6) as u64 + rng.random_range(0..5_000);
+        let ts = t0 + (i as f64 / rate_pps * 1e6) as u64 + rng.random_range(0..5_000u64);
         if !window.contains(ts) {
             continue;
         }
@@ -195,7 +195,7 @@ fn build_syn_flood(
         out.push((Packet::tcp(ts, src, sport, victim_ip, dport, TcpFlags::syn(), 48), id));
         // Victim backscatter: occasional SYN/ACK or RST.
         if rng.random::<f64>() < 0.15 {
-            let ts2 = ts + rng.random_range(100..2_000);
+            let ts2 = ts + rng.random_range(100..2_000u64);
             if window.contains(ts2) {
                 out.push((
                     Packet::tcp(ts2, victim_ip, dport, src, sport, TcpFlags::rst(), 40),
@@ -235,7 +235,7 @@ fn build_port_scan(
         out.push((Packet::tcp(ts, src, sport, dst, p, TcpFlags::syn(), 44), id));
         // Closed ports answer RST.
         if rng.random::<f64>() < 0.7 {
-            let ts2 = ts + rng.random_range(100..1_500);
+            let ts2 = ts + rng.random_range(100..1_500u64);
             if window.contains(ts2) {
                 out.push((Packet::tcp(ts2, dst, p, src, sport, TcpFlags::rst(), 40), id));
             }
@@ -264,7 +264,7 @@ fn build_worm(
     let t0 = place(window, dur_us, rng);
     let src = hosts.external_at(infected);
     for i in 0..scans {
-        let ts = t0 + (i as f64 / rate_pps * 1e6) as u64 + rng.random_range(0..3_000);
+        let ts = t0 + (i as f64 / rate_pps * 1e6) as u64 + rng.random_range(0..3_000u64);
         if !window.contains(ts) {
             continue;
         }
@@ -279,7 +279,7 @@ fn build_worm(
         out.push((Packet::tcp(ts, src, sport, dst, scan_port, TcpFlags::syn(), 48), id));
         // ~5% successful infections: SYN/ACK then backdoor transfer.
         if rng.random::<f64>() < 0.05 {
-            let mut t = ts + rng.random_range(500..3_000);
+            let mut t = ts + rng.random_range(500..3_000u64);
             if window.contains(t) {
                 out.push((
                     Packet::tcp(t, dst, scan_port, src, sport, TcpFlags::syn_ack(), 48),
@@ -289,7 +289,7 @@ fn build_worm(
             for &fp in followup_ports {
                 let fsport: u16 = rng.random_range(1025..=65000);
                 for j in 0..6u64 {
-                    t += rng.random_range(2_000..20_000);
+                    t += rng.random_range(2_000..20_000u64);
                     if !window.contains(t) {
                         break;
                     }
@@ -326,7 +326,7 @@ fn build_netbios(
     let t0 = place(window, dur_us, rng);
     let src = hosts.external_at(prober);
     for i in 0..probes {
-        let ts = t0 + (i as f64 / rate_pps * 1e6) as u64 + rng.random_range(0..4_000);
+        let ts = t0 + (i as f64 / rate_pps * 1e6) as u64 + rng.random_range(0..4_000u64);
         if !window.contains(ts) {
             continue;
         }
@@ -364,13 +364,13 @@ fn build_ping_flood(
     let d = hosts.internal_at(dst);
     let n = (rate_pps * duration_s) as usize;
     for i in 0..n {
-        let ts = t0 + (i as f64 / rate_pps * 1e6) as u64 + rng.random_range(0..3_000);
+        let ts = t0 + (i as f64 / rate_pps * 1e6) as u64 + rng.random_range(0..3_000u64);
         if !window.contains(ts) {
             continue;
         }
         out.push((Packet::icmp(ts, s, d, 8, 0, 1064), id));
         if rng.random::<f64>() < 0.4 {
-            let ts2 = ts + rng.random_range(200..3_000);
+            let ts2 = ts + rng.random_range(200..3_000u64);
             if window.contains(ts2) {
                 out.push((Packet::icmp(ts2, d, s, 0, 0, 1064), id));
             }

@@ -232,7 +232,7 @@ pub fn emit_tcp_flow(
     rng: &mut StdRng,
     out: &mut Vec<(Packet, u32)>,
 ) {
-    let rtt = rng.random_range(20_000..200_000); // 20–200 ms
+    let rtt = rng.random_range(20_000..200_000u64); // 20–200 ms
     let mut push = |ts: u64, p: Packet| {
         if ts < end_us {
             out.push((p, 0));
@@ -274,7 +274,7 @@ fn emit_udp_exchange(
     if t0 < end_us {
         out.push((Packet::udp(t0, client, cport, server, sport, rng.random_range(60..120)), 0));
     }
-    let t1 = t0 + rng.random_range(10_000..150_000);
+    let t1 = t0 + rng.random_range(10_000..150_000u64);
     if t1 < end_us {
         out.push((Packet::udp(t1, server, sport, client, cport, rng.random_range(80..512)), 0));
     }
@@ -288,7 +288,7 @@ fn emit_icmp_pair(
     out: &mut Vec<(Packet, u32)>,
 ) {
     out.push((Packet::icmp(t0, a, b, 8, 0, 84), 0));
-    let t1 = t0 + rng.random_range(20_000..200_000);
+    let t1 = t0 + rng.random_range(20_000..200_000u64);
     out.push((Packet::icmp(t1, b, a, 0, 0, 84), 0));
 }
 

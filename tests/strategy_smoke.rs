@@ -1,0 +1,64 @@
+//! Smoke test: the full pipeline runs under every combination
+//! strategy on a tiny synthetic trace and produces a non-empty
+//! labeled report.
+
+use mawilab::core::{MawilabPipeline, PipelineConfig, StrategyKind};
+use mawilab::synth::{AnomalySpec, SynthConfig, TraceGenerator};
+
+/// A small, fast trace with one unmistakable anomaly so all four
+/// detectors have something to vote on.
+fn tiny_trace() -> mawilab::synth::LabeledTrace {
+    let cfg = SynthConfig::default()
+        .with_seed(4242)
+        .with_duration(30)
+        .with_background_pps(150.0)
+        .with_anomalies(vec![AnomalySpec::SynFlood {
+            victim: 60,
+            dport: 80,
+            rate_pps: 300.0,
+            duration_s: 10.0,
+            spoofed: true,
+        }]);
+    TraceGenerator::new(cfg).generate()
+}
+
+#[test]
+fn every_strategy_yields_a_nonempty_labeled_report() {
+    let lt = tiny_trace();
+    for strategy in StrategyKind::ALL {
+        let config = PipelineConfig { strategy, ..PipelineConfig::default() };
+        let report = MawilabPipeline::new(config).run(&lt.trace);
+        assert!(
+            report.alarm_count() > 0,
+            "{strategy:?}: no alarms on a trace with a 300 pps SYN flood"
+        );
+        assert!(
+            !report.labeled.communities.is_empty(),
+            "{strategy:?}: empty labeled report"
+        );
+        assert_eq!(
+            report.labeled.communities.len(),
+            report.decisions.len(),
+            "{strategy:?}: labels and decisions disagree on community count"
+        );
+    }
+}
+
+#[test]
+fn strategies_agree_on_alarms_but_may_differ_on_decisions() {
+    // The combination strategy only affects accept/reject decisions —
+    // detection and community structure are strategy-independent.
+    let lt = tiny_trace();
+    let reports: Vec<_> = StrategyKind::ALL
+        .iter()
+        .map(|&strategy| {
+            MawilabPipeline::new(PipelineConfig { strategy, ..PipelineConfig::default() })
+                .run(&lt.trace)
+        })
+        .collect();
+    let first = &reports[0];
+    for r in &reports[1..] {
+        assert_eq!(r.alarm_count(), first.alarm_count());
+        assert_eq!(r.community_count(), first.community_count());
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline, API-compatible subset of the `criterion` benchmark
+//! harness.
+//!
+//! The build environment cannot reach crates.io, so this vendored stub
+//! implements the slice of criterion the workspace's seven benches use:
+//! `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `throughput` / `bench_function` / `bench_with_input`,
+//! and `Bencher::iter`.
+//!
+//! Behavior mirrors criterion's cargo integration:
+//!
+//! - under `cargo bench`, cargo passes `--bench` and each closure is
+//!   timed (warm-up, then `sample_size` samples; median and
+//!   throughput are printed);
+//! - under `cargo test`, no `--bench` flag is passed and each closure
+//!   runs exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher<'a> {
+    mode: Mode,
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Median per-iteration time of the last `iter` call, if timed.
+    elapsed: &'a mut Option<Duration>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo test`: run the body once, no timing.
+    Smoke,
+    /// `cargo bench`: calibrate and time.
+    Measure,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Smoke => {
+                std::hint::black_box(routine());
+            }
+            Mode::Measure => {
+                // Calibrate: how many iterations fit the per-sample
+                // slice of the measurement budget?
+                let probe = Instant::now();
+                std::hint::black_box(routine());
+                let once = probe.elapsed().max(Duration::from_nanos(1));
+                let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+                let iters = (budget / once.as_secs_f64()).clamp(1.0, 1e6) as u64;
+
+                let mut samples: Vec<Duration> = (0..self.sample_size)
+                    .map(|_| {
+                        let start = Instant::now();
+                        for _ in 0..iters {
+                            std::hint::black_box(routine());
+                        }
+                        start.elapsed() / iters as u32
+                    })
+                    .collect();
+                samples.sort();
+                *self.elapsed = Some(samples[samples.len() / 2]);
+            }
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    mode: Mode,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut elapsed = None;
+        let mut bencher = Bencher {
+            mode: self.mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            elapsed: &mut elapsed,
+        };
+        f(&mut bencher);
+        self.report(&id, elapsed);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut elapsed = None;
+        let mut bencher = Bencher {
+            mode: self.mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            elapsed: &mut elapsed,
+        };
+        f(&mut bencher, input);
+        self.report(&id, elapsed);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, elapsed: Option<Duration>) {
+        let Some(median) = elapsed else {
+            if self.mode == Mode::Smoke {
+                println!("{}/{}: smoke ok", self.name, id.id);
+            }
+            return;
+        };
+        let per_iter = median.as_secs_f64();
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!("  thrpt: {:.3} Melem/s", n as f64 / per_iter / 1e6),
+            Throughput::Bytes(n) => format!("  thrpt: {:.3} MiB/s", n as f64 / per_iter / (1 << 20) as f64),
+        });
+        println!(
+            "{}/{:<28} time: {:>12}{}",
+            self.name,
+            id.id,
+            format_duration(median),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` to bench targets under `cargo bench`;
+        // under `cargo test` the flag is absent and we only smoke-run.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { mode: if measure { Mode::Measure } else { Mode::Smoke } }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            mode: self.mode,
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

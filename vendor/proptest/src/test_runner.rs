@@ -1,0 +1,126 @@
+//! Case generation and execution.
+
+use crate::strategy::Strategy;
+
+/// Outcome of one property case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's inputs failed a `prop_assume!` precondition; the
+    /// case is discarded and does not count toward the budget.
+    Reject,
+    /// A `prop_assert!`-family assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(_msg: impl Into<String>) -> Self {
+        TestCaseError::Reject
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Cap on discarded (`prop_assume!`-rejected) cases.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+/// Deterministic generator driving case synthesis (SplitMix64).
+///
+/// Seeded from the test's name so distinct properties explore distinct
+/// streams, while every run of the same property replays the same
+/// cases — failures are always reproducible.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x5DEE_CE66_D1CE_4E5B }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+}
+
+/// Executes a strategy against a property closure.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let seed = name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3));
+        TestRunner { config, name, rng: TestRng::new(seed) }
+    }
+
+    /// Runs `test` against `config.cases` generated values, panicking
+    /// on the first failing case.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case_index = 0u64;
+        while passed < self.config.cases {
+            case_index += 1;
+            let value = strategy.generate(&mut self.rng);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "property `{}`: too many prop_assume! rejections \
+                             ({rejected} rejects for {passed} passing cases)",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property `{}` failed at case #{case_index} \
+                         ({passed} cases passed before it):\n{msg}",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+}

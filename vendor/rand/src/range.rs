@@ -1,0 +1,90 @@
+//! Uniform sampling over `a..b` / `a..=b` ranges.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types that [`crate::Rng::random_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high]`, both bounds inclusive.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low <= high);
+                // Width fits in u128 even for the full u64 domain.
+                let span = (high as u128).wrapping_sub(low as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-domain range: every word is a valid sample.
+                    return rng.next_u64() as $t;
+                }
+                // Multiply-shift mapping of a 64-bit word onto the span;
+                // bias is < 2^-64 per draw, far below test sensitivity.
+                let hi = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (low as u128).wrapping_add(hi) as $t
+            }
+        }
+    )*}
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        low + unit * (high - low)
+    }
+}
+
+/// Range forms accepted by [`crate::Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                <$t>::sample_inclusive(rng, self.start, self.end - 1)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                <$t>::sample_inclusive(rng, *self.start(), *self.end())
+            }
+        }
+    )*}
+}
+
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                <$t>::sample_inclusive(rng, self.start, self.end)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                <$t>::sample_inclusive(rng, *self.start(), *self.end())
+            }
+        }
+    )*}
+}
+
+impl_range_float!(f32, f64);
