@@ -39,5 +39,23 @@ fn bench_graph(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_graph);
+/// Guard for the candidate-pair set representation (the
+/// `HashMap<(u32,u32),()>` → `HashSet` change): a dense-overlap
+/// workload where almost every alarm pair co-occurs, so pair-set
+/// insertion dominates graph construction.
+fn bench_candidate_pairs(c: &mut Criterion) {
+    let est = SimilarityEstimator::default();
+    let mut g = c.benchmark_group("similarity_graph_pairs");
+    for n in [100usize, 400] {
+        // Every alarm shares items 0..40 with every other: ~n²/2 pairs.
+        let sets: Vec<Vec<u32>> =
+            (0..n).map(|i| (0..40).chain([1000 + i as u32]).collect()).collect();
+        g.bench_with_input(BenchmarkId::new("dense", n), &sets, |b, sets| {
+            b.iter(|| black_box(est.build_graph(black_box(sets))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph, bench_candidate_pairs);
 criterion_main!(benches);

@@ -7,11 +7,12 @@
 //! scheduling.
 
 use mawilab_combiner::Decision;
-use mawilab_core::{MawilabPipeline, PipelineConfig, PipelineReport, StrategyKind};
+use mawilab_core::{MawilabPipeline, PipelineConfig, PipelineReport, StrategyKind, StreamingPipeline, StreamingReport};
 use mawilab_detectors::TraceView;
-use mawilab_model::{FlowTable, TraceDate};
-use mawilab_synth::{ArchiveConfig, ArchiveSimulator, LabeledTrace};
+use mawilab_model::{FlowTable, TraceChunker, TraceDate};
+use mawilab_synth::{ArchiveConfig, ArchiveSimulator, GroundTruth, LabeledTrace};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Everything a per-day reducer can look at.
 pub struct DayContext<'a> {
@@ -28,17 +29,14 @@ pub struct DayContext<'a> {
     pub per_strategy: &'a [(StrategyKind, Vec<Decision>)],
 }
 
-/// Runs `reduce` over every day, in parallel, returning per-day
-/// results in day order. Prints a progress line to stderr.
-pub fn run_days<T, F>(
-    days: &[TraceDate],
-    scale: f64,
-    pipeline_config: PipelineConfig,
-    reduce: F,
-) -> Vec<T>
+/// The shared day scheduler: generates each archive day, hands it to
+/// `per_day` on a scoped thread pool, and returns the results in day
+/// order regardless of scheduling. Both the batch and the streaming
+/// harness entry points are thin wrappers over this.
+fn schedule_days<T, F>(days: &[TraceDate], scale: f64, per_day: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(&DayContext<'_>) -> T + Sync,
+    F: Fn(TraceDate, LabeledTrace) -> T + Sync,
 {
     let sim = ArchiveSimulator::new(ArchiveConfig { scale, ..Default::default() });
     let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
@@ -56,19 +54,7 @@ where
                     break;
                 }
                 let date = days[i];
-                let lt = sim.generate(date);
-                let flows = FlowTable::build(&lt.trace.packets);
-                let view = TraceView::new(&lt.trace, &flows);
-                let pipeline = MawilabPipeline::new(pipeline_config.clone());
-                let (report, per_strategy) = pipeline.run_all_strategies(&lt.trace);
-                let ctx = DayContext {
-                    date,
-                    labeled_trace: &lt,
-                    view: &view,
-                    report: &report,
-                    per_strategy: &per_strategy,
-                };
-                let value = reduce(&ctx);
+                let value = per_day(date, sim.generate(date));
                 **slots[i].lock().expect("poisoned result slot") = Some(value);
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if d % 25 == 0 || d == days.len() {
@@ -78,6 +64,85 @@ where
         }
     });
     results.into_iter().map(|r| r.expect("missing day result")).collect()
+}
+
+/// Runs `reduce` over every day, in parallel, returning per-day
+/// results in day order. Prints a progress line to stderr.
+pub fn run_days<T, F>(
+    days: &[TraceDate],
+    scale: f64,
+    pipeline_config: PipelineConfig,
+    reduce: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&DayContext<'_>) -> T + Sync,
+{
+    schedule_days(days, scale, |date, lt| {
+        let flows = FlowTable::build(&lt.trace.packets);
+        let view = TraceView::new(&lt.trace, &flows);
+        let pipeline = MawilabPipeline::new(pipeline_config.clone());
+        let (report, per_strategy) = pipeline.run_all_strategies(&lt.trace);
+        reduce(&DayContext {
+            date,
+            labeled_trace: &lt,
+            view: &view,
+            report: &report,
+            per_strategy: &per_strategy,
+        })
+    })
+}
+
+/// Everything a streaming per-day reducer can look at. Unlike
+/// [`DayContext`] there is no materialised trace or flow table — the
+/// day was drained chunk by chunk through the streaming pipeline.
+pub struct StreamingDayContext<'a> {
+    /// The archive day.
+    pub date: TraceDate,
+    /// Ground truth of the generated day (the packets themselves are
+    /// gone — they streamed through).
+    pub truth: &'a GroundTruth,
+    /// Full streaming pipeline output, including ingest stats.
+    pub report: &'a StreamingReport,
+    /// Wall-clock of the whole streaming run for this day.
+    pub wall: Duration,
+}
+
+/// Runs the **streaming** pipeline over every day, in parallel,
+/// returning per-day results in day order — the archive-scale
+/// evaluation path where no day is ever materialised inside the
+/// pipeline. `chunk_us` is the ingest bin width.
+pub fn run_days_streaming<T, F>(
+    days: &[TraceDate],
+    scale: f64,
+    chunk_us: u64,
+    pipeline_config: PipelineConfig,
+    reduce: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&StreamingDayContext<'_>) -> T + Sync,
+{
+    schedule_days(days, scale, |date, lt| {
+        let truth = lt.truth;
+        let mut source = TraceChunker::new(lt.trace, chunk_us);
+        let pipeline = StreamingPipeline::new(pipeline_config.clone());
+        let t0 = std::time::Instant::now();
+        let report = pipeline.run(&mut source).expect("streaming run failed");
+        let wall = t0.elapsed();
+        reduce(&StreamingDayContext { date, truth: &truth, report: &report, wall })
+    })
+}
+
+/// Peak resident set size of this process in KiB (Linux `VmHWM`), if
+/// the platform exposes it.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
 }
 
 #[cfg(test)]
@@ -102,5 +167,27 @@ mod tests {
                 && ctx.view.trace.len() == ctx.labeled_trace.trace.len()
         });
         assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn streaming_days_match_batch_days() {
+        let days = first_days_of_month(2005, 6, 2);
+        let batch = run_days(&days, 0.3, PipelineConfig::default(), |ctx| {
+            (ctx.report.alarm_count(), ctx.report.decisions.clone())
+        });
+        let streamed = run_days_streaming(
+            &days,
+            0.3,
+            mawilab_model::DEFAULT_CHUNK_US,
+            PipelineConfig::default(),
+            |ctx| {
+                assert!(ctx.report.stats.chunks > 1);
+                assert!(
+                    (ctx.report.stats.peak_chunk_packets as u64) < ctx.report.stats.packets
+                );
+                (ctx.report.alarm_count(), ctx.report.decisions.clone())
+            },
+        );
+        assert_eq!(batch, streamed);
     }
 }

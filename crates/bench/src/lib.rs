@@ -19,4 +19,4 @@ pub mod harness;
 pub mod out;
 
 pub use cli::Args;
-pub use harness::{run_days, DayContext};
+pub use harness::{peak_rss_kb, run_days, run_days_streaming, DayContext, StreamingDayContext};

@@ -19,8 +19,10 @@
 
 pub mod benchmark;
 pub mod pipeline;
+pub mod streaming;
 
 pub use benchmark::{benchmark_alarms, BenchmarkResult};
 pub use pipeline::{
     LabeledReport, MawilabPipeline, PipelineConfig, PipelineReport, PipelineTimings, StrategyKind,
 };
+pub use streaming::{StreamStats, StreamingPipeline, StreamingReport};

@@ -1,0 +1,297 @@
+//! The streaming MAWILab pipeline: pcap → labels at constant packet
+//! memory.
+//!
+//! [`StreamingPipeline`] runs the four-step methodology over any
+//! [`PacketSource`] in **two passes**, never holding more than one
+//! chunk of packets alive:
+//!
+//! 1. **Detection pass** — every configuration's
+//!    [`IncrementalDetector`] observes each chunk (in parallel across
+//!    configurations via scoped threads, as in the batch pipeline)
+//!    and reports its alarms at end of stream. Detector state is
+//!    chunk-boundary invariant, so the alarms are identical to the
+//!    batch pipeline's.
+//! 2. **Extraction pass** — the source is rewound and drained again:
+//!    an [`ItemIndex`] reassigns the exact traffic-unit ids a batch
+//!    `FlowTable` would, the [`StreamingExtractor`] accumulates
+//!    per-alarm traffic sets, and [`CommunityEvidence`] gathers the
+//!    per-unit profiles/transactions the labeling step needs.
+//!
+//! Everything after extraction — similarity graph, Louvain, vote
+//! table, combination strategy, taxonomy labels, Apriori summaries —
+//! is the *unchanged* batch code, so
+//! [`StreamingPipeline::run`] produces decisions and labels
+//! byte-identical to [`MawilabPipeline::run`] on the materialised
+//! trace (asserted by `tests/streaming_equivalence.rs`).
+//!
+//! Peak **packet** memory: one chunk (+ one look-ahead packet in the
+//! pcap reader). Accumulated state is keyed by traffic aggregates,
+//! not packets: fixed-size sketch/picture state for PCA, Gamma and
+//! Hough; per-flow entries for the flow index, heuristic profiles and
+//! Hough pixel sets; per-(bin, distinct 4-tuple) counts for KL. The
+//! aggregate state is far below packet volume on normal traffic, but
+//! the flow- and tuple-keyed parts do grow with traffic diversity —
+//! spoofed-source floods approach one tuple entry per packet, so the
+//! hard constant bound covers packets, not every byte of detector
+//! state.
+
+use crate::pipeline::{LabeledReport, PipelineConfig, PipelineTimings};
+use mawilab_combiner::{Decision, VoteTable};
+use mawilab_detectors::{
+    standard_configurations, ChunkView, Detector, IncrementalDetector,
+};
+use mawilab_label::{label_communities_streaming, CommunityEvidence};
+use mawilab_model::{ItemIndex, PacketChunk, PacketSource, SourceError};
+use mawilab_similarity::{AlarmCommunities, SimilarityEstimator, StreamingExtractor};
+use mawilab_detectors::Alarm;
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// Ingest statistics of one streaming run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamStats {
+    /// Chunks drained per pass (both passes see the same stream).
+    pub chunks: usize,
+    /// Total packets streamed per pass.
+    pub packets: u64,
+    /// Largest number of packets alive at once — the size of the
+    /// biggest single chunk. This is the constant-memory bound.
+    pub peak_chunk_packets: usize,
+    /// Distinct traffic units assigned during extraction.
+    pub items: usize,
+}
+
+/// Everything the streaming pipeline produced for one stream.
+#[derive(Debug)]
+pub struct StreamingReport {
+    /// Step-2 output: alarms, traffic sets, graph, partition.
+    pub communities: AlarmCommunities,
+    /// Step-3 input: the 12-configuration vote table.
+    pub votes: VoteTable,
+    /// Step-3 output: one decision per community.
+    pub decisions: Vec<Decision>,
+    /// Step-4 output: labeled communities.
+    pub labeled: LabeledReport,
+    /// Wall-clock accounting (detect = pass 1, estimate = pass 2 +
+    /// graph).
+    pub timings: PipelineTimings,
+    /// Ingest statistics.
+    pub stats: StreamStats,
+}
+
+impl StreamingReport {
+    /// Total number of alarms the detectors raised.
+    pub fn alarm_count(&self) -> usize {
+        self.communities.alarms.len()
+    }
+
+    /// Number of communities.
+    pub fn community_count(&self) -> usize {
+        self.communities.community_count()
+    }
+}
+
+/// The end-to-end streaming MAWILab pipeline.
+pub struct StreamingPipeline {
+    config: PipelineConfig,
+    detectors: Vec<Box<dyn Detector>>,
+}
+
+impl StreamingPipeline {
+    /// Builds the pipeline with the paper's 12 standard detector
+    /// configurations.
+    pub fn new(config: PipelineConfig) -> Self {
+        StreamingPipeline { config, detectors: standard_configurations() }
+    }
+
+    /// Replaces the detector set (any batch [`Detector`] works — its
+    /// incremental form is used).
+    pub fn with_detectors(mut self, detectors: Vec<Box<dyn Detector>>) -> Self {
+        self.detectors = detectors;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Drains the source twice and runs all four steps, at constant
+    /// peak packet memory.
+    pub fn run<S: PacketSource + ?Sized>(
+        &self,
+        source: &mut S,
+    ) -> Result<StreamingReport, SourceError> {
+        let meta = source.meta().clone();
+        let mut stats = StreamStats::default();
+
+        // Pass 1: incremental detection, parallel across configs.
+        // One long-lived worker thread per configuration for the
+        // whole drain (spawning per chunk would put thread creation
+        // in the ingest hot loop); chunks are shared via `Arc` over
+        // bounded rendezvous channels, so backpressure keeps at most
+        // a couple of chunks alive regardless of stream length.
+        let t0 = Instant::now();
+        let mut incs: Vec<Box<dyn IncrementalDetector>> =
+            self.detectors.iter().map(|d| d.incremental()).collect();
+        for inc in &mut incs {
+            inc.begin(&meta);
+        }
+        let meta_ref = &meta;
+        let (alarms, pass1_err) = std::thread::scope(|s| {
+            let mut senders: Vec<mpsc::SyncSender<Arc<PacketChunk>>> = Vec::new();
+            let mut handles = Vec::new();
+            for mut inc in incs {
+                let (tx, rx) = mpsc::sync_channel::<Arc<PacketChunk>>(1);
+                senders.push(tx);
+                handles.push(s.spawn(move || {
+                    while let Ok(chunk) = rx.recv() {
+                        inc.observe(&ChunkView::of_chunk(meta_ref, &chunk));
+                    }
+                    inc.finish()
+                }));
+            }
+            let mut err = None;
+            loop {
+                match source.next_chunk() {
+                    Ok(Some(chunk)) => {
+                        stats.chunks += 1;
+                        stats.packets += chunk.packets.len() as u64;
+                        stats.peak_chunk_packets =
+                            stats.peak_chunk_packets.max(chunk.packets.len());
+                        let shared = Arc::new(chunk.clone());
+                        for tx in &senders {
+                            // A send error means the worker panicked;
+                            // the join below surfaces that panic.
+                            let _ = tx.send(Arc::clone(&shared));
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            drop(senders); // close channels: workers finish()
+            let mut groups: Vec<Vec<Alarm>> = Vec::with_capacity(handles.len());
+            for h in handles {
+                groups.push(h.join().expect("detector worker panicked"));
+            }
+            (groups.concat(), err)
+        });
+        if let Some(e) = pass1_err {
+            return Err(e);
+        }
+        let detect = t0.elapsed();
+
+        // Pass 2: traffic extraction + labeling evidence.
+        let t1 = Instant::now();
+        source.rewind()?;
+        let mut index = ItemIndex::new(self.config.granularity);
+        let mut evidence = CommunityEvidence::new(self.config.granularity);
+        let traffic = {
+            let mut extractor = StreamingExtractor::new(&alarms);
+            let mut ids: Vec<u32> = Vec::new();
+            while let Some(chunk) = source.next_chunk()? {
+                index.ids_of(&chunk.packets, &mut ids);
+                let matched = extractor.observe(chunk.window, &chunk.packets, &ids);
+                evidence.observe(&chunk.packets, &ids, matched);
+            }
+            extractor.into_traffic()
+        };
+        stats.items = index.item_count();
+
+        // Steps 2–4 on the accumulated state: unchanged batch code.
+        let estimator = SimilarityEstimator {
+            granularity: self.config.granularity,
+            measure: self.config.measure,
+            ..Default::default()
+        };
+        let communities = estimator.estimate_from_traffic(alarms, traffic);
+        let estimate = t1.elapsed();
+
+        let t2 = Instant::now();
+        let votes = VoteTable::from_communities(&communities);
+        let decisions = self.config.strategy.build().classify(&votes);
+        let combine = t2.elapsed();
+
+        let t3 = Instant::now();
+        let labeled = LabeledReport {
+            communities: label_communities_streaming(
+                meta.window(),
+                &index,
+                &evidence,
+                &communities,
+                &decisions,
+                self.config.min_support,
+            ),
+        };
+        let label = t3.elapsed();
+
+        Ok(StreamingReport {
+            communities,
+            votes,
+            decisions,
+            labeled,
+            timings: PipelineTimings { detect, estimate, combine, label },
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::MawilabPipeline;
+    use mawilab_label::MawilabLabel;
+    use mawilab_model::{TraceChunker, DEFAULT_CHUNK_US};
+    use mawilab_synth::{SynthConfig, TraceGenerator};
+
+    fn small_trace() -> mawilab_synth::LabeledTrace {
+        TraceGenerator::new(SynthConfig::default().with_seed(99)).generate()
+    }
+
+    #[test]
+    fn streaming_report_is_consistent() {
+        let lt = small_trace();
+        let mut source = TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US);
+        let report = StreamingPipeline::new(PipelineConfig::default()).run(&mut source).unwrap();
+        assert!(report.alarm_count() > 0);
+        assert!(report.community_count() > 0);
+        assert_eq!(report.decisions.len(), report.community_count());
+        assert_eq!(report.labeled.communities.len(), report.community_count());
+        assert_eq!(report.stats.packets, lt.trace.len() as u64);
+        assert!(report.stats.chunks > 1, "expected a multi-chunk stream");
+        assert!(report.stats.peak_chunk_packets < lt.trace.len());
+    }
+
+    #[test]
+    fn streaming_matches_batch_pipeline() {
+        let lt = small_trace();
+        let config = PipelineConfig::default();
+        let batch = MawilabPipeline::new(config.clone()).run(&lt.trace);
+        let mut source = TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US);
+        let streamed = StreamingPipeline::new(config).run(&mut source).unwrap();
+        assert_eq!(streamed.communities.alarms, batch.communities.alarms);
+        assert_eq!(streamed.communities.traffic, batch.communities.traffic);
+        assert_eq!(streamed.votes, batch.votes);
+        assert_eq!(streamed.decisions, batch.decisions);
+        let labels: Vec<MawilabLabel> =
+            streamed.labeled.communities.iter().map(|c| c.label).collect();
+        let batch_labels: Vec<MawilabLabel> =
+            batch.labeled.communities.iter().map(|c| c.label).collect();
+        assert_eq!(labels, batch_labels);
+    }
+
+    #[test]
+    fn empty_stream_is_handled() {
+        let meta = mawilab_model::TraceMeta::standard(mawilab_model::TraceDate::new(2004, 6, 2));
+        let trace = mawilab_model::Trace::new(meta, vec![]);
+        let mut source = TraceChunker::new(trace, DEFAULT_CHUNK_US);
+        let report = StreamingPipeline::new(PipelineConfig::default()).run(&mut source).unwrap();
+        assert_eq!(report.alarm_count(), 0);
+        assert_eq!(report.community_count(), 0);
+        assert_eq!(report.stats.chunks, 0);
+    }
+}

@@ -18,7 +18,8 @@
 //! reports source or destination IP addresses".
 
 use crate::alarm::{Alarm, AlarmScope, DetectorKind, Tuning};
-use crate::{Detector, TraceView};
+use crate::{ChunkView, Detector, IncrementalDetector};
+use mawilab_model::{TimeWindow, TraceMeta};
 use mawilab_sketch::SketchFamily;
 use mawilab_stats::{mad, median, Gamma};
 use std::collections::HashSet;
@@ -93,42 +94,26 @@ impl GammaDetector {
         Some(feats)
     }
 
-    fn analyze_direction(&self, view: &TraceView<'_>, dir: Direction, out: &mut Vec<Alarm>) {
-        let trace = view.trace;
-        let window = trace.meta.window();
-        let t_bins = (window.len_us() / self.delta_us) as usize;
-        if t_bins < 8 || trace.is_empty() {
-            return;
-        }
+    /// Per-direction sketch accumulator state.
+    fn direction_state(&self, dir: Direction, t_bins: usize) -> GammaDirState {
         let seed = self.seed ^ if dir == Direction::Src { 0 } else { 0xFFFF };
-        let sketch = SketchFamily::new(self.sketch_rows, self.sketch_width, seed);
-
-        // Count series per (row, bin).
-        let mut series =
-            vec![vec![vec![0.0f64; t_bins]; self.sketch_width]; self.sketch_rows];
-        let mut hosts: HashSet<u32> = HashSet::new();
-        for p in &trace.packets {
-            let Some(dt) = p.ts_us.checked_sub(window.start_us) else { continue };
-            let t = (dt / self.delta_us) as usize;
-            if t >= t_bins {
-                continue;
-            }
-            let ip = match dir {
-                Direction::Src => u32::from(p.src),
-                Direction::Dst => u32::from(p.dst),
-            };
-            hosts.insert(ip);
-            for (row, per_bin) in series.iter_mut().enumerate() {
-                per_bin[sketch.bin(row, ip as u64)][t] += 1.0;
-            }
+        GammaDirState {
+            dir,
+            sketch: SketchFamily::new(self.sketch_rows, self.sketch_width, seed),
+            series: vec![vec![vec![0.0f64; t_bins]; self.sketch_width]; self.sketch_rows],
+            hosts: HashSet::new(),
         }
+    }
+
+    fn finish_direction(&self, state: &GammaDirState, window: TimeWindow, out: &mut Vec<Alarm>) {
+        let GammaDirState { dir, sketch, series, hosts } = state;
 
         // Per row: trajectories → robust distance from the median
         // trajectory → flagged bins.
         let mut flagged: Vec<Vec<bool>> = Vec::with_capacity(self.sketch_rows);
         let mut flagged_any = false;
         let mut max_score: f64 = 0.0;
-        for per_bin in &series {
+        for per_bin in series {
             let trajs: Vec<Option<Vec<f64>>> =
                 per_bin.iter().map(|s| self.trajectory(s)).collect();
             let dim = self.scales * 2;
@@ -198,10 +183,89 @@ impl Detector for GammaDetector {
         self.tuning
     }
 
-    fn analyze(&self, view: &TraceView<'_>) -> Vec<Alarm> {
+    fn incremental(&self) -> Box<dyn IncrementalDetector> {
+        Box::new(GammaAccumulator { det: self.clone(), window: None, t_bins: 0, seen: 0, dirs: Vec::new() })
+    }
+}
+
+/// Per-direction accumulated sketch state.
+struct GammaDirState {
+    dir: Direction,
+    sketch: SketchFamily,
+    /// Count series per (row, bin): `series[row][bin][t]`.
+    series: Vec<Vec<Vec<f64>>>,
+    hosts: HashSet<u32>,
+}
+
+/// Incremental form of [`GammaDetector`]: chunk observation folds
+/// packets into per-(row, bin) count series keyed by absolute time
+/// bin; the Gamma fitting and sketch reversal run once at finish.
+pub struct GammaAccumulator {
+    det: GammaDetector,
+    window: Option<TimeWindow>,
+    t_bins: usize,
+    seen: u64,
+    dirs: Vec<GammaDirState>,
+}
+
+impl IncrementalDetector for GammaAccumulator {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Gamma
+    }
+
+    fn tuning(&self) -> Tuning {
+        self.det.tuning
+    }
+
+    fn begin(&mut self, meta: &TraceMeta) {
+        let window = meta.window();
+        self.window = Some(window);
+        self.t_bins = (window.len_us() / self.det.delta_us) as usize;
+        self.seen = 0;
+        self.dirs = if self.t_bins < 8 {
+            Vec::new() // too short to analyse; observe() becomes a no-op
+        } else {
+            vec![
+                self.det.direction_state(Direction::Src, self.t_bins),
+                self.det.direction_state(Direction::Dst, self.t_bins),
+            ]
+        };
+    }
+
+    fn observe(&mut self, chunk: &ChunkView<'_>) {
+        if self.dirs.is_empty() {
+            return;
+        }
+        let window = self.window.expect("observe before begin");
+        self.seen += chunk.packets.len() as u64;
+        for p in chunk.packets {
+            let Some(dt) = p.ts_us.checked_sub(window.start_us) else { continue };
+            let t = (dt / self.det.delta_us) as usize;
+            if t >= self.t_bins {
+                continue;
+            }
+            for state in &mut self.dirs {
+                let ip = match state.dir {
+                    Direction::Src => u32::from(p.src),
+                    Direction::Dst => u32::from(p.dst),
+                };
+                state.hosts.insert(ip);
+                for (row, per_bin) in state.series.iter_mut().enumerate() {
+                    per_bin[state.sketch.bin(row, ip as u64)][t] += 1.0;
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Vec<Alarm> {
         let mut out = Vec::new();
-        self.analyze_direction(view, Direction::Src, &mut out);
-        self.analyze_direction(view, Direction::Dst, &mut out);
+        if self.seen == 0 {
+            return out;
+        }
+        let window = self.window.expect("finish before begin");
+        for state in &self.dirs {
+            self.det.finish_direction(state, window, &mut out);
+        }
         out
     }
 }
@@ -209,6 +273,7 @@ impl Detector for GammaDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TraceView;
     use mawilab_model::FlowTable;
     use mawilab_synth::{AnomalySpec, SynthConfig, TraceGenerator};
 

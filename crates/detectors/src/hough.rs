@@ -13,8 +13,8 @@
 //! to this detector.
 
 use crate::alarm::{Alarm, AlarmScope, DetectorKind, Tuning};
-use crate::{Detector, TraceView};
-use mawilab_model::{FlowId, TimeWindow};
+use crate::{ChunkView, Detector, IncrementalDetector};
+use mawilab_model::{FlowKey, TimeWindow, TraceMeta};
 use std::collections::{HashMap, HashSet};
 
 /// Which picture a pixel belongs to.
@@ -66,29 +66,26 @@ impl HoughDetector {
         }
     }
 
-    fn analyze_picture(&self, view: &TraceView<'_>, picture: Picture, out: &mut Vec<Alarm>) {
-        let trace = view.trace;
-        let window = trace.meta.window();
-        if trace.is_empty() {
-            return;
-        }
-        let bin_us = (window.len_us() / self.time_bins as u64).max(1);
+    /// Pixel of one packet in one picture.
+    fn pixel(&self, picture: Picture, window_start_us: u64, bin_us: u64, p: &mawilab_model::Packet) -> (u16, u16) {
+        let x = ((p.ts_us.saturating_sub(window_start_us) / bin_us) as usize)
+            .min(self.time_bins - 1);
+        let y = match picture {
+            Picture::Port => (p.dport as usize * self.y_bins) >> 16, // port/64
+            Picture::Addr => {
+                (u32::from(p.dst).wrapping_mul(2_654_435_761) as usize) % self.y_bins
+            }
+        };
+        (x as u16, y as u16)
+    }
 
-        // Sparse picture: pixel → (count, contributing flows).
-        let mut cells: HashMap<(u16, u16), (u32, HashSet<FlowId>)> = HashMap::new();
-        for (i, p) in trace.packets.iter().enumerate() {
-            let x = ((p.ts_us.saturating_sub(window.start_us) / bin_us) as usize)
-                .min(self.time_bins - 1);
-            let y = match picture {
-                Picture::Port => (p.dport as usize * self.y_bins) >> 16, // port/64
-                Picture::Addr => {
-                    (u32::from(p.dst).wrapping_mul(2_654_435_761) as usize) % self.y_bins
-                }
-            };
-            let cell = cells.entry((x as u16, y as u16)).or_default();
-            cell.0 += 1;
-            cell.1.insert(view.flows.uniflow_of(i));
-        }
+    fn finish_picture(
+        &self,
+        window: TimeWindow,
+        bin_us: u64,
+        cells: &HashMap<(u16, u16), (u32, HashSet<FlowKey>)>,
+        out: &mut Vec<Alarm>,
+    ) {
         // Per-row (y) baseline: the median count across all time bins
         // of the row, zeros included. A pixel is *anomalous* only when
         // it exceeds the baseline by `pixel_min` — constant service
@@ -96,7 +93,7 @@ impl HoughDetector {
         // stop producing always-on false lines, while transient
         // floods/scans rise far above their row's median.
         let mut row_counts: HashMap<u16, Vec<u32>> = HashMap::new();
-        for (&(_, y), (c, _)) in &cells {
+        for (&(_, y), (c, _)) in cells {
             row_counts.entry(y).or_default().push(*c);
         }
         let mut row_median: HashMap<u16, u32> = HashMap::new();
@@ -112,7 +109,7 @@ impl HoughDetector {
             row_median.insert(y, med);
         }
         // Active pixels in a deterministic order.
-        let mut pixels: Vec<((u16, u16), &HashSet<FlowId>)> = cells
+        let mut pixels: Vec<((u16, u16), &HashSet<FlowKey>)> = cells
             .iter()
             .filter(|(&(_, y), (c, _))| {
                 c.saturating_sub(*row_median.get(&y).unwrap_or(&0)) >= self.pixel_min
@@ -172,7 +169,7 @@ impl HoughDetector {
             }
             // Gather this line's pixels.
             let (c, s) = angles[key.0 as usize];
-            let mut flows: HashSet<FlowId> = HashSet::new();
+            let mut flows: HashSet<FlowKey> = HashSet::new();
             let mut x_min = u16::MAX;
             let mut x_max = 0u16;
             let mut fresh = 0usize;
@@ -195,8 +192,7 @@ impl HoughDetector {
                 continue;
             }
             taken.push(key);
-            let mut keys: Vec<_> =
-                flows.iter().map(|&f| *view.flows.uniflow_key(f)).collect();
+            let mut keys: Vec<FlowKey> = flows.into_iter().collect();
             keys.sort();
             keys.truncate(5_000);
             out.push(Alarm {
@@ -222,10 +218,71 @@ impl Detector for HoughDetector {
         self.tuning
     }
 
-    fn analyze(&self, view: &TraceView<'_>) -> Vec<Alarm> {
+    fn incremental(&self) -> Box<dyn IncrementalDetector> {
+        Box::new(HoughAccumulator {
+            det: self.clone(),
+            window: None,
+            bin_us: 1,
+            seen: 0,
+            pictures: [(Picture::Port, HashMap::new()), (Picture::Addr, HashMap::new())],
+        })
+    }
+}
+
+/// Incremental form of [`HoughDetector`]: chunk observation paints
+/// packets into the two sparse pictures (pixel → count + contributing
+/// flow keys, keyed by absolute time bin); the Hough transform and
+/// peak extraction run once at finish.
+pub struct HoughAccumulator {
+    det: HoughDetector,
+    window: Option<TimeWindow>,
+    bin_us: u64,
+    seen: u64,
+    pictures: [(Picture, HashMap<(u16, u16), (u32, HashSet<FlowKey>)>); 2],
+}
+
+impl IncrementalDetector for HoughAccumulator {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Hough
+    }
+
+    fn tuning(&self) -> Tuning {
+        self.det.tuning
+    }
+
+    fn begin(&mut self, meta: &TraceMeta) {
+        let window = meta.window();
+        self.window = Some(window);
+        self.bin_us = (window.len_us() / self.det.time_bins as u64).max(1);
+        self.seen = 0;
+        for (_, cells) in &mut self.pictures {
+            cells.clear();
+        }
+    }
+
+    fn observe(&mut self, chunk: &ChunkView<'_>) {
+        let window = self.window.expect("observe before begin");
+        self.seen += chunk.packets.len() as u64;
+        for p in chunk.packets {
+            let key = FlowKey::of(p);
+            for (picture, cells) in &mut self.pictures {
+                let px = self.det.pixel(*picture, window.start_us, self.bin_us, p);
+                let cell = cells.entry(px).or_default();
+                cell.0 += 1;
+                cell.1.insert(key);
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Vec<Alarm> {
         let mut out = Vec::new();
-        self.analyze_picture(view, Picture::Port, &mut out);
-        self.analyze_picture(view, Picture::Addr, &mut out);
+        if self.seen == 0 {
+            return out;
+        }
+        let window = self.window.expect("finish before begin");
+        for (_, cells) in &self.pictures {
+            self.det.finish_picture(window, self.bin_us, cells, &mut out);
+        }
         out
     }
 }
@@ -233,6 +290,7 @@ impl Detector for HoughDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TraceView;
     use mawilab_model::{FlowTable, Protocol};
     use mawilab_synth::{AnomalySpec, SynthConfig, TraceGenerator};
 

@@ -17,11 +17,12 @@
 //! is why its tunings are the most precise rather than the loudest.
 
 use crate::alarm::{Alarm, AlarmScope, DetectorKind, Tuning};
-use crate::{Detector, TraceView};
+use crate::{ChunkView, Detector, IncrementalDetector};
 use mawilab_mining::{mine_rules, Transaction};
 use mawilab_stats::{kl_contributions, kl_divergence_counts, mad, median, Histogram};
-use mawilab_model::TimeWindow;
-use std::collections::HashSet;
+use mawilab_model::{TimeWindow, TraceMeta};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
 
 /// The four monitored features.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,13 +37,58 @@ const FEATURES: [Feature; 4] =
     [Feature::SrcAddr, Feature::DstAddr, Feature::SrcPort, Feature::DstPort];
 
 impl Feature {
+    /// Histogram key of one packet — delegated to
+    /// [`PacketTuple::feature_key`] so histogram population and
+    /// suspicious-tuple lookup share a single encoding.
     fn key(self, p: &mawilab_model::Packet) -> u64 {
-        match self {
-            Feature::SrcAddr => u32::from(p.src) as u64,
-            Feature::DstAddr => u32::from(p.dst) as u64,
-            Feature::SrcPort => p.sport as u64 | 1 << 40,
-            Feature::DstPort => p.dport as u64 | 1 << 41,
+        PacketTuple::of(p).feature_key(self)
+    }
+}
+
+/// The 4-tuple a packet contributes to rule mining. Packets sharing a
+/// tuple are interchangeable for the detector's extraction step, so
+/// the accumulator stores tuple *counts* per time bin instead of the
+/// packets themselves — the piece that makes KL streamable without
+/// retaining packets. The count maps grow with per-bin tuple
+/// *diversity*: far below packet volume on normal traffic, but
+/// adversarial spoofed-source floods can approach one entry per
+/// packet within the flooded bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct PacketTuple {
+    src: u32,
+    dst: u32,
+    sport: u16,
+    dport: u16,
+}
+
+impl PacketTuple {
+    fn of(p: &mawilab_model::Packet) -> Self {
+        PacketTuple {
+            src: u32::from(p.src),
+            dst: u32::from(p.dst),
+            sport: p.sport,
+            dport: p.dport,
         }
+    }
+
+    /// The single feature-key encoding ([`Feature::key`] delegates
+    /// here): addresses raw, ports tagged into disjoint bit ranges.
+    fn feature_key(&self, f: Feature) -> u64 {
+        match f {
+            Feature::SrcAddr => self.src as u64,
+            Feature::DstAddr => self.dst as u64,
+            Feature::SrcPort => self.sport as u64 | 1 << 40,
+            Feature::DstPort => self.dport as u64 | 1 << 41,
+        }
+    }
+
+    fn transaction(&self) -> Transaction {
+        Transaction::new(
+            Ipv4Addr::from(self.src),
+            self.sport,
+            Ipv4Addr::from(self.dst),
+            self.dport,
+        )
     }
 }
 
@@ -98,29 +144,93 @@ impl Detector for KlDetector {
         self.tuning
     }
 
-    fn analyze(&self, view: &TraceView<'_>) -> Vec<Alarm> {
-        let trace = view.trace;
-        let window = trace.meta.window();
-        let t_bins = (window.len_us() / self.bin_us) as usize;
-        if t_bins < 3 || trace.is_empty() {
+    fn incremental(&self) -> Box<dyn IncrementalDetector> {
+        Box::new(KlAccumulator {
+            det: self.clone(),
+            window: None,
+            t_bins: 0,
+            seen: 0,
+            hists: Vec::new(),
+            bin_tuples: Vec::new(),
+        })
+    }
+}
+
+/// Incremental form of [`KlDetector`]: chunk observation folds
+/// packets into per-(feature, bin) histograms plus per-bin 4-tuple
+/// counts keyed by absolute time bin; divergence thresholding and
+/// rule mining run once at finish.
+pub struct KlAccumulator {
+    det: KlDetector,
+    window: Option<TimeWindow>,
+    t_bins: usize,
+    seen: u64,
+    /// `hists[feature][t]`.
+    hists: Vec<Vec<Histogram>>,
+    /// Distinct 4-tuples with multiplicities, per time bin.
+    bin_tuples: Vec<HashMap<PacketTuple, u32>>,
+}
+
+impl IncrementalDetector for KlAccumulator {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Kl
+    }
+
+    fn tuning(&self) -> Tuning {
+        self.det.tuning
+    }
+
+    fn begin(&mut self, meta: &TraceMeta) {
+        let window = meta.window();
+        self.window = Some(window);
+        self.t_bins = (window.len_us() / self.det.bin_us) as usize;
+        self.seen = 0;
+        if self.t_bins < 3 {
+            self.hists = Vec::new();
+            self.bin_tuples = Vec::new();
+        } else {
+            self.hists = FEATURES
+                .iter()
+                .map(|_| (0..self.t_bins).map(|_| Histogram::new(self.det.hist_bins)).collect())
+                .collect();
+            self.bin_tuples = vec![HashMap::new(); self.t_bins];
+        }
+    }
+
+    fn observe(&mut self, chunk: &ChunkView<'_>) {
+        if self.hists.is_empty() {
+            return;
+        }
+        let window = self.window.expect("observe before begin");
+        self.seen += chunk.packets.len() as u64;
+        for p in chunk.packets {
+            let t = ((p.ts_us.saturating_sub(window.start_us) / self.det.bin_us) as usize)
+                .min(self.t_bins - 1);
+            for (fi, f) in FEATURES.iter().enumerate() {
+                self.hists[fi][t].add(f.key(p));
+            }
+            *self.bin_tuples[t].entry(PacketTuple::of(p)).or_insert(0) += 1;
+        }
+    }
+
+    fn finish(&mut self) -> Vec<Alarm> {
+        if self.hists.is_empty() || self.seen == 0 {
             return Vec::new();
         }
+        let window = self.window.expect("finish before begin");
+        self.det.finish_analysis(window, self.t_bins, &self.hists, &self.bin_tuples)
+    }
+}
 
-        // Histograms per (feature, bin) + packet index lists per bin.
-        let mut hists: Vec<Vec<Histogram>> = FEATURES
-            .iter()
-            .map(|_| (0..t_bins).map(|_| Histogram::new(self.hist_bins)).collect())
-            .collect();
-        let mut bin_packets: Vec<Vec<u32>> = vec![Vec::new(); t_bins];
-        for (i, p) in trace.packets.iter().enumerate() {
-            let t =
-                ((p.ts_us.saturating_sub(window.start_us) / self.bin_us) as usize).min(t_bins - 1);
-            for (fi, f) in FEATURES.iter().enumerate() {
-                hists[fi][t].add(f.key(p));
-            }
-            bin_packets[t].push(i as u32);
-        }
-
+impl KlDetector {
+    /// The batch analysis over fully accumulated histogram state.
+    fn finish_analysis(
+        &self,
+        window: TimeWindow,
+        t_bins: usize,
+        hists: &[Vec<Histogram>],
+        bin_tuples: &[HashMap<PacketTuple, u32>],
+    ) -> Vec<Alarm> {
         let mut alarms = Vec::new();
         let mut seen: HashSet<(usize, mawilab_model::TrafficRule)> = HashSet::new();
         for (fi, f) in FEATURES.iter().enumerate() {
@@ -159,13 +269,21 @@ impl Detector for KlDetector {
                     continue;
                 }
                 // Suspicious packets: feature value in a top cell.
+                // The accumulated 4-tuples stand in for the packets
+                // (multiplicity preserved; sorted for a deterministic
+                // mining input — Apriori support counting is
+                // order-insensitive anyway).
                 let sample_hist = &hists[fi][t];
-                let suspicious: Vec<Transaction> = bin_packets[t]
-                    .iter()
-                    .map(|&i| &trace.packets[i as usize])
-                    .filter(|p| top.contains(&sample_hist.bin_of(f.key(p))))
-                    .map(Transaction::of_packet)
-                    .collect();
+                let mut tuples: Vec<(&PacketTuple, u32)> =
+                    bin_tuples[t].iter().map(|(tp, &n)| (tp, n)).collect();
+                tuples.sort_unstable_by_key(|(tp, _)| **tp);
+                let mut suspicious: Vec<Transaction> = Vec::new();
+                for (tp, n) in tuples {
+                    if top.contains(&sample_hist.bin_of(tp.feature_key(*f))) {
+                        suspicious
+                            .extend(std::iter::repeat_with(|| tp.transaction()).take(n as usize));
+                    }
+                }
                 if suspicious.len() < 5 {
                     continue;
                 }
@@ -204,6 +322,7 @@ impl Detector for KlDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TraceView;
     use mawilab_model::FlowTable;
     use mawilab_synth::{AnomalySpec, SynthConfig, TraceGenerator};
 

@@ -32,7 +32,7 @@ pub use hough::HoughDetector;
 pub use kl::KlDetector;
 pub use pca::PcaDetector;
 
-use mawilab_model::{FlowTable, Trace};
+use mawilab_model::{FlowTable, Packet, PacketChunk, TimeWindow, Trace, TraceMeta};
 
 /// A trace plus its precomputed flow index — the shared input of all
 /// detectors.
@@ -51,8 +51,74 @@ impl<'a> TraceView<'a> {
     }
 }
 
+/// One chunk of a packet stream, as seen by an incremental detector.
+///
+/// The whole trace fed as a single chunk and the same trace fed as
+/// many time-binned chunks accumulate into identical detector state:
+/// every detector bins packets by absolute timestamp against
+/// `meta.window()`, never by chunk boundary.
+pub struct ChunkView<'a> {
+    /// Metadata of the trace being streamed.
+    pub meta: &'a TraceMeta,
+    /// Nominal time bin of this chunk.
+    pub window: TimeWindow,
+    /// The chunk's packets, in arrival order.
+    pub packets: &'a [Packet],
+}
+
+impl<'a> ChunkView<'a> {
+    /// View over one streamed chunk.
+    pub fn of_chunk(meta: &'a TraceMeta, chunk: &'a PacketChunk) -> Self {
+        ChunkView { meta, window: chunk.window, packets: &chunk.packets }
+    }
+
+    /// View presenting an entire in-memory trace as one chunk — the
+    /// batch adapter's input.
+    pub fn whole_trace(trace: &'a Trace) -> Self {
+        ChunkView { meta: &trace.meta, window: trace.meta.window(), packets: &trace.packets }
+    }
+}
+
+/// The incremental (streaming) form of a detector configuration.
+///
+/// Lifecycle: one [`begin`](IncrementalDetector::begin), any number of
+/// [`observe`](IncrementalDetector::observe) calls over consecutive
+/// chunks, one [`finish`](IncrementalDetector::finish). Accumulated
+/// state is chunk-boundary invariant, so any chunking of the same
+/// packet sequence — including the whole trace as a single chunk —
+/// produces identical alarms.
+pub trait IncrementalDetector: Send {
+    /// Which of the four detector families this configuration is.
+    fn kind(&self) -> DetectorKind;
+
+    /// The tuning of this configuration.
+    fn tuning(&self) -> Tuning;
+
+    /// Prepares per-trace state (time-bin counts etc.) from the
+    /// trace metadata.
+    fn begin(&mut self, meta: &TraceMeta);
+
+    /// Folds one chunk of packets into the accumulated state.
+    fn observe(&mut self, chunk: &ChunkView<'_>);
+
+    /// Runs the analysis over the accumulated state and reports
+    /// alarms. The detector is spent afterwards; call
+    /// [`begin`](IncrementalDetector::begin) to reuse it.
+    fn finish(&mut self) -> Vec<Alarm>;
+
+    /// Unique label, e.g. `"Gamma/sensitive"`.
+    fn label(&self) -> String {
+        format!("{}/{}", self.kind(), self.tuning())
+    }
+}
+
 /// A traffic anomaly detector with one fixed parameter set
 /// (a *configuration* in the paper's terminology).
+///
+/// The batch entry point [`analyze`](Detector::analyze) is a thin
+/// adapter over the incremental form: it feeds the whole trace as one
+/// chunk through [`incremental`](Detector::incremental), so batch and
+/// streaming runs share one implementation and cannot drift apart.
 pub trait Detector: Send + Sync {
     /// Which of the four detector families this configuration is.
     fn kind(&self) -> DetectorKind;
@@ -60,8 +126,16 @@ pub trait Detector: Send + Sync {
     /// The tuning of this configuration.
     fn tuning(&self) -> Tuning;
 
+    /// Builds the incremental (streaming) form of this configuration.
+    fn incremental(&self) -> Box<dyn IncrementalDetector>;
+
     /// Analyzes a trace and reports alarms.
-    fn analyze(&self, view: &TraceView<'_>) -> Vec<Alarm>;
+    fn analyze(&self, view: &TraceView<'_>) -> Vec<Alarm> {
+        let mut inc = self.incremental();
+        inc.begin(&view.trace.meta);
+        inc.observe(&ChunkView::whole_trace(view.trace));
+        inc.finish()
+    }
 
     /// Unique label, e.g. `"Gamma/sensitive"`.
     fn label(&self) -> String {
@@ -106,6 +180,32 @@ pub fn run_all(configs: &[Box<dyn Detector>], view: &TraceView<'_>) -> Vec<Alarm
     results.into_iter().flatten().collect()
 }
 
+/// Folds one chunk into every incremental configuration, in parallel
+/// across configurations (scoped threads; the chunk is shared
+/// read-only).
+pub fn observe_all(configs: &mut [Box<dyn IncrementalDetector>], chunk: &ChunkView<'_>) {
+    std::thread::scope(|s| {
+        for c in configs.iter_mut() {
+            s.spawn(move || c.observe(chunk));
+        }
+    });
+}
+
+/// Finishes every incremental configuration, returning the
+/// concatenated alarms in configuration order — the same order
+/// [`run_all`] concatenates batch results in.
+pub fn finish_all(configs: &mut [Box<dyn IncrementalDetector>]) -> Vec<Alarm> {
+    let mut results: Vec<Vec<Alarm>> = Vec::with_capacity(configs.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> =
+            configs.iter_mut().map(|c| s.spawn(move || c.finish())).collect();
+        for h in handles {
+            results.push(h.join().expect("detector thread panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +243,53 @@ mod tests {
         let lt = TraceGenerator::new(SynthConfig::default().with_seed(1)).generate();
         let empty = mawilab_model::FlowTable::build(&[]);
         TraceView::new(&lt.trace, &empty);
+    }
+
+    #[test]
+    fn incremental_is_chunk_boundary_invariant() {
+        use mawilab_model::{PacketSource, TraceChunker};
+        let lt = TraceGenerator::new(SynthConfig::default().with_seed(42)).generate();
+        let flows = mawilab_model::FlowTable::build(&lt.trace.packets);
+        let view = TraceView::new(&lt.trace, &flows);
+        for config in standard_configurations() {
+            let batch = config.analyze(&view);
+            for bin_us in [2_000_000u64, 5_000_000, 60_000_000] {
+                let mut inc = config.incremental();
+                inc.begin(&lt.trace.meta);
+                let mut source = TraceChunker::new(lt.trace.clone(), bin_us);
+                while let Some(chunk) = source.next_chunk().unwrap() {
+                    inc.observe(&ChunkView::of_chunk(&lt.trace.meta, chunk));
+                }
+                let streamed = inc.finish();
+                assert_eq!(
+                    streamed,
+                    batch,
+                    "{} diverges between batch and {}s chunks",
+                    config.label(),
+                    bin_us / 1_000_000
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observe_and_finish_all_match_run_all() {
+        use mawilab_model::{PacketSource, TraceChunker};
+        let lt = TraceGenerator::new(SynthConfig::default().with_seed(7)).generate();
+        let flows = mawilab_model::FlowTable::build(&lt.trace.packets);
+        let view = TraceView::new(&lt.trace, &flows);
+        let configs = standard_configurations();
+        let batch = run_all(&configs, &view);
+
+        let mut incs: Vec<Box<dyn IncrementalDetector>> =
+            configs.iter().map(|c| c.incremental()).collect();
+        for inc in &mut incs {
+            inc.begin(&lt.trace.meta);
+        }
+        let mut source = TraceChunker::new(lt.trace.clone(), 5_000_000);
+        while let Some(chunk) = source.next_chunk().unwrap() {
+            observe_all(&mut incs, &ChunkView::of_chunk(&lt.trace.meta, chunk));
+        }
+        assert_eq!(finish_all(&mut incs), batch);
     }
 }

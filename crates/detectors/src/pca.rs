@@ -21,12 +21,12 @@
 //! communities (Fig. 5) — so its sensitive tuning flags aggressively.
 
 use crate::alarm::{Alarm, AlarmScope, DetectorKind, Tuning};
-use crate::{Detector, TraceView};
+use crate::{ChunkView, Detector, IncrementalDetector};
 use mawilab_linalg::pca::{ColumnScaling, PcaComponents};
 use mawilab_linalg::{Matrix, Pca};
 use mawilab_sketch::SketchFamily;
 use mawilab_stats::{mad, median};
-use mawilab_model::TimeWindow;
+use mawilab_model::{TimeWindow, TraceMeta};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
@@ -135,34 +135,104 @@ impl Detector for PcaDetector {
         self.tuning
     }
 
-    fn analyze(&self, view: &TraceView<'_>) -> Vec<Alarm> {
-        let trace = view.trace;
-        let window = trace.meta.window();
-        let t_bins = (window.len_us() / self.bin_us) as usize;
-        if t_bins < 4 || trace.is_empty() {
-            return Vec::new();
-        }
-        let sketch = SketchFamily::new(self.sketch_rows, self.sketch_width, self.seed);
+    fn incremental(&self) -> Box<dyn IncrementalDetector> {
+        Box::new(PcaAccumulator {
+            det: self.clone(),
+            window: None,
+            t_bins: 0,
+            seen: 0,
+            sketch: None,
+            counts: Vec::new(),
+            active: Vec::new(),
+        })
+    }
+}
 
-        // Count matrices, one per hash row, plus active sources per bin.
-        let mut counts =
-            vec![Matrix::zeros(t_bins, self.sketch_width); self.sketch_rows];
-        let mut active: Vec<HashSet<u32>> = vec![HashSet::new(); t_bins];
-        for p in &trace.packets {
+/// Incremental form of [`PcaDetector`]: chunk observation folds
+/// packets into per-row time×bin count matrices keyed by absolute
+/// time bin; the robust subspace fit and sketch reversal run once at
+/// finish.
+pub struct PcaAccumulator {
+    det: PcaDetector,
+    window: Option<TimeWindow>,
+    t_bins: usize,
+    seen: u64,
+    sketch: Option<SketchFamily>,
+    counts: Vec<Matrix>,
+    active: Vec<HashSet<u32>>,
+}
+
+impl IncrementalDetector for PcaAccumulator {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Pca
+    }
+
+    fn tuning(&self) -> Tuning {
+        self.det.tuning
+    }
+
+    fn begin(&mut self, meta: &TraceMeta) {
+        let window = meta.window();
+        self.window = Some(window);
+        self.t_bins = (window.len_us() / self.det.bin_us) as usize;
+        self.seen = 0;
+        if self.t_bins < 4 {
+            self.sketch = None;
+            self.counts = Vec::new();
+            self.active = Vec::new();
+        } else {
+            self.sketch = Some(SketchFamily::new(
+                self.det.sketch_rows,
+                self.det.sketch_width,
+                self.det.seed,
+            ));
+            self.counts =
+                vec![Matrix::zeros(self.t_bins, self.det.sketch_width); self.det.sketch_rows];
+            self.active = vec![HashSet::new(); self.t_bins];
+        }
+    }
+
+    fn observe(&mut self, chunk: &ChunkView<'_>) {
+        let Some(sketch) = &self.sketch else { return };
+        let window = self.window.expect("observe before begin");
+        self.seen += chunk.packets.len() as u64;
+        for p in chunk.packets {
             // Packets stamped outside the nominal window (clock skew
             // in real captures) are skipped.
             let Some(dt) = p.ts_us.checked_sub(window.start_us) else { continue };
-            let t = (dt / self.bin_us) as usize;
-            if t >= t_bins {
+            let t = (dt / self.det.bin_us) as usize;
+            if t >= self.t_bins {
                 continue;
             }
             let key = u32::from(p.src) as u64;
-            for (row, m) in counts.iter_mut().enumerate() {
+            for (row, m) in self.counts.iter_mut().enumerate() {
                 m[(t, sketch.bin(row, key))] += 1.0;
             }
-            active[t].insert(u32::from(p.src));
+            self.active[t].insert(u32::from(p.src));
         }
+    }
 
+    fn finish(&mut self) -> Vec<Alarm> {
+        let (Some(sketch), Some(window)) = (&self.sketch, self.window) else {
+            return Vec::new();
+        };
+        if self.seen == 0 {
+            return Vec::new();
+        }
+        self.det.finish_analysis(sketch, window, self.t_bins, &self.counts, &self.active)
+    }
+}
+
+impl PcaDetector {
+    /// The batch analysis over fully accumulated sketch state.
+    fn finish_analysis(
+        &self,
+        sketch: &SketchFamily,
+        window: TimeWindow,
+        t_bins: usize,
+        counts: &[Matrix],
+        active: &[HashSet<u32>],
+    ) -> Vec<Alarm> {
         // Per row: subspace fit → flagged (time, bin) pairs.
         // flagged[row][t] = boolean bin vector (empty Vec = untouched).
         let mut flagged: Vec<Vec<Vec<bool>>> =
@@ -260,6 +330,7 @@ impl Detector for PcaDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TraceView;
     use mawilab_model::FlowTable;
     use mawilab_synth::{AnomalySpec, SynthConfig, TraceGenerator};
 

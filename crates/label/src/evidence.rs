@@ -1,0 +1,202 @@
+//! Community evidence accumulated during streaming ingest.
+//!
+//! Batch labeling walks the materialised trace to gather each
+//! community's packets (for the Table-1 heuristics) and traffic-unit
+//! transactions (for the Apriori summaries). Streaming ingest cannot
+//! walk back over packets, so [`CommunityEvidence`] accumulates the
+//! same information chunk by chunk during the extraction pass:
+//!
+//! * at flow granularities, one additive [`TrafficProfile`] per flow
+//!   — a community's profile is the merge over its flows' profiles,
+//!   identical to profiling its packet list because flows partition
+//!   packets and each community counts a flow at most once;
+//! * at packet granularity, a profile and a [`Transaction`] per
+//!   *matched* packet only (a packet-granularity traffic unit is in a
+//!   community exactly when the packet itself matched an alarm, so no
+//!   pre-match history can be lost).
+//!
+//! Memory is O(distinct flows) / O(matched packets), never O(trace).
+
+use crate::heuristics::TrafficProfile;
+use mawilab_mining::Transaction;
+use mawilab_model::{Granularity, ItemIndex, Packet};
+use std::collections::HashMap;
+
+/// Per-traffic-unit evidence for heuristic and summary labeling.
+#[derive(Debug, Clone)]
+pub struct CommunityEvidence {
+    granularity: Granularity,
+    /// Dense per-flow profiles (uniflow/biflow granularities).
+    flow_profiles: Vec<TrafficProfile>,
+    /// Per-matched-packet profiles (packet granularity).
+    packet_profiles: HashMap<u32, TrafficProfile>,
+    /// Per-matched-packet transactions (packet granularity).
+    packet_transactions: HashMap<u32, Transaction>,
+}
+
+impl CommunityEvidence {
+    /// An empty collector for one granularity.
+    pub fn new(granularity: Granularity) -> Self {
+        CommunityEvidence {
+            granularity,
+            flow_profiles: Vec::new(),
+            packet_profiles: HashMap::new(),
+            packet_transactions: HashMap::new(),
+        }
+    }
+
+    /// Folds one chunk in. `ids[i]` is the traffic-unit id of
+    /// `packets[i]`, `matched[i]` whether it matched ≥1 alarm (from
+    /// the streaming extractor).
+    pub fn observe(&mut self, packets: &[Packet], ids: &[u32], matched: &[bool]) {
+        assert_eq!(packets.len(), ids.len(), "one id per packet required");
+        match self.granularity {
+            Granularity::Uniflow | Granularity::Biflow => {
+                for (p, &id) in packets.iter().zip(ids) {
+                    let idx = id as usize;
+                    if idx >= self.flow_profiles.len() {
+                        self.flow_profiles.resize(idx + 1, TrafficProfile::new());
+                    }
+                    self.flow_profiles[idx].add(p);
+                }
+            }
+            Granularity::Packet => {
+                assert_eq!(packets.len(), matched.len(), "one matched flag per packet");
+                for ((p, &id), &m) in packets.iter().zip(ids).zip(matched) {
+                    if m {
+                        self.packet_profiles.entry(id).or_default().add(p);
+                        self.packet_transactions.insert(id, Transaction::of_packet(p));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merged profile of a community's (sorted, deduplicated) traffic
+    /// ids — identical to profiling the community's packet list.
+    pub fn profile_of(&self, ids: &[u32]) -> TrafficProfile {
+        let mut out = TrafficProfile::new();
+        match self.granularity {
+            Granularity::Uniflow | Granularity::Biflow => {
+                for &id in ids {
+                    if let Some(p) = self.flow_profiles.get(id as usize) {
+                        out.merge(p);
+                    }
+                }
+            }
+            Granularity::Packet => {
+                for &id in ids {
+                    if let Some(p) = self.packet_profiles.get(&id) {
+                        out.merge(p);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The Apriori transactions of a community's traffic ids, in id
+    /// order — identical to `summary::community_transactions` over a
+    /// batch view.
+    pub fn transactions_of(&self, ids: &[u32], index: &ItemIndex) -> Vec<Transaction> {
+        match self.granularity {
+            Granularity::Packet => ids
+                .iter()
+                .filter_map(|id| self.packet_transactions.get(id).cloned())
+                .collect(),
+            Granularity::Uniflow => ids
+                .iter()
+                .map(|&id| {
+                    let k = index.uniflow_key(id);
+                    Transaction::new(k.src, k.sport, k.dst, k.dport)
+                })
+                .collect(),
+            Granularity::Biflow => ids
+                .iter()
+                .map(|&id| {
+                    let k = index.biflow_key(id);
+                    Transaction::new(k.a, k.aport, k.b, k.bport)
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::classify_packets;
+    use mawilab_model::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    fn ip(d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(172, 20, 0, d)
+    }
+
+    fn packets() -> Vec<Packet> {
+        let mut v = Vec::new();
+        for i in 0..40u64 {
+            v.push(Packet::tcp(
+                i,
+                ip((i % 4) as u8),
+                2000 + (i % 2) as u16,
+                ip(200),
+                445,
+                TcpFlags::syn(),
+                48,
+            ));
+        }
+        v
+    }
+
+    #[test]
+    fn merged_flow_profiles_classify_like_packet_list() {
+        let pkts = packets();
+        let mut index = ItemIndex::new(Granularity::Uniflow);
+        let mut ids = Vec::new();
+        index.ids_of(&pkts, &mut ids);
+        let mut ev = CommunityEvidence::new(Granularity::Uniflow);
+        // Feed in two chunks to exercise cross-chunk accumulation.
+        ev.observe(&pkts[..17], &ids[..17], &[]);
+        ev.observe(&pkts[17..], &ids[17..], &[]);
+        let mut community: Vec<u32> = ids.clone();
+        community.sort_unstable();
+        community.dedup();
+        let streamed = ev.profile_of(&community).classify();
+        assert_eq!(streamed, classify_packets(&pkts));
+    }
+
+    #[test]
+    fn packet_granularity_keeps_only_matched() {
+        let pkts = packets();
+        let ids: Vec<u32> = (0..pkts.len() as u32).collect();
+        let matched: Vec<bool> = (0..pkts.len()).map(|i| i % 2 == 0).collect();
+        let mut ev = CommunityEvidence::new(Granularity::Packet);
+        ev.observe(&pkts, &ids, &matched);
+        let index = ItemIndex::new(Granularity::Packet);
+        let even: Vec<u32> = ids.iter().copied().filter(|i| i % 2 == 0).collect();
+        assert_eq!(ev.transactions_of(&even, &index).len(), even.len());
+        let odd: Vec<u32> = ids.iter().copied().filter(|i| i % 2 == 1).collect();
+        assert!(ev.transactions_of(&odd, &index).is_empty());
+        assert_eq!(ev.profile_of(&even).packet_count(), even.len());
+    }
+
+    #[test]
+    fn uniflow_transactions_use_flow_keys() {
+        let pkts = packets();
+        let mut index = ItemIndex::new(Granularity::Uniflow);
+        let mut ids = Vec::new();
+        index.ids_of(&pkts, &mut ids);
+        let mut ev = CommunityEvidence::new(Granularity::Uniflow);
+        ev.observe(&pkts, &ids, &[]);
+        let mut community: Vec<u32> = ids.clone();
+        community.sort_unstable();
+        community.dedup();
+        let txs = ev.transactions_of(&community, &index);
+        assert_eq!(txs.len(), community.len());
+        for (tx, &id) in txs.iter().zip(&community) {
+            let k = index.uniflow_key(id);
+            assert_eq!(*tx, Transaction::new(k.src, k.sport, k.dst, k.dport));
+        }
+    }
+}

@@ -102,65 +102,118 @@ impl fmt::Display for HeuristicLabel {
     }
 }
 
-/// Fraction of packets touching port `port` (either direction) with
-/// protocol `proto`, among `total`.
-struct TrafficProfile {
-    total: usize,
-    icmp: usize,
-    tcp: usize,
-    syn: usize,
-    ctrl: usize, // SYN|RST|FIN
-    port_tcp: [(u16, usize); 12],
-    port_udp: [(u16, usize); 2],
+/// Additive traffic profile: the per-packet counters the Table-1
+/// rules consume (port shares, TCP flag ratios, ICMP share).
+///
+/// Profiles are monoidal — [`add`](TrafficProfile::add) folds one
+/// packet in, [`merge`](TrafficProfile::merge) combines two profiles
+/// — so a community's profile can be assembled from per-flow
+/// profiles accumulated chunk by chunk during streaming ingest, and
+/// the result is bit-identical to profiling the community's packet
+/// list in one batch pass.
+/// Counters are `u32` and port slots are keyed positionally by the
+/// static `TCP_PORTS`/`UDP_PORTS` tables: the streaming pipeline
+/// keeps one profile per live flow, so the struct is packed to 76
+/// bytes rather than carrying redundant port labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficProfile {
+    total: u32,
+    icmp: u32,
+    tcp: u32,
+    syn: u32,
+    ctrl: u32, // SYN|RST|FIN
+    port_tcp: [u32; 12],
+    port_udp: [u32; 2],
+}
+
+impl Default for TrafficProfile {
+    fn default() -> Self {
+        TrafficProfile::new()
+    }
 }
 
 const TCP_PORTS: [u16; 12] = [1023, 5554, 9898, 135, 445, 139, 80, 8080, 20, 21, 22, 53];
 const UDP_PORTS: [u16; 2] = [137, 53];
 
 impl TrafficProfile {
-    fn collect<'a, I: IntoIterator<Item = &'a Packet>>(packets: I) -> Self {
-        let mut p = TrafficProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        TrafficProfile {
             total: 0,
             icmp: 0,
             tcp: 0,
             syn: 0,
             ctrl: 0,
-            port_tcp: TCP_PORTS.map(|q| (q, 0)),
-            port_udp: UDP_PORTS.map(|q| (q, 0)),
-        };
-        for pkt in packets {
-            p.total += 1;
-            match pkt.proto {
-                Protocol::Icmp => p.icmp += 1,
-                Protocol::Tcp => {
-                    p.tcp += 1;
-                    if pkt.flags.is_syn() {
-                        p.syn += 1;
-                    }
-                    if pkt.flags.is_syn() || pkt.flags.is_rst() || pkt.flags.is_fin() {
-                        p.ctrl += 1;
-                    }
-                    for slot in p.port_tcp.iter_mut() {
-                        if pkt.sport == slot.0 || pkt.dport == slot.0 {
-                            slot.1 += 1;
-                        }
+            port_tcp: [0; 12],
+            port_udp: [0; 2],
+        }
+    }
+
+    /// Folds one packet into the profile.
+    pub fn add(&mut self, pkt: &Packet) {
+        self.total += 1;
+        match pkt.proto {
+            Protocol::Icmp => self.icmp += 1,
+            Protocol::Tcp => {
+                self.tcp += 1;
+                if pkt.flags.is_syn() {
+                    self.syn += 1;
+                }
+                if pkt.flags.is_syn() || pkt.flags.is_rst() || pkt.flags.is_fin() {
+                    self.ctrl += 1;
+                }
+                for (slot, &port) in self.port_tcp.iter_mut().zip(TCP_PORTS.iter()) {
+                    if pkt.sport == port || pkt.dport == port {
+                        *slot += 1;
                     }
                 }
-                Protocol::Udp => {
-                    for slot in p.port_udp.iter_mut() {
-                        if pkt.sport == slot.0 || pkt.dport == slot.0 {
-                            slot.1 += 1;
-                        }
-                    }
-                }
-                Protocol::Other(_) => {}
             }
+            Protocol::Udp => {
+                for (slot, &port) in self.port_udp.iter_mut().zip(UDP_PORTS.iter()) {
+                    if pkt.sport == port || pkt.dport == port {
+                        *slot += 1;
+                    }
+                }
+            }
+            Protocol::Other(_) => {}
+        }
+    }
+
+    /// Combines another profile into this one (disjoint packet sets
+    /// assumed, as with per-flow partitions).
+    pub fn merge(&mut self, other: &TrafficProfile) {
+        self.total += other.total;
+        self.icmp += other.icmp;
+        self.tcp += other.tcp;
+        self.syn += other.syn;
+        self.ctrl += other.ctrl;
+        for (a, b) in self.port_tcp.iter_mut().zip(other.port_tcp.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.port_udp.iter_mut().zip(other.port_udp.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Number of packets folded in.
+    pub fn packet_count(&self) -> usize {
+        self.total as usize
+    }
+
+    /// Profiles a packet iterator in one pass.
+    pub fn collect<'a, I: IntoIterator<Item = &'a Packet>>(packets: I) -> Self {
+        let mut p = TrafficProfile::new();
+        for pkt in packets {
+            p.add(pkt);
         }
         p
     }
 
     fn tcp_share(&self, port: u16) -> f64 {
-        let hits = self.port_tcp.iter().find(|(q, _)| *q == port).map_or(0, |(_, n)| *n);
+        let hits = TCP_PORTS
+            .iter()
+            .position(|&q| q == port)
+            .map_or(0, |i| self.port_tcp[i]);
         if self.total == 0 {
             0.0
         } else {
@@ -169,7 +222,10 @@ impl TrafficProfile {
     }
 
     fn udp_share(&self, port: u16) -> f64 {
-        let hits = self.port_udp.iter().find(|(q, _)| *q == port).map_or(0, |(_, n)| *n);
+        let hits = UDP_PORTS
+            .iter()
+            .position(|&q| q == port)
+            .map_or(0, |i| self.port_udp[i]);
         if self.total == 0 {
             0.0
         } else {
@@ -208,57 +264,64 @@ impl TrafficProfile {
 const PORT_SHARE: f64 = 0.25;
 /// "High ICMP traffic": at least half the packets and a minimum count.
 const ICMP_SHARE: f64 = 0.5;
-const ICMP_MIN: usize = 10;
+const ICMP_MIN: u32 = 10;
 
 /// Classifies a set of packets with the Table-1 heuristics.
 pub fn classify_packets<'a, I>(packets: I) -> HeuristicLabel
 where
     I: IntoIterator<Item = &'a Packet>,
 {
-    let p = TrafficProfile::collect(packets);
-    if p.total == 0 {
-        return HeuristicLabel::Unknown;
-    }
-    let syn = p.syn_ratio();
+    TrafficProfile::collect(packets).classify()
+}
 
-    // Attack rows, in table order.
-    if p.tcp_share(1023) >= PORT_SHARE
-        || p.tcp_share(5554) >= PORT_SHARE
-        || p.tcp_share(9898) >= PORT_SHARE
-    {
-        return HeuristicLabel::Sasser;
-    }
-    if p.tcp_share(135) >= PORT_SHARE {
-        return HeuristicLabel::Rpc;
-    }
-    if p.tcp_share(445) >= PORT_SHARE {
-        return HeuristicLabel::Smb;
-    }
-    if p.icmp_ratio() >= ICMP_SHARE && p.icmp >= ICMP_MIN {
-        return HeuristicLabel::Ping;
-    }
-    let service_share = p.tcp_share(80).max(p.tcp_share(8080)).max(p.tcp_share(20))
-        .max(p.tcp_share(21))
-        .max(p.tcp_share(22))
-        .max(p.tcp_share(53).max(p.udp_share(53)));
-    if (p.total > 7 && p.ctrl_ratio() >= 0.5) || (service_share >= PORT_SHARE && syn >= 0.3) {
-        return HeuristicLabel::OtherAttack;
-    }
-    if p.udp_share(137) >= PORT_SHARE || p.tcp_share(139) >= PORT_SHARE {
-        return HeuristicLabel::NetBios;
-    }
+impl TrafficProfile {
+    /// Applies the Table-1 heuristics to the accumulated counters.
+    pub fn classify(&self) -> HeuristicLabel {
+        let p = self;
+        if p.total == 0 {
+            return HeuristicLabel::Unknown;
+        }
+        let syn = p.syn_ratio();
 
-    // Special rows.
-    if (p.tcp_share(80) >= PORT_SHARE || p.tcp_share(8080) >= PORT_SHARE) && syn < 0.3 {
-        return HeuristicLabel::Http;
+        // Attack rows, in table order.
+        if p.tcp_share(1023) >= PORT_SHARE
+            || p.tcp_share(5554) >= PORT_SHARE
+            || p.tcp_share(9898) >= PORT_SHARE
+        {
+            return HeuristicLabel::Sasser;
+        }
+        if p.tcp_share(135) >= PORT_SHARE {
+            return HeuristicLabel::Rpc;
+        }
+        if p.tcp_share(445) >= PORT_SHARE {
+            return HeuristicLabel::Smb;
+        }
+        if p.icmp_ratio() >= ICMP_SHARE && p.icmp >= ICMP_MIN {
+            return HeuristicLabel::Ping;
+        }
+        let service_share = p.tcp_share(80).max(p.tcp_share(8080)).max(p.tcp_share(20))
+            .max(p.tcp_share(21))
+            .max(p.tcp_share(22))
+            .max(p.tcp_share(53).max(p.udp_share(53)));
+        if (p.total > 7 && p.ctrl_ratio() >= 0.5) || (service_share >= PORT_SHARE && syn >= 0.3) {
+            return HeuristicLabel::OtherAttack;
+        }
+        if p.udp_share(137) >= PORT_SHARE || p.tcp_share(139) >= PORT_SHARE {
+            return HeuristicLabel::NetBios;
+        }
+
+        // Special rows.
+        if (p.tcp_share(80) >= PORT_SHARE || p.tcp_share(8080) >= PORT_SHARE) && syn < 0.3 {
+            return HeuristicLabel::Http;
+        }
+        let multi = p.tcp_share(20).max(p.tcp_share(21)).max(p.tcp_share(22))
+            .max(p.tcp_share(53))
+            .max(p.udp_share(53));
+        if multi >= PORT_SHARE && syn < 0.3 {
+            return HeuristicLabel::MultiServices;
+        }
+        HeuristicLabel::Unknown
     }
-    let multi = p.tcp_share(20).max(p.tcp_share(21)).max(p.tcp_share(22))
-        .max(p.tcp_share(53))
-        .max(p.udp_share(53));
-    if multi >= PORT_SHARE && syn < 0.3 {
-        return HeuristicLabel::MultiServices;
-    }
-    HeuristicLabel::Unknown
 }
 
 #[cfg(test)]

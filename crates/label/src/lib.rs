@@ -17,11 +17,13 @@
 //! * [`output`] — writers for a MAWILab-style CSV and an
 //!   admd-flavoured XML annotation file.
 
+pub mod evidence;
 pub mod heuristics;
 pub mod output;
 pub mod summary;
 pub mod taxonomy;
 
-pub use heuristics::{classify_packets, HeuristicCategory, HeuristicLabel};
+pub use evidence::CommunityEvidence;
+pub use heuristics::{classify_packets, HeuristicCategory, HeuristicLabel, TrafficProfile};
 pub use summary::{summarize_community, CommunitySummary};
-pub use taxonomy::{label_communities, LabeledCommunity, MawilabLabel};
+pub use taxonomy::{label_communities, label_communities_streaming, LabeledCommunity, MawilabLabel};

@@ -9,11 +9,13 @@
 //! * **Benign** — no detector reported it at all (the complement of
 //!   the labeled set; it appears here for completeness of the enum).
 
+use crate::evidence::CommunityEvidence;
 use crate::heuristics::{classify_packets, HeuristicLabel};
 use crate::summary::{summarize_community, CommunitySummary};
 use mawilab_combiner::Decision;
 use mawilab_detectors::TraceView;
-use mawilab_model::{Granularity, TimeWindow};
+use mawilab_mining::mine_rules;
+use mawilab_model::{Granularity, ItemIndex, TimeWindow};
 use mawilab_similarity::AlarmCommunities;
 use std::collections::HashMap;
 use std::fmt;
@@ -148,6 +150,55 @@ pub fn label_communities(
                 window: communities
                     .community_window(c)
                     .unwrap_or_else(|| view.trace.meta.window()),
+                alarms: communities.members(c).len(),
+                detectors: communities.detectors_in(c).len(),
+            }
+        })
+        .collect()
+}
+
+/// Labels every community from streaming-accumulated evidence —
+/// no trace, no flow table.
+///
+/// Produces exactly what [`label_communities`] produces on the
+/// materialised trace: taxonomy labels come from the decisions
+/// (identical inputs), heuristic labels from merged per-unit
+/// [`crate::heuristics::TrafficProfile`]s (additive, so merge order
+/// is irrelevant), and summaries from the same transactions in the
+/// same sorted-id order. `fallback_window` replaces the batch path's
+/// `view.trace.meta.window()` for alarm-less communities.
+pub fn label_communities_streaming(
+    fallback_window: TimeWindow,
+    index: &ItemIndex,
+    evidence: &CommunityEvidence,
+    communities: &AlarmCommunities,
+    decisions: &[Decision],
+    min_support: f64,
+) -> Vec<LabeledCommunity> {
+    assert_eq!(
+        decisions.len(),
+        communities.community_count(),
+        "one decision per community required"
+    );
+    (0..communities.community_count())
+        .map(|c| {
+            let ids = communities.community_traffic(c);
+            let heuristic = evidence.profile_of(&ids).classify();
+            let txs = evidence.transactions_of(&ids, index);
+            let mined = mine_rules(&txs, min_support);
+            let summary = CommunitySummary {
+                community: c,
+                rules: mined.rules,
+                rule_degree: mined.rule_degree,
+                rule_support: mined.rule_support,
+                transactions: txs.len(),
+            };
+            LabeledCommunity {
+                community: c,
+                label: label_of(&decisions[c]),
+                heuristic,
+                summary,
+                window: communities.community_window(c).unwrap_or(fallback_window),
                 alarms: communities.members(c).len(),
                 detectors: communities.detectors_in(c).len(),
             }

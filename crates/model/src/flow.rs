@@ -274,6 +274,100 @@ impl FlowTable {
     }
 }
 
+/// Incremental traffic-unit id assigner for streaming ingest.
+///
+/// Assigns each packet the id of its traffic unit at one granularity,
+/// reproducing **exactly** the dense first-appearance ids a
+/// [`FlowTable`] built over the whole trace would assign — without
+/// the table's per-packet vectors. Feeding the same packet sequence
+/// chunk by chunk therefore yields ids interchangeable with the batch
+/// pipeline's, which is what makes streaming and batch traffic sets
+/// byte-identical. Memory is O(distinct flows) at flow granularities
+/// and O(1) at packet granularity (ids are just the running index).
+#[derive(Debug, Clone)]
+pub struct ItemIndex {
+    granularity: Granularity,
+    next_packet: u32,
+    uni_index: HashMap<FlowKey, FlowId>,
+    uni_keys: Vec<FlowKey>,
+    bi_index: HashMap<BiflowKey, FlowId>,
+    bi_keys: Vec<BiflowKey>,
+}
+
+impl ItemIndex {
+    /// Creates an empty index for one granularity.
+    pub fn new(granularity: Granularity) -> Self {
+        ItemIndex {
+            granularity,
+            next_packet: 0,
+            uni_index: HashMap::new(),
+            uni_keys: Vec::new(),
+            bi_index: HashMap::new(),
+            bi_keys: Vec::new(),
+        }
+    }
+
+    /// The granularity ids are assigned at.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Id of the next packet's traffic unit, assigning a fresh id on
+    /// first appearance. Must be called once per packet, in stream
+    /// order.
+    pub fn id_of(&mut self, p: &Packet) -> u32 {
+        match self.granularity {
+            Granularity::Packet => {
+                let id = self.next_packet;
+                self.next_packet += 1;
+                id
+            }
+            Granularity::Uniflow => {
+                let key = FlowKey::of(p);
+                let next = self.uni_keys.len() as FlowId;
+                *self.uni_index.entry(key).or_insert_with(|| {
+                    self.uni_keys.push(key);
+                    next
+                })
+            }
+            Granularity::Biflow => {
+                let key = BiflowKey::of(p);
+                let next = self.bi_keys.len() as FlowId;
+                *self.bi_index.entry(key).or_insert_with(|| {
+                    self.bi_keys.push(key);
+                    next
+                })
+            }
+        }
+    }
+
+    /// Assigns ids for a whole chunk into `out` (cleared first).
+    pub fn ids_of(&mut self, packets: &[Packet], out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(packets.iter().map(|p| self.id_of(p)));
+    }
+
+    /// Key of uniflow `id` (panics unless built at uniflow
+    /// granularity with `id` already assigned).
+    pub fn uniflow_key(&self, id: FlowId) -> &FlowKey {
+        &self.uni_keys[id as usize]
+    }
+
+    /// Key of biflow `id`.
+    pub fn biflow_key(&self, id: FlowId) -> &BiflowKey {
+        &self.bi_keys[id as usize]
+    }
+
+    /// Number of traffic units assigned so far.
+    pub fn item_count(&self) -> usize {
+        match self.granularity {
+            Granularity::Packet => self.next_packet as usize,
+            Granularity::Uniflow => self.uni_keys.len(),
+            Granularity::Biflow => self.bi_keys.len(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +456,39 @@ mod tests {
         assert_eq!(t.uniflow_of(1), 1);
         assert_eq!(t.uniflow_of(3), 2);
         assert_eq!(t.uniflow_keys().len(), t.uniflow_count());
+    }
+
+    #[test]
+    fn item_index_matches_flow_table_ids() {
+        let packets = pkts();
+        let table = FlowTable::build(&packets);
+        for g in [Granularity::Packet, Granularity::Uniflow, Granularity::Biflow] {
+            let mut index = ItemIndex::new(g);
+            for (i, p) in packets.iter().enumerate() {
+                let expected = match g {
+                    Granularity::Packet => i as u32,
+                    Granularity::Uniflow => table.uniflow_of(i),
+                    Granularity::Biflow => table.biflow_of(i),
+                };
+                assert_eq!(index.id_of(p), expected, "{g} id of packet {i}");
+            }
+        }
+        // Chunked feeding assigns the same ids as one pass.
+        let mut whole = ItemIndex::new(Granularity::Uniflow);
+        let mut ids_whole = Vec::new();
+        whole.ids_of(&packets, &mut ids_whole);
+        let mut chunked = ItemIndex::new(Granularity::Uniflow);
+        let mut ids_chunked = Vec::new();
+        for half in packets.chunks(2) {
+            let mut ids = Vec::new();
+            chunked.ids_of(half, &mut ids);
+            ids_chunked.extend(ids);
+        }
+        assert_eq!(ids_whole, ids_chunked);
+        assert_eq!(whole.item_count(), table.uniflow_count());
+        for id in 0..table.uniflow_count() {
+            assert_eq!(whole.uniflow_key(id as u32), table.uniflow_key(id as u32));
+        }
     }
 
     #[test]

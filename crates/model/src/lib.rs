@@ -20,15 +20,21 @@
 //! * [`rule`] — [`TrafficRule`]: the `<srcIP, sport, dstIP, dport>`
 //!   pattern with wildcards used by alarms and association rules.
 //! * [`pcap`] — classic libpcap (`.pcap`) serialisation with
-//!   synthesised Ethernet/IPv4/L4 headers.
+//!   synthesised Ethernet/IPv4/L4 headers, including the streaming
+//!   [`StreamingPcapReader`].
+//! * [`source`] — [`PacketSource`]/[`PacketChunk`]: time-binned
+//!   chunked ingest with constant peak packet memory.
 
 pub mod flow;
 pub mod packet;
 pub mod pcap;
 pub mod rule;
+pub mod source;
 pub mod trace;
 
-pub use flow::{BiflowKey, FlowId, FlowKey, FlowTable, Granularity};
+pub use flow::{BiflowKey, FlowId, FlowKey, FlowTable, Granularity, ItemIndex};
 pub use packet::{Packet, Protocol, TcpFlags};
+pub use pcap::StreamingPcapReader;
 pub use rule::TrafficRule;
+pub use source::{PacketChunk, PacketSource, SourceError, TraceChunker, DEFAULT_CHUNK_US};
 pub use trace::{LinkEra, TimeWindow, Trace, TraceDate, TraceMeta};

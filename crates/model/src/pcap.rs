@@ -15,8 +15,9 @@
 //! real capture tooling behaves on damaged archives.
 
 use crate::packet::{Packet, Protocol, TcpFlags};
+use crate::source::{chunk_index, chunk_window, PacketChunk, PacketSource, SourceError};
 use crate::trace::{Trace, TraceMeta};
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::net::Ipv4Addr;
 
 const MAGIC_US: u32 = 0xa1b2_c3d4;
@@ -24,6 +25,14 @@ const MAGIC_US_SWAPPED: u32 = 0xd4c3_b2a1;
 const LINKTYPE_ETHERNET: u32 = 1;
 const ETH_HDR: usize = 14;
 const IPV4_HDR: usize = 20;
+const GLOBAL_HDR_LEN: u64 = 24;
+
+/// Largest captured record the reader will materialise. MAWI traces
+/// are payload-stripped, so real records are tiny; a length beyond
+/// this is a corrupt header, and honouring it would turn one flipped
+/// bit into a multi-GB allocation. Oversized records are skipped (and
+/// counted) instead.
+pub const MAX_RECORD_BYTES: usize = 256 * 1024;
 
 /// Errors produced by the pcap reader.
 #[derive(Debug)]
@@ -161,6 +170,23 @@ fn ipv4_checksum(hdr: &[u8]) -> u16 {
 /// unparsable are skipped; the count of skipped records is returned
 /// alongside the trace.
 pub fn read_pcap<R: Read>(mut r: R, meta: TraceMeta) -> Result<(Trace, usize), PcapError> {
+    let swapped = read_global_header(&mut r)?;
+    let mut packets = Vec::new();
+    let mut skipped = 0usize;
+    let mut frame = Vec::new();
+    loop {
+        match read_record(&mut r, swapped, &mut frame)? {
+            RecordRead::Packet(p) => packets.push(p),
+            RecordRead::Skipped => skipped += 1,
+            RecordRead::Eof => break,
+        }
+    }
+    Ok((Trace::new(meta, packets), skipped))
+}
+
+/// Parses the 24-byte global header; returns whether the file's byte
+/// order is swapped relative to the host's little-endian view.
+fn read_global_header<R: Read>(r: &mut R) -> Result<bool, PcapError> {
     let mut hdr = [0u8; 24];
     r.read_exact(&mut hdr)?;
     let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
@@ -169,40 +195,192 @@ pub fn read_pcap<R: Read>(mut r: R, meta: TraceMeta) -> Result<(Trace, usize), P
         MAGIC_US_SWAPPED => true,
         other => return Err(PcapError::BadMagic(other)),
     };
-    let read_u32 = |b: &[u8]| -> u32 {
-        let arr = [b[0], b[1], b[2], b[3]];
-        if swapped {
-            u32::from_be_bytes(arr)
-        } else {
-            u32::from_le_bytes(arr)
-        }
-    };
-    let linktype = read_u32(&hdr[20..24]);
+    let linktype = read_u32(swapped, &hdr[20..24]);
     if linktype != LINKTYPE_ETHERNET {
         return Err(PcapError::UnsupportedLinkType(linktype));
     }
+    Ok(swapped)
+}
 
-    let mut packets = Vec::new();
-    let mut skipped = 0usize;
+fn read_u32(swapped: bool, b: &[u8]) -> u32 {
+    let arr = [b[0], b[1], b[2], b[3]];
+    if swapped {
+        u32::from_be_bytes(arr)
+    } else {
+        u32::from_le_bytes(arr)
+    }
+}
+
+/// Outcome of reading one pcap record.
+enum RecordRead {
+    /// A parsed IPv4 packet.
+    Packet(Packet),
+    /// A record that was present but unusable (non-IPv4, truncated
+    /// headers, or an oversized `incl_len`).
+    Skipped,
+    /// Clean end of stream (EOF at a record-header boundary).
+    Eof,
+}
+
+/// Reads one record. `frame` is a reusable scratch buffer. A record
+/// whose `incl_len` exceeds [`MAX_RECORD_BYTES`] is discarded without
+/// being materialised — a corrupt length field must not drive a
+/// multi-GB allocation. Truncation mid-frame is an I/O error, as with
+/// `read_exact`.
+fn read_record<R: Read>(
+    r: &mut R,
+    swapped: bool,
+    frame: &mut Vec<u8>,
+) -> Result<RecordRead, PcapError> {
     let mut rec = [0u8; 16];
-    loop {
-        match r.read_exact(&mut rec) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-            Err(e) => return Err(e.into()),
-        }
-        let ts_sec = read_u32(&rec[0..4]) as u64;
-        let ts_usec = read_u32(&rec[4..8]) as u64;
-        let incl_len = read_u32(&rec[8..12]) as usize;
-        let orig_len = read_u32(&rec[12..16]) as usize;
-        let mut frame = vec![0u8; incl_len];
-        r.read_exact(&mut frame)?;
-        match decode_frame(&frame, ts_sec * 1_000_000 + ts_usec, orig_len) {
-            Some(p) => packets.push(p),
-            None => skipped += 1,
+    match r.read_exact(&mut rec) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(RecordRead::Eof),
+        Err(e) => return Err(e.into()),
+    }
+    let ts_sec = read_u32(swapped, &rec[0..4]) as u64;
+    let ts_usec = read_u32(swapped, &rec[4..8]) as u64;
+    let incl_len = read_u32(swapped, &rec[8..12]) as usize;
+    let orig_len = read_u32(swapped, &rec[12..16]) as usize;
+    if incl_len > MAX_RECORD_BYTES {
+        // Discard without allocating. If the stream ends mid-discard
+        // the record was truncated garbage anyway; the next header
+        // read reports EOF.
+        io::copy(&mut r.by_ref().take(incl_len as u64), &mut io::sink())?;
+        return Ok(RecordRead::Skipped);
+    }
+    frame.resize(incl_len, 0);
+    r.read_exact(frame)?;
+    Ok(match decode_frame(frame, ts_sec * 1_000_000 + ts_usec, orig_len) {
+        Some(p) => RecordRead::Packet(p),
+        None => RecordRead::Skipped,
+    })
+}
+
+/// Streaming pcap reader: a [`PacketSource`] that yields time-binned
+/// [`PacketChunk`]s without ever materialising the whole trace.
+///
+/// Records must be in non-decreasing timestamp order (MAWI archive
+/// files are). A packet stamped earlier than the current bin — minor
+/// capture-clock jitter — is folded into the current chunk rather
+/// than reordered. Damaged records are skipped and counted exactly as
+/// in [`read_pcap`]; peak packet memory is one chunk plus one
+/// look-ahead packet.
+pub struct StreamingPcapReader<R: Read + Seek> {
+    r: R,
+    meta: TraceMeta,
+    swapped: bool,
+    bin_us: u64,
+    buf: PacketChunk,
+    frame: Vec<u8>,
+    pending: Option<Packet>,
+    skipped: usize,
+    packets: u64,
+    done: bool,
+}
+
+impl<R: Read + Seek> StreamingPcapReader<R> {
+    /// Opens a pcap stream, validating the global header. `meta`
+    /// supplies the archive metadata (the format does not carry it),
+    /// `bin_us` the chunk width.
+    pub fn new(mut r: R, meta: TraceMeta, bin_us: u64) -> Result<Self, PcapError> {
+        assert!(bin_us > 0, "chunk bin width must be positive");
+        let swapped = read_global_header(&mut r)?;
+        Ok(StreamingPcapReader {
+            r,
+            meta,
+            swapped,
+            bin_us,
+            buf: PacketChunk::default(),
+            frame: Vec::new(),
+            pending: None,
+            skipped: 0,
+            packets: 0,
+            done: false,
+        })
+    }
+
+    /// Records skipped so far (damaged, non-IPv4, or oversized).
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Packets yielded so far.
+    pub fn packets_read(&self) -> u64 {
+        self.packets
+    }
+
+    /// Reads records until a parsable packet, EOF, or an error.
+    fn next_packet(&mut self) -> Result<Option<Packet>, PcapError> {
+        loop {
+            match read_record(&mut self.r, self.swapped, &mut self.frame)? {
+                RecordRead::Packet(p) => return Ok(Some(p)),
+                RecordRead::Skipped => self.skipped += 1,
+                RecordRead::Eof => return Ok(None),
+            }
         }
     }
-    Ok((Trace::new(meta, packets), skipped))
+}
+
+impl<R: Read + Seek> PacketSource for StreamingPcapReader<R> {
+    fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    fn bin_us(&self) -> u64 {
+        self.bin_us
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<&PacketChunk>, SourceError> {
+        if self.done {
+            return Ok(None);
+        }
+        let first = match self.pending.take() {
+            Some(p) => p,
+            None => match self.next_packet()? {
+                Some(p) => p,
+                None => {
+                    self.done = true;
+                    return Ok(None);
+                }
+            },
+        };
+        let start_us = self.meta.window().start_us;
+        let k = chunk_index(start_us, self.bin_us, first.ts_us);
+        self.buf.window = chunk_window(start_us, self.bin_us, k);
+        self.buf.packets.clear();
+        self.buf.packets.push(first);
+        loop {
+            match self.next_packet()? {
+                Some(p) => {
+                    if chunk_index(start_us, self.bin_us, p.ts_us) <= k {
+                        self.buf.packets.push(p);
+                    } else {
+                        self.pending = Some(p);
+                        break;
+                    }
+                }
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        self.packets += self.buf.packets.len() as u64;
+        Ok(Some(&self.buf))
+    }
+
+    fn rewind(&mut self) -> Result<(), SourceError> {
+        self.r
+            .seek(SeekFrom::Start(GLOBAL_HDR_LEN))
+            .map_err(|e| SourceError::Pcap(PcapError::Io(e)))?;
+        self.buf = PacketChunk::default();
+        self.pending = None;
+        self.skipped = 0;
+        self.packets = 0;
+        self.done = false;
+        Ok(())
+    }
 }
 
 fn decode_frame(frame: &[u8], ts_us: u64, orig_len: usize) -> Option<Packet> {

@@ -4,7 +4,7 @@ use crate::extractor::{extract_traffic, intersection_size};
 use mawilab_detectors::{Alarm, DetectorKind, TraceView, Tuning};
 use mawilab_graph::{louvain, Graph, Partition};
 use mawilab_model::Granularity;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Edge-weight measure between two alarms' traffic sets (paper
 /// §2.1.2). Simpson outperformed the others in the paper's
@@ -77,6 +77,20 @@ impl SimilarityEstimator {
     /// a set of alarms.
     pub fn estimate(&self, view: &TraceView<'_>, alarms: Vec<Alarm>) -> AlarmCommunities {
         let traffic = extract_traffic(view, &alarms, self.granularity);
+        self.estimate_from_traffic(alarms, traffic)
+    }
+
+    /// Graph construction and community mining over already-extracted
+    /// per-alarm traffic sets — the entry point of the streaming
+    /// pipeline, whose extraction happens chunk by chunk. `estimate`
+    /// delegates here, so batch and streaming share the exact same
+    /// graph/partition code.
+    pub fn estimate_from_traffic(
+        &self,
+        alarms: Vec<Alarm>,
+        traffic: Vec<Vec<u32>>,
+    ) -> AlarmCommunities {
+        assert_eq!(alarms.len(), traffic.len(), "one traffic set per alarm required");
         let graph = self.build_graph(&traffic);
         let partition = louvain(&graph, self.resolution);
         AlarmCommunities { alarms, traffic, graph, partition, granularity: self.granularity }
@@ -94,15 +108,15 @@ impl SimilarityEstimator {
             }
         }
         // Candidate pairs = pairs sharing ≥1 item.
-        let mut pairs: HashMap<(u32, u32), ()> = HashMap::new();
+        let mut pairs: HashSet<(u32, u32)> = HashSet::new();
         for alarms in index.values() {
             for i in 0..alarms.len() {
                 for j in (i + 1)..alarms.len() {
-                    pairs.entry((alarms[i], alarms[j])).or_insert(());
+                    pairs.insert((alarms[i], alarms[j]));
                 }
             }
         }
-        let mut edges: Vec<(u32, u32)> = pairs.into_keys().collect();
+        let mut edges: Vec<(u32, u32)> = pairs.into_iter().collect();
         edges.sort_unstable();
         for (a, b) in edges {
             let (sa, sb) = (&traffic[a as usize], &traffic[b as usize]);

@@ -21,6 +21,8 @@
 
 pub mod estimator;
 pub mod extractor;
+pub mod streaming;
 
 pub use estimator::{AlarmCommunities, SimilarityEstimator, SimilarityMeasure};
 pub use extractor::extract_traffic;
+pub use streaming::StreamingExtractor;

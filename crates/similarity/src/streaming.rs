@@ -1,0 +1,263 @@
+//! Streaming traffic extraction: alarms → traffic id sets, one chunk
+//! at a time.
+//!
+//! The batch extractor ([`crate::extractor`]) walks the materialised
+//! trace once per alarm via the packet→flow index. The streaming
+//! extractor inverts that: packets arrive chunk by chunk (second pass
+//! of the streaming pipeline, after the detectors produced the
+//! alarms), each packet is tested against the alarms whose windows
+//! overlap the chunk, and matching traffic-unit ids accumulate per
+//! alarm. Ids come from a [`mawilab_model::ItemIndex`] driven in
+//! stream order, which assigns exactly the ids a batch
+//! [`mawilab_model::FlowTable`] would — so the resulting sets are
+//! byte-identical to [`extract_traffic`]'s and everything downstream
+//! (graph, Louvain, votes, labels) is oblivious to how the trace was
+//! ingested.
+
+use mawilab_detectors::{Alarm, AlarmScope};
+use mawilab_model::{FlowKey, Packet, TimeWindow};
+use std::collections::HashSet;
+
+/// Accumulates per-alarm traffic id sets from a chunked packet
+/// stream.
+pub struct StreamingExtractor<'a> {
+    alarms: &'a [Alarm],
+    /// Pre-resolved key sets for `FlowSet` scopes (O(1) per-packet
+    /// membership instead of O(|keys|)).
+    flowset_keys: Vec<Option<HashSet<FlowKey>>>,
+    sets: Vec<HashSet<u32>>,
+    /// Scratch: alarm indices whose window overlaps the current
+    /// chunk.
+    active: Vec<u32>,
+    /// Scratch: per-packet "matched ≥1 alarm" flags of the last
+    /// observed chunk.
+    matched: Vec<bool>,
+}
+
+impl<'a> StreamingExtractor<'a> {
+    /// Prepares extraction for one alarm set.
+    pub fn new(alarms: &'a [Alarm]) -> Self {
+        let flowset_keys = alarms
+            .iter()
+            .map(|a| match &a.scope {
+                AlarmScope::FlowSet(keys) => Some(keys.iter().copied().collect()),
+                _ => None,
+            })
+            .collect();
+        StreamingExtractor {
+            alarms,
+            flowset_keys,
+            sets: vec![HashSet::new(); alarms.len()],
+            active: Vec::new(),
+            matched: Vec::new(),
+        }
+    }
+
+    /// Folds one chunk into the per-alarm sets. `ids[i]` must be the
+    /// traffic-unit id of `packets[i]` (from an `ItemIndex` driven in
+    /// stream order). Returns per-packet flags: whether the packet
+    /// matched at least one alarm.
+    pub fn observe(
+        &mut self,
+        chunk_window: TimeWindow,
+        packets: &[Packet],
+        ids: &[u32],
+    ) -> &[bool] {
+        assert_eq!(packets.len(), ids.len(), "one id per packet required");
+        // The active-alarm prefilter must span the packets actually
+        // present, not just the nominal bin: sources fold jittered
+        // stragglers (and pre-window timestamps) into a chunk whose
+        // window does not contain them, and an alarm ending before
+        // the bin still owns those packets.
+        let mut span = chunk_window;
+        for p in packets {
+            span.start_us = span.start_us.min(p.ts_us);
+            span.end_us = span.end_us.max(p.ts_us + 1);
+        }
+        self.active.clear();
+        self.active.extend(
+            self.alarms
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.window.overlaps(&span))
+                .map(|(i, _)| i as u32),
+        );
+        self.matched.clear();
+        self.matched.resize(packets.len(), false);
+        for (pi, (p, &id)) in packets.iter().zip(ids).enumerate() {
+            // Chunks can carry pre-window stragglers, so the packet's
+            // own timestamp is still tested against each alarm window.
+            let key = FlowKey::of(p);
+            for &ai in &self.active {
+                let alarm = &self.alarms[ai as usize];
+                if !alarm.window.contains(p.ts_us) {
+                    continue;
+                }
+                let hit = match &self.flowset_keys[ai as usize] {
+                    Some(keys) => keys.contains(&key),
+                    None => alarm.scope.matches(p),
+                };
+                if hit {
+                    self.sets[ai as usize].insert(id);
+                    self.matched[pi] = true;
+                }
+            }
+        }
+        &self.matched
+    }
+
+    /// Finishes extraction: one sorted, deduplicated id set per
+    /// alarm, in alarm order — the same shape the batch extractor
+    /// returns.
+    pub fn into_traffic(self) -> Vec<Vec<u32>> {
+        self.sets
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<u32> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::extract_traffic;
+    use mawilab_detectors::{DetectorKind, TraceView, Tuning};
+    use mawilab_model::{
+        FlowTable, Granularity, ItemIndex, PacketSource, TcpFlags, Trace, TraceChunker,
+        TraceDate, TraceMeta, TrafficRule,
+    };
+    use std::net::Ipv4Addr;
+
+    fn ip(d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 9, 9, d)
+    }
+
+    fn trace() -> Trace {
+        let meta = TraceMeta::standard(TraceDate::new(2004, 6, 2));
+        let base = meta.window().start_us;
+        let mut packets = Vec::new();
+        for i in 0..200u64 {
+            let src = ip((i % 7) as u8);
+            let dst = ip(100 + (i % 3) as u8);
+            packets.push(Packet::tcp(
+                base + i * 750_000,
+                src,
+                1000 + (i % 5) as u16,
+                dst,
+                if i % 4 == 0 { 80 } else { 445 },
+                TcpFlags::syn(),
+                60,
+            ));
+        }
+        Trace::new(meta, packets)
+    }
+
+    fn alarms(t: &Trace) -> Vec<Alarm> {
+        let w = t.meta.window();
+        let mk = |scope| Alarm {
+            detector: DetectorKind::Pca,
+            tuning: Tuning::Optimal,
+            window: w,
+            scope,
+            score: 1.0,
+        };
+        let mut v = vec![
+            mk(AlarmScope::SrcHost(ip(1))),
+            mk(AlarmScope::DstHost(ip(101))),
+            mk(AlarmScope::Rule(TrafficRule { dport: Some(445), ..Default::default() })),
+            mk(AlarmScope::FlowSet(vec![FlowKey::of(&t.packets[0]), FlowKey::of(&t.packets[3])])),
+        ];
+        // A window-restricted alarm exercising mid-stream boundaries.
+        v.push(Alarm {
+            window: TimeWindow::new(w.start_us + 30_000_000, w.start_us + 90_000_000),
+            ..mk(AlarmScope::SrcHost(ip(2)))
+        });
+        v
+    }
+
+    #[test]
+    fn streaming_matches_batch_extractor_at_all_granularities() {
+        let t = trace();
+        let flows = FlowTable::build(&t.packets);
+        let view = TraceView::new(&t, &flows);
+        let alarms = alarms(&t);
+        for g in [Granularity::Packet, Granularity::Uniflow, Granularity::Biflow] {
+            let batch = extract_traffic(&view, &alarms, g);
+            for bin_us in [1_000_000u64, 5_000_000, 300_000_000] {
+                let mut index = ItemIndex::new(g);
+                let mut ex = StreamingExtractor::new(&alarms);
+                let mut ids = Vec::new();
+                let mut source = TraceChunker::new(t.clone(), bin_us);
+                while let Some(chunk) = source.next_chunk().unwrap() {
+                    index.ids_of(&chunk.packets, &mut ids);
+                    ex.observe(chunk.window, &chunk.packets, &ids);
+                }
+                assert_eq!(ex.into_traffic(), batch, "granularity {g}, bin {bin_us}");
+            }
+        }
+    }
+
+    #[test]
+    fn matched_flags_cover_exactly_the_matching_packets() {
+        let t = trace();
+        let alarms = alarms(&t);
+        let mut index = ItemIndex::new(Granularity::Uniflow);
+        let mut ex = StreamingExtractor::new(&alarms);
+        let mut ids = Vec::new();
+        index.ids_of(&t.packets, &mut ids);
+        let matched = ex.observe(t.meta.window(), &t.packets, &ids);
+        for (i, p) in t.packets.iter().enumerate() {
+            let expect = alarms
+                .iter()
+                .any(|a| a.window.contains(p.ts_us) && a.scope.matches(p));
+            assert_eq!(matched[i], expect, "packet {i}");
+        }
+    }
+
+    #[test]
+    fn straggler_packet_outside_chunk_window_still_matches_earlier_alarm() {
+        // A jittered capture: the reader folds a 4.9 s packet into
+        // the chunk whose nominal window is [5 s, 10 s). An alarm
+        // covering [0 s, 5 s) must still claim that packet.
+        let meta = TraceMeta::standard(TraceDate::new(2004, 6, 2));
+        let base = meta.window().start_us;
+        let straggler = Packet::tcp(
+            base + 4_900_000,
+            ip(1),
+            1000,
+            ip(2),
+            80,
+            TcpFlags::syn(),
+            60,
+        );
+        let alarm = Alarm {
+            detector: DetectorKind::Kl,
+            tuning: Tuning::Optimal,
+            window: TimeWindow::new(base, base + 5_000_000),
+            scope: AlarmScope::SrcHost(ip(1)),
+            score: 1.0,
+        };
+        let alarms = vec![alarm];
+        let mut ex = StreamingExtractor::new(&alarms);
+        let chunk_window = TimeWindow::new(base + 5_000_000, base + 10_000_000);
+        let matched = ex.observe(chunk_window, &[straggler], &[7]);
+        assert_eq!(matched, &[true], "straggler not tested against the earlier alarm");
+        assert_eq!(ex.into_traffic(), vec![vec![7]]);
+    }
+
+    #[test]
+    fn no_alarms_means_no_sets_and_no_matches() {
+        let t = trace();
+        let mut index = ItemIndex::new(Granularity::Uniflow);
+        let mut ex = StreamingExtractor::new(&[]);
+        let mut ids = Vec::new();
+        index.ids_of(&t.packets, &mut ids);
+        let matched = ex.observe(t.meta.window(), &t.packets, &ids);
+        assert!(matched.iter().all(|&m| !m));
+        assert!(ex.into_traffic().is_empty());
+    }
+}

@@ -39,7 +39,7 @@ pub use background::HostModel;
 pub use config::SynthConfig;
 pub use truth::{AnomalyRecord, GroundTruth, LabeledTrace};
 
-use mawilab_model::{Trace, TraceMeta};
+use mawilab_model::{Trace, TraceChunker, TraceMeta};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -99,6 +99,22 @@ impl TraceGenerator {
             truth: GroundTruth::new(tags, records),
         }
     }
+
+    /// Generates the trace and wraps it as a chunked
+    /// [`mawilab_model::PacketSource`], so benches and tests can
+    /// exercise the streaming pipeline without temp files. The ground
+    /// truth is dropped; use [`stream_labeled`](Self::stream_labeled)
+    /// to keep it.
+    pub fn stream(&self, bin_us: u64) -> TraceChunker {
+        TraceChunker::new(self.generate().trace, bin_us)
+    }
+
+    /// Like [`stream`](Self::stream), but also returns the ground
+    /// truth for precision/recall scoring of the streamed labels.
+    pub fn stream_labeled(&self, bin_us: u64) -> (TraceChunker, GroundTruth) {
+        let lt = self.generate();
+        (TraceChunker::new(lt.trace, bin_us), lt.truth)
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +129,22 @@ mod tests {
         let b = TraceGenerator::new(cfg).generate();
         assert_eq!(a.trace.packets, b.trace.packets);
         assert_eq!(a.truth.tags(), b.truth.tags());
+    }
+
+    #[test]
+    fn stream_chunks_cover_the_generated_trace() {
+        use mawilab_model::PacketSource;
+        let cfg = SynthConfig::default().with_seed(77);
+        let total = TraceGenerator::new(cfg.clone()).generate().trace.len();
+        let mut source = TraceGenerator::new(cfg).stream(5_000_000);
+        let mut seen = 0usize;
+        let mut peak = 0usize;
+        while let Some(chunk) = source.next_chunk().unwrap() {
+            seen += chunk.len();
+            peak = peak.max(chunk.len());
+        }
+        assert_eq!(seen, total);
+        assert!(peak < total, "single chunk held the whole trace");
     }
 
     #[test]
