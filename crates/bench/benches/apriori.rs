@@ -16,7 +16,12 @@ fn transactions(n: usize) -> Vec<Transaction> {
         .map(|i| {
             if i % 3 == 0 {
                 // Recurrent pattern (the anomaly).
-                Transaction::new(Ipv4Addr::new(9, 9, 9, 9), 31337, Ipv4Addr::new(10, 0, 0, 1), 445)
+                Transaction::new(
+                    Ipv4Addr::new(9, 9, 9, 9),
+                    31337,
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    445,
+                )
             } else {
                 Transaction::new(
                     Ipv4Addr::from(rnd() % 1000 + 1),

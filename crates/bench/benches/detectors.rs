@@ -22,7 +22,9 @@ fn bench_detectors(c: &mut Criterion) {
     let mut g = c.benchmark_group("detectors");
     g.throughput(criterion::Throughput::Elements(lt.trace.len() as u64));
     for (name, det) in &detectors {
-        g.bench_function(*name, |b| b.iter(|| black_box(det.analyze(black_box(&view)))));
+        g.bench_function(*name, |b| {
+            b.iter(|| black_box(det.analyze(black_box(&view))))
+        });
     }
     g.finish();
 }

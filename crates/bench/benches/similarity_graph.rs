@@ -18,8 +18,7 @@ fn alarm_sets(n: usize) -> Vec<Vec<u32>> {
         .map(|i| {
             let group = (i / 6) as u32;
             let base = group * 400;
-            let mut set: Vec<u32> =
-                (0..80).map(|_| base + rnd() % 300).collect();
+            let mut set: Vec<u32> = (0..80).map(|_| base + rnd() % 300).collect();
             set.sort_unstable();
             set.dedup();
             set
@@ -39,6 +38,24 @@ fn bench_graph(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sharded engine vs the retained sequential reference on the same
+/// workload — the in-tree before/after of the hot-path refactor
+/// (`results/BENCH_hotpaths.json` tracks the trajectory).
+fn bench_engines(c: &mut Criterion) {
+    let est = SimilarityEstimator::default();
+    let mut g = c.benchmark_group("similarity_graph_engines");
+    for n in [200usize, 1000] {
+        let sets = alarm_sets(n);
+        g.bench_with_input(BenchmarkId::new("sequential", n), &sets, |b, sets| {
+            b.iter(|| black_box(est.build_graph_sequential(black_box(sets))))
+        });
+        g.bench_with_input(BenchmarkId::new("sharded", n), &sets, |b, sets| {
+            b.iter(|| black_box(est.build_graph(black_box(sets))))
+        });
+    }
+    g.finish();
+}
+
 /// Guard for the candidate-pair set representation (the
 /// `HashMap<(u32,u32),()>` → `HashSet` change): a dense-overlap
 /// workload where almost every alarm pair co-occurs, so pair-set
@@ -48,8 +65,9 @@ fn bench_candidate_pairs(c: &mut Criterion) {
     let mut g = c.benchmark_group("similarity_graph_pairs");
     for n in [100usize, 400] {
         // Every alarm shares items 0..40 with every other: ~n²/2 pairs.
-        let sets: Vec<Vec<u32>> =
-            (0..n).map(|i| (0..40).chain([1000 + i as u32]).collect()).collect();
+        let sets: Vec<Vec<u32>> = (0..n)
+            .map(|i| (0..40).chain([1000 + i as u32]).collect())
+            .collect();
         g.bench_with_input(BenchmarkId::new("dense", n), &sets, |b, sets| {
             b.iter(|| black_box(est.build_graph(black_box(sets))))
         });
@@ -57,5 +75,5 @@ fn bench_candidate_pairs(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_graph, bench_candidate_pairs);
+criterion_group!(benches, bench_graph, bench_engines, bench_candidate_pairs);
 criterion_main!(benches);

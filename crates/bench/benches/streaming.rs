@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mawilab_core::{MawilabPipeline, PipelineConfig, StreamingPipeline};
-use mawilab_model::{
-    pcap, PacketSource, StreamingPcapReader, TraceChunker, DEFAULT_CHUNK_US,
-};
+use mawilab_model::{pcap, PacketSource, StreamingPcapReader, TraceChunker, DEFAULT_CHUNK_US};
 use mawilab_synth::{SynthConfig, TraceGenerator};
 use std::hint::black_box;
 use std::io::Cursor;
@@ -18,7 +16,9 @@ fn bench_streaming_pipeline(c: &mut Criterion) {
     g.throughput(criterion::Throughput::Elements(n));
 
     let batch = MawilabPipeline::new(PipelineConfig::default());
-    g.bench_function("batch", |b| b.iter(|| black_box(batch.run(black_box(&lt.trace)))));
+    g.bench_function("batch", |b| {
+        b.iter(|| black_box(batch.run(black_box(&lt.trace))))
+    });
 
     let streaming = StreamingPipeline::new(PipelineConfig::default());
     for bin_us in [DEFAULT_CHUNK_US, 30_000_000] {

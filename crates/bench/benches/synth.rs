@@ -10,7 +10,9 @@ fn bench_synth(c: &mut Criterion) {
     let day = TraceDate::new(2004, 6, 2);
     let mut g = c.benchmark_group("synth");
     g.sample_size(20);
-    g.bench_function("archive_day", |b| b.iter(|| black_box(sim.generate(black_box(day)))));
+    g.bench_function("archive_day", |b| {
+        b.iter(|| black_box(sim.generate(black_box(day))))
+    });
     let lt = sim.generate(day);
     g.throughput(criterion::Throughput::Elements(lt.trace.len() as u64));
     g.bench_function("flow_table", |b| {

@@ -29,19 +29,31 @@ fn main() {
         ("simpson/uniflow".into(), PipelineConfig::default()),
         (
             "jaccard/uniflow".into(),
-            PipelineConfig { measure: SimilarityMeasure::Jaccard, ..Default::default() },
+            PipelineConfig {
+                measure: SimilarityMeasure::Jaccard,
+                ..Default::default()
+            },
         ),
         (
             "constant/uniflow".into(),
-            PipelineConfig { measure: SimilarityMeasure::Constant, ..Default::default() },
+            PipelineConfig {
+                measure: SimilarityMeasure::Constant,
+                ..Default::default()
+            },
         ),
         (
             "simpson/packet".into(),
-            PipelineConfig { granularity: Granularity::Packet, ..Default::default() },
+            PipelineConfig {
+                granularity: Granularity::Packet,
+                ..Default::default()
+            },
         ),
         (
             "simpson/biflow".into(),
-            PipelineConfig { granularity: Granularity::Biflow, ..Default::default() },
+            PipelineConfig {
+                granularity: Granularity::Biflow,
+                ..Default::default()
+            },
         ),
     ];
 
@@ -50,8 +62,7 @@ fn main() {
     for (name, config) in variants {
         let granularity = config.granularity;
         let per_day = run_days(&days, args.scale, config, |ctx| {
-            let matcher =
-                GroundTruthMatcher::new(ctx.view, &ctx.labeled_trace.truth, granularity);
+            let matcher = GroundTruthMatcher::new(ctx.view, &ctx.labeled_trace.truth, granularity);
             let s = score_strategy(&matcher, &ctx.report.communities, &ctx.report.decisions);
             (
                 s.detected.len(),
@@ -84,7 +95,13 @@ fn main() {
     }
     println!("\n== ablation: SCANN ground-truth score per estimator variant ==");
     out::print_table(
-        &["variant", "anomalies", "recall", "precision", "single communities"],
+        &[
+            "variant",
+            "anomalies",
+            "recall",
+            "precision",
+            "single communities",
+        ],
         &table,
     );
     let path = out::write_csv_series(

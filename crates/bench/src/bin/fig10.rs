@@ -22,7 +22,13 @@ fn main() {
 
     let per_day = run_days(&days, args.scale, PipelineConfig::default(), |ctx| {
         let mut v: Vec<(HeuristicCategory, f64)> = Vec::new();
-        for (lc, d) in ctx.report.labeled.communities.iter().zip(&ctx.report.decisions) {
+        for (lc, d) in ctx
+            .report
+            .labeled
+            .communities
+            .iter()
+            .zip(&ctx.report.decisions)
+        {
             if d.accepted {
                 continue;
             }
@@ -39,25 +45,38 @@ fn main() {
     println!("\n== Fig 10: PDF of rejected communities' relative distance ==");
     let mut rows = Vec::new();
     let mut table = Vec::new();
-    for cat in
-        [HeuristicCategory::Attack, HeuristicCategory::Special, HeuristicCategory::Unknown]
-    {
-        let values: Vec<f64> =
-            pooled.iter().filter(|(c, _)| *c == cat).map(|&(_, v)| v).collect();
+    for cat in [
+        HeuristicCategory::Attack,
+        HeuristicCategory::Special,
+        HeuristicCategory::Unknown,
+    ] {
+        let values: Vec<f64> = pooled
+            .iter()
+            .filter(|(c, _)| *c == cat)
+            .map(|&(_, v)| v)
+            .collect();
         let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
         let below_half = values.iter().filter(|&&v| v <= 0.5).count();
         table.push(vec![
             cat.to_string(),
             values.len().to_string(),
             format!("{mean:.2}"),
-            format!("{:.0}%", below_half as f64 / values.len().max(1) as f64 * 100.0),
+            format!(
+                "{:.0}%",
+                below_half as f64 / values.len().max(1) as f64 * 100.0
+            ),
         ]);
         for (x, dens) in pdf_histogram(&values, 20, 0.0, 10.0) {
             rows.push(vec![cat.to_string(), out::fmt(x), out::fmt(dens)]);
         }
     }
     out::print_table(
-        &["category", "rejected", "mean rel. distance", "≤0.5 (→Suspicious)"],
+        &[
+            "category",
+            "rejected",
+            "mean rel. distance",
+            "≤0.5 (→Suspicious)",
+        ],
         &table,
     );
     let path = out::write_csv_series(

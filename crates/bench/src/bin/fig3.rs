@@ -21,8 +21,11 @@ use mawilab_label::summary::summarize_community;
 use mawilab_model::Granularity;
 use mawilab_similarity::SimilarityEstimator;
 
-const GRANULARITIES: [Granularity; 3] =
-    [Granularity::Packet, Granularity::Uniflow, Granularity::Biflow];
+const GRANULARITIES: [Granularity; 3] = [
+    Granularity::Packet,
+    Granularity::Uniflow,
+    Granularity::Biflow,
+];
 
 /// Per-trace, per-granularity reduction.
 struct DayStats {
@@ -45,16 +48,18 @@ fn main() {
             degrees: Default::default(),
         };
         for (gi, granularity) in GRANULARITIES.into_iter().enumerate() {
-            let estimator = SimilarityEstimator { granularity, ..Default::default() };
-            let communities =
-                estimator.estimate(ctx.view, ctx.report.communities.alarms.clone());
+            let estimator = SimilarityEstimator {
+                granularity,
+                ..Default::default()
+            };
+            let communities = estimator.estimate(ctx.view, ctx.report.communities.alarms.clone());
             let sizes = communities.sizes();
             stats.singles[gi] = communities.single_count();
-            for c in 0..communities.community_count() {
-                if sizes[c] < 2 {
+            for (c, &size) in sizes.iter().enumerate() {
+                if size < 2 {
                     continue; // panels (b)-(d) exclude singles
                 }
-                stats.sizes[gi].push(sizes[c]);
+                stats.sizes[gi].push(size);
                 let s = summarize_community(ctx.view, &communities, c, 0.2);
                 stats.supports[gi].push(s.rule_support * 100.0);
                 stats.degrees[gi].push(s.rule_degree.round() as u32);
@@ -75,30 +80,50 @@ fn main() {
             let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
             println!("  {name:8} mean singles/trace = {mean:.1}");
         }
-        let path = out::write_csv_series(&args.out_dir, "fig3a", &["granularity", "singles", "cdf"], &rows).unwrap();
+        let path = out::write_csv_series(
+            &args.out_dir,
+            "fig3a",
+            &["granularity", "singles", "cdf"],
+            &rows,
+        )
+        .unwrap();
         println!("  series → {path}");
     }
     if args.wants_panel("b") {
         println!("\n== Fig 3(b): CDF of community size (excl. singles) ==");
         let mut rows = Vec::new();
         for (gi, name) in names.iter().enumerate() {
-            let values: Vec<f64> =
-                per_day.iter().flat_map(|d| d.sizes[gi].iter().map(|&s| s as f64)).collect();
+            let values: Vec<f64> = per_day
+                .iter()
+                .flat_map(|d| d.sizes[gi].iter().map(|&s| s as f64))
+                .collect();
             for (x, p) in cdf_points(&values) {
                 rows.push(vec![name.to_string(), out::fmt(x), out::fmt(p)]);
             }
             let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
             let max = values.iter().cloned().fold(0.0, f64::max);
-            println!("  {name:8} mean size = {mean:.1}, max = {max:.0}, n = {}", values.len());
+            println!(
+                "  {name:8} mean size = {mean:.1}, max = {max:.0}, n = {}",
+                values.len()
+            );
         }
-        let path = out::write_csv_series(&args.out_dir, "fig3b", &["granularity", "size", "cdf"], &rows).unwrap();
+        let path = out::write_csv_series(
+            &args.out_dir,
+            "fig3b",
+            &["granularity", "size", "cdf"],
+            &rows,
+        )
+        .unwrap();
         println!("  series → {path}");
     }
     if args.wants_panel("c") {
         println!("\n== Fig 3(c): CDF of rule support (excl. singles) ==");
         let mut rows = Vec::new();
         for (gi, name) in names.iter().enumerate() {
-            let values: Vec<f64> = per_day.iter().flat_map(|d| d.supports[gi].clone()).collect();
+            let values: Vec<f64> = per_day
+                .iter()
+                .flat_map(|d| d.supports[gi].clone())
+                .collect();
             for (x, p) in cdf_points(&values) {
                 rows.push(vec![name.to_string(), out::fmt(x), out::fmt(p)]);
             }
@@ -108,13 +133,22 @@ fn main() {
                 full as f64 / values.len().max(1) as f64 * 100.0
             );
         }
-        let path = out::write_csv_series(&args.out_dir, "fig3c", &["granularity", "support_pct", "cdf"], &rows).unwrap();
+        let path = out::write_csv_series(
+            &args.out_dir,
+            "fig3c",
+            &["granularity", "support_pct", "cdf"],
+            &rows,
+        )
+        .unwrap();
         println!("  series → {path}");
     }
     if args.wants_panel("d") {
         println!("\n== Fig 3(d): distribution of rule degree (excl. singles) ==");
         let mut rows = Vec::new();
-        println!("  {:8} {:>7} {:>7} {:>7} {:>7} {:>7}", "gran.", "deg0", "deg1", "deg2", "deg3", "deg4");
+        println!(
+            "  {:8} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            "gran.", "deg0", "deg1", "deg2", "deg3", "deg4"
+        );
         for (gi, name) in names.iter().enumerate() {
             let values: Vec<u32> = per_day.iter().flat_map(|d| d.degrees[gi].clone()).collect();
             let pmf = discrete_pmf(&values, 4);
@@ -131,7 +165,13 @@ fn main() {
                 rows.push(vec![name.to_string(), deg.to_string(), out::fmt(p)]);
             }
         }
-        let path = out::write_csv_series(&args.out_dir, "fig3d", &["granularity", "degree", "probability"], &rows).unwrap();
+        let path = out::write_csv_series(
+            &args.out_dir,
+            "fig3d",
+            &["granularity", "degree", "probability"],
+            &rows,
+        )
+        .unwrap();
         println!("  series → {path}");
     }
 

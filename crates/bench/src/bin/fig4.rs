@@ -35,7 +35,12 @@ fn main() {
 
     // Logarithmic size bins: 1, 2, 3-4, 5-8, ..., 513+.
     let bin_of = |size: usize| (size.max(1) as f64).log2().floor() as usize;
-    let n_bins = triples.iter().map(|&(s, _, _)| bin_of(s)).max().unwrap_or(0) + 1;
+    let n_bins = triples
+        .iter()
+        .map(|&(s, _, _)| bin_of(s))
+        .max()
+        .unwrap_or(0)
+        + 1;
     let mut acc: Vec<(usize, f64, f64)> = vec![(0, 0.0, 0.0); n_bins];
     for &(size, degree, support) in &triples {
         let b = bin_of(size);
@@ -61,9 +66,17 @@ fn main() {
             format!("{deg:.2}"),
             format!("{sup:.0}%"),
         ]);
-        rows.push(vec![lo.to_string(), n.to_string(), out::fmt(deg), out::fmt(sup)]);
+        rows.push(vec![
+            lo.to_string(),
+            n.to_string(),
+            out::fmt(deg),
+            out::fmt(sup),
+        ]);
     }
-    out::print_table(&["size", "communities", "rule degree", "rule support"], &table);
+    out::print_table(
+        &["size", "communities", "rule degree", "rule support"],
+        &table,
+    );
     let path = out::write_csv_series(
         &args.out_dir,
         "fig4",

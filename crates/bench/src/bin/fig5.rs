@@ -122,7 +122,14 @@ fn main() {
         }
     }
     out::print_table(
-        &["class", "total", "attack", "special", "unknown", "attack ratio"],
+        &[
+            "class",
+            "total",
+            "attack",
+            "special",
+            "unknown",
+            "attack ratio",
+        ],
         &table,
     );
     let path = out::write_csv_series(

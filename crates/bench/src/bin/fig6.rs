@@ -18,8 +18,12 @@ use mawilab_core::{PipelineConfig, StrategyKind};
 use mawilab_detectors::DetectorKind;
 use mawilab_eval::{attack_ratio_by_class, detector_attack_ratio, pdf_histogram};
 
-const STRATEGIES: [StrategyKind; 4] =
-    [StrategyKind::Average, StrategyKind::Maximum, StrategyKind::Minimum, StrategyKind::Scann];
+const STRATEGIES: [StrategyKind; 4] = [
+    StrategyKind::Average,
+    StrategyKind::Maximum,
+    StrategyKind::Minimum,
+    StrategyKind::Scann,
+];
 
 fn main() {
     let args = Args::parse();
@@ -33,7 +37,11 @@ fn main() {
     }
 
     let per_day = run_days(&days, args.scale, PipelineConfig::default(), |ctx| {
-        let mut d = Day { accepted: vec![], rejected: vec![], detectors: vec![] };
+        let mut d = Day {
+            accepted: vec![],
+            rejected: vec![],
+            detectors: vec![],
+        };
         for (kind, decisions) in ctx.per_strategy {
             if !STRATEGIES.contains(kind) {
                 continue;
@@ -66,7 +74,11 @@ fn main() {
             if !args.wants_panel(panel) {
                 continue;
             }
-            let title = if accepted { "accepted (higher is better)" } else { "rejected (lower is better)" };
+            let title = if accepted {
+                "accepted (higher is better)"
+            } else {
+                "rejected (lower is better)"
+            };
             println!("\n== Fig 6({panel}): PDF of attack ratio, {title} ==");
             let mut rows = Vec::new();
             let mut table = Vec::new();

@@ -14,8 +14,12 @@ use mawilab_core::{PipelineConfig, StrategyKind};
 use mawilab_eval::attack_ratio_by_class;
 use std::collections::BTreeMap;
 
-const STRATEGIES: [StrategyKind; 4] =
-    [StrategyKind::Average, StrategyKind::Maximum, StrategyKind::Minimum, StrategyKind::Scann];
+const STRATEGIES: [StrategyKind; 4] = [
+    StrategyKind::Average,
+    StrategyKind::Maximum,
+    StrategyKind::Minimum,
+    StrategyKind::Scann,
+];
 
 fn main() {
     let args = Args::parse();
@@ -40,13 +44,15 @@ fn main() {
             continue;
         }
         let better = if accepted { "higher" } else { "lower" };
-        println!("\n== Fig 7({panel}): attack ratio over time, {} ({better} is better) ==",
-            if accepted { "accepted" } else { "rejected" });
+        println!(
+            "\n== Fig 7({panel}): attack ratio over time, {} ({better} is better) ==",
+            if accepted { "accepted" } else { "rejected" }
+        );
 
         let mut rows = Vec::new();
         // monthly means per strategy: (year, month) → strategy → (sum, n)
-        let mut monthly: BTreeMap<(u16, u8), BTreeMap<&'static str, (f64, usize)>> =
-            BTreeMap::new();
+        type MonthlySums = BTreeMap<(u16, u8), BTreeMap<&'static str, (f64, usize)>>;
+        let mut monthly: MonthlySums = BTreeMap::new();
         for (date, per_strategy) in &per_day {
             for &(kind, acc, rej) in per_strategy {
                 let val = if accepted { acc } else { rej };
@@ -70,7 +76,11 @@ fn main() {
         let mut yearly: BTreeMap<u16, BTreeMap<&'static str, (f64, usize)>> = BTreeMap::new();
         for ((y, _m), per) in &monthly {
             for (name, (s, n)) in per {
-                let slot = yearly.entry(*y).or_default().entry(name).or_insert((0.0, 0));
+                let slot = yearly
+                    .entry(*y)
+                    .or_default()
+                    .entry(name)
+                    .or_insert((0.0, 0));
                 slot.0 += s;
                 slot.1 += n;
             }
@@ -80,7 +90,11 @@ fn main() {
             let mut row = vec![y.to_string()];
             for kind in STRATEGIES {
                 let (s, n) = per.get(kind.name()).copied().unwrap_or((0.0, 0));
-                row.push(if n > 0 { format!("{:.3}", s / n as f64) } else { "-".into() });
+                row.push(if n > 0 {
+                    format!("{:.3}", s / n as f64)
+                } else {
+                    "-".into()
+                });
             }
             table.push(row);
         }

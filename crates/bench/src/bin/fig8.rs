@@ -73,9 +73,19 @@ fn main() {
                 .map(|(_, gc)| *gc)
                 .unwrap_or_default();
             let (og, oc, dg, dc) = if accepted {
-                (day.overall.gain_acc, day.overall.cost_acc, det.gain_acc, det.cost_acc)
+                (
+                    day.overall.gain_acc,
+                    day.overall.cost_acc,
+                    det.gain_acc,
+                    det.cost_acc,
+                )
             } else {
-                (day.overall.gain_rej, day.overall.cost_rej, det.gain_rej, det.cost_rej)
+                (
+                    day.overall.gain_rej,
+                    day.overall.cost_rej,
+                    det.gain_rej,
+                    det.cost_rej,
+                )
             };
             let slot = yearly.entry(day.year).or_default();
             slot.0 += og;
@@ -113,7 +123,13 @@ fn main() {
         let path = out::write_csv_series(
             &args.out_dir,
             &format!("fig8{panel}"),
-            &["year", "overall_gain", "overall_cost", "detector_gain", "detector_cost"],
+            &[
+                "year",
+                "overall_gain",
+                "overall_cost",
+                "detector_gain",
+                "detector_cost",
+            ],
             &rows,
         )
         .unwrap();

@@ -38,7 +38,13 @@ fn main() {
 
     let per_day = run_days(&days, args.scale, PipelineConfig::default(), |ctx| {
         let mut acc = Acc::default();
-        for (lc, d) in ctx.report.labeled.communities.iter().zip(&ctx.report.decisions) {
+        for (lc, d) in ctx
+            .report
+            .labeled
+            .communities
+            .iter()
+            .zip(&ctx.report.decisions)
+        {
             if !d.accepted {
                 continue;
             }
@@ -55,7 +61,11 @@ fn main() {
             }
             *acc.totals.entry(lc.heuristic).or_default() += 1;
             for det in detectors {
-                *acc.by_label.entry(lc.heuristic).or_default().entry(det).or_default() += 1;
+                *acc.by_label
+                    .entry(lc.heuristic)
+                    .or_default()
+                    .entry(det)
+                    .or_default() += 1;
             }
         }
         acc
@@ -103,7 +113,10 @@ fn main() {
         }
         table.push(row);
     }
-    out::print_table(&["label", "SCANN total", "PCA", "Gamma", "Hough", "KL"], &table);
+    out::print_table(
+        &["label", "SCANN total", "PCA", "Gamma", "Hough", "KL"],
+        &table,
+    );
     let path = out::write_csv_series(
         &args.out_dir,
         "fig9",

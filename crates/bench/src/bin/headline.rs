@@ -41,20 +41,37 @@ fn main() {
             .collect();
         let per_detector = DetectorKind::ALL
             .iter()
-            .map(|&d| (d, score_detector(&matcher, &ctx.report.communities, d).len()))
+            .map(|&d| {
+                (
+                    d,
+                    score_detector(&matcher, &ctx.report.communities, d).len(),
+                )
+            })
             .collect();
-        Day { total: matcher.anomaly_ids().len(), per_strategy, per_detector }
+        Day {
+            total: matcher.anomaly_ids().len(),
+            per_strategy,
+            per_detector,
+        }
     });
 
     let total: usize = per_day.iter().map(|d| d.total).sum();
-    println!("\n== headline: true anomalies detected over {} days ({} injected) ==", days.len(), total);
+    println!(
+        "\n== headline: true anomalies detected over {} days ({} injected) ==",
+        days.len(),
+        total
+    );
 
     let mut table = Vec::new();
     for d in DetectorKind::ALL {
         let sum: usize = per_day
             .iter()
             .map(|day| {
-                day.per_detector.iter().find(|(k, _)| *k == d).map(|(_, n)| *n).unwrap_or(0)
+                day.per_detector
+                    .iter()
+                    .find(|(k, _)| *k == d)
+                    .map(|(_, n)| *n)
+                    .unwrap_or(0)
             })
             .sum();
         table.push(vec![
@@ -70,14 +87,16 @@ fn main() {
     }
     let mut scann_detected = 0usize;
     for kind in StrategyKind::ALL {
-        let (sum, accepted, prec_sum, n): (usize, usize, f64, usize) = per_day.iter().fold(
-            (0, 0, 0.0, 0),
-            |(s, a, p, n), day| {
-                let (_, det, acc, prec) =
-                    day.per_strategy.iter().find(|(k, _, _, _)| *k == kind).copied().unwrap();
+        let (sum, accepted, prec_sum, n): (usize, usize, f64, usize) =
+            per_day.iter().fold((0, 0, 0.0, 0), |(s, a, p, n), day| {
+                let (_, det, acc, prec) = day
+                    .per_strategy
+                    .iter()
+                    .find(|(k, _, _, _)| *k == kind)
+                    .copied()
+                    .unwrap();
                 (s + det, a + acc, p + prec, n + 1)
-            },
-        );
+            });
         if kind == StrategyKind::Scann {
             scann_detected = sum;
         }
@@ -85,7 +104,11 @@ fn main() {
             format!("strategy {}", kind.name()),
             sum.to_string(),
             format!("{:.2}", sum as f64 / total.max(1) as f64),
-            format!("{} accepted, precision {:.2}", accepted, prec_sum / n.max(1) as f64),
+            format!(
+                "{} accepted, precision {:.2}",
+                accepted,
+                prec_sum / n.max(1) as f64
+            ),
         ]);
     }
     out::print_table(&["who", "anomalies detected", "recall", "notes"], &table);
@@ -116,7 +139,13 @@ fn main() {
     let _ = out::write_csv_series(
         &args.out_dir,
         "headline",
-        &["scann_detected", "kl_detected", "best_single", "ratio_vs_accurate", "total"],
+        &[
+            "scann_detected",
+            "kl_detected",
+            "best_single",
+            "ratio_vs_accurate",
+            "total",
+        ],
         &[vec![
             scann_detected.to_string(),
             kl_detected.to_string(),

@@ -1,0 +1,199 @@
+//! Hot-path trajectory benchmark: the sharded similarity engine and
+//! the CSR Louvain rewrite, measured against the seed baselines.
+//!
+//! Writes `results/BENCH_hotpaths.json` with three sections:
+//!
+//! * `similarity_graph` — the criterion bench workload, built with
+//!   the retained sequential reference (`build_graph_sequential`,
+//!   byte-for-byte the seed algorithm) and with the sharded engine at
+//!   a sweep of `MAWILAB_THREADS` settings;
+//! * `louvain` — the criterion bench graphs under the CSR engine at a
+//!   thread sweep, alongside the seed-commit criterion medians;
+//! * `pipeline` — the end-to-end criterion trace, alongside the seed
+//!   median.
+//!
+//! Seed numbers were measured by running the criterion benches at the
+//! pre-refactor commit (recorded in the JSON) on the same container;
+//! re-measure by checking that commit out.
+//!
+//! ```sh
+//! cargo run --release -p mawilab-bench --bin hotpaths [-- --out results]
+//! ```
+
+use mawilab_core::{MawilabPipeline, PipelineConfig};
+use mawilab_graph::{louvain, Graph};
+use mawilab_similarity::SimilarityEstimator;
+use mawilab_synth::{SynthConfig, TraceGenerator};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Commit the `seed_*` medians below were measured at (criterion
+/// benches, same container).
+const SEED_COMMIT: &str = "8d22ca9 (PR 2)";
+
+/// Criterion medians at the seed commit, microseconds.
+const SEED_SIMILARITY_GRAPH_US: [(usize, f64); 2] = [(200, 1_630.0), (1000, 9_700.0)];
+const SEED_LOUVAIN_US: [(usize, f64); 2] = [(500, 71.2), (2000, 372.9)];
+const SEED_PIPELINE_US: f64 = 129_260.0;
+
+/// Same workload as the `similarity_graph` criterion bench: groups of
+/// ~6 alarms sharing most of their items.
+fn alarm_sets(n: usize) -> Vec<Vec<u32>> {
+    let mut state = 11u64;
+    let mut rnd = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as u32
+    };
+    (0..n)
+        .map(|i| {
+            let group = (i / 6) as u32;
+            let base = group * 400;
+            let mut set: Vec<u32> = (0..80).map(|_| base + rnd() % 300).collect();
+            set.sort_unstable();
+            set.dedup();
+            set
+        })
+        .collect()
+}
+
+/// Same graph shape as the `louvain` criterion bench: clique-ish
+/// communities of ~8 over 60% of the nodes, the rest isolated.
+fn similarity_like(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    let clustered = n * 6 / 10;
+    let mut state = 7u64;
+    let mut rnd = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as usize
+    };
+    let comm_size = 8;
+    for start in (0..clustered).step_by(comm_size) {
+        let end = (start + comm_size).min(clustered);
+        for i in start..end {
+            for j in (i + 1)..end {
+                if rnd() % 10 < 7 {
+                    g.add_edge(i, j, ((rnd() % 90) + 10) as f64 / 100.0);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Median wall-clock of `iters` runs of `f`, in microseconds.
+fn median_us<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    // One warm-up.
+    f();
+    let mut samples: Vec<Duration> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2].as_secs_f64() * 1e6
+}
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    std::env::set_var("MAWILAB_THREADS", threads.to_string());
+    let r = f();
+    std::env::remove_var("MAWILAB_THREADS");
+    r
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .skip(1)
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "results".into());
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads_sweep = [1usize, 2, 4, 8];
+    let est = SimilarityEstimator::default();
+
+    // Sharded graph build vs the sequential reference.
+    let mut sim_rows: Vec<String> = Vec::new();
+    for (n, seed_us) in SEED_SIMILARITY_GRAPH_US {
+        let sets = alarm_sets(n);
+        let iters = if n >= 1000 { 30 } else { 100 };
+        let sequential = median_us(iters, || {
+            drop(black_box(est.build_graph_sequential(black_box(&sets))))
+        });
+        let sharded: Vec<String> = threads_sweep
+            .iter()
+            .map(|&t| {
+                let us = with_threads(t, || {
+                    median_us(iters, || drop(black_box(est.build_graph(black_box(&sets)))))
+                });
+                format!("\"{t}\": {us:.1}")
+            })
+            .collect();
+        eprintln!(
+            "similarity_graph/{n}: seq {sequential:.0}us, sharded {}",
+            sharded.join(" ")
+        );
+        sim_rows.push(format!(
+            "    {{\"n\": {n}, \"seed_criterion_us\": {seed_us}, \"sequential_reference_us\": {sequential:.1}, \
+             \"sharded_us_by_threads\": {{{}}}}}",
+            sharded.join(", ")
+        ));
+    }
+
+    // CSR Louvain.
+    let mut louvain_rows: Vec<String> = Vec::new();
+    for (n, seed_us) in SEED_LOUVAIN_US {
+        let g = similarity_like(n);
+        let iters = if n >= 2000 { 30 } else { 100 };
+        let csr: Vec<String> = [1usize, 4]
+            .iter()
+            .map(|&t| {
+                let us = with_threads(t, || {
+                    median_us(iters, || drop(black_box(louvain(black_box(&g), 1.0))))
+                });
+                format!("\"{t}\": {us:.1}")
+            })
+            .collect();
+        eprintln!("louvain/{n}: csr {}", csr.join(" "));
+        louvain_rows.push(format!(
+            "    {{\"n\": {n}, \"seed_criterion_us\": {seed_us}, \"csr_us_by_threads\": {{{}}}}}",
+            csr.join(", ")
+        ));
+    }
+
+    // End-to-end pipeline (criterion trace, seed 77).
+    let lt = TraceGenerator::new(SynthConfig::default().with_seed(77)).generate();
+    let pipeline = MawilabPipeline::new(PipelineConfig::default());
+    let pipe_rows: Vec<String> = [1usize, 4]
+        .iter()
+        .map(|&t| {
+            let us = with_threads(t, || {
+                median_us(5, || drop(black_box(pipeline.run(black_box(&lt.trace)))))
+            });
+            format!("\"{t}\": {us:.1}")
+        })
+        .collect();
+    eprintln!("pipeline: {}", pipe_rows.join(" "));
+
+    let json = format!(
+        "{{\n  \"generated_by\": \"cargo run --release -p mawilab-bench --bin hotpaths\",\n  \
+         \"seed_commit\": \"{SEED_COMMIT}\",\n  \"hardware_threads\": {hardware},\n  \
+         \"note\": \"medians in microseconds; sequential_reference is the retained seed algorithm \
+         (build_graph_sequential); on this host every speedup is algorithmic (hardware_threads caps \
+         real parallelism, so thread counts above it only add fan-out overhead) — re-run this bin on \
+         a multicore host to measure parallel scaling\",\n  \"similarity_graph\": [\n{}\n  ],\n  \"louvain\": [\n{}\n  ],\n  \
+         \"pipeline\": {{\"seed_criterion_us\": {SEED_PIPELINE_US}, \"end_to_end_us_by_threads\": {{{}}}}}\n}}\n",
+        sim_rows.join(",\n"),
+        louvain_rows.join(",\n"),
+        pipe_rows.join(", "),
+    );
+    std::fs::create_dir_all(&out_dir).expect("creating out dir");
+    let path = format!("{out_dir}/BENCH_hotpaths.json");
+    std::fs::write(&path, &json).expect("writing BENCH_hotpaths.json");
+    println!("{json}");
+    eprintln!("wrote {path}");
+}

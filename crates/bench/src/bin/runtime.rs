@@ -49,8 +49,19 @@ fn main() {
         &["stage", "wall-clock"],
         &[
             vec!["trace synthesis".into(), format!("{synth_time:?}")],
-            vec!["detectors (12 configs)".into(), format!("{:?}", report.timings.detect)],
-            vec!["similarity estimator".into(), format!("{:?}", report.timings.estimate)],
+            vec![
+                "detectors (12 configs)".into(),
+                format!("{:?}", report.timings.detect),
+            ],
+            vec![
+                "traffic extraction".into(),
+                format!("{:?}", report.timings.extract),
+            ],
+            vec![
+                "similarity graph (sharded)".into(),
+                format!("{:?}", report.timings.graph),
+            ],
+            vec!["Louvain".into(), format!("{:?}", report.timings.louvain)],
             vec!["combiner".into(), format!("{:?}", report.timings.combine)],
             vec!["labeling".into(), format!("{:?}", report.timings.label)],
             vec!["pipeline total".into(), format!("{total:?}")],

@@ -32,7 +32,12 @@ struct Flags {
 }
 
 fn parse_flags() -> Flags {
-    let mut f = Flags { mode: None, pcap: None, scale: 1.0, out_dir: "results".into() };
+    let mut f = Flags {
+        mode: None,
+        pcap: None,
+        scale: 1.0,
+        out_dir: "results".into(),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -78,9 +83,8 @@ fn run_mode(mode: &str, pcap_path: &str) {
         "streaming" => {
             let file = std::fs::File::open(pcap_path).expect("opening pcap");
             let t0 = Instant::now();
-            let mut source =
-                StreamingPcapReader::new(BufReader::new(file), meta, DEFAULT_CHUNK_US)
-                    .expect("opening pcap stream");
+            let mut source = StreamingPcapReader::new(BufReader::new(file), meta, DEFAULT_CHUNK_US)
+                .expect("opening pcap stream");
             let pipeline = StreamingPipeline::new(PipelineConfig::default());
             let report = pipeline.run(&mut source).expect("streaming run failed");
             let wall = t0.elapsed();
@@ -115,7 +119,11 @@ fn spawn_child(mode: &str, pcap_path: &str) -> String {
         .args(["--mode", mode, "--pcap", pcap_path])
         .output()
         .expect("spawning child benchmark failed");
-    assert!(out.status.success(), "child {mode} failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "child {mode} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     String::from_utf8(out.stdout)
         .expect("child output not UTF-8")
         .lines()
@@ -174,7 +182,9 @@ fn main() {
                 ctx.report.stats.chunks,
                 ctx.report.stats.peak_chunk_packets,
                 ctx.wall.as_secs_f64(),
-                ctx.report.labeled.count(mawilab_label::MawilabLabel::Anomalous),
+                ctx.report
+                    .labeled
+                    .count(mawilab_label::MawilabLabel::Anomalous),
             )
         },
     );
@@ -211,7 +221,11 @@ fn main() {
     eprintln!("wrote {path}");
 
     // Sanity: identical decisions imply identical counts.
-    assert_eq!(field(&batch, "alarms"), field(&streaming, "alarms"), "alarm counts diverged");
+    assert_eq!(
+        field(&batch, "alarms"),
+        field(&streaming, "alarms"),
+        "alarm counts diverged"
+    );
     assert_eq!(
         field(&batch, "communities"),
         field(&streaming, "communities"),

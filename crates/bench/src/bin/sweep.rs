@@ -23,9 +23,11 @@ fn widen(decisions: &[Decision], theta: f64) -> Vec<Decision> {
     decisions
         .iter()
         .map(|d| {
-            let accept = d.accepted
-                || matches!(d.relative_distance, Some(rel) if rel <= theta);
-            Decision { accepted: accept, relative_distance: d.relative_distance }
+            let accept = d.accepted || matches!(d.relative_distance, Some(rel) if rel <= theta);
+            Decision {
+                accepted: accept,
+                relative_distance: d.relative_distance,
+            }
         })
         .collect()
 }
@@ -89,7 +91,13 @@ fn main() {
         ]);
     }
     out::print_table(
-        &["θ", "accepted", "mean attack ratio", "truth recall", "precision"],
+        &[
+            "θ",
+            "accepted",
+            "mean attack ratio",
+            "truth recall",
+            "precision",
+        ],
         &table,
     );
     let path = out::write_csv_series(

@@ -19,7 +19,15 @@ fn ip(d: u8) -> Ipv4Addr {
 fn syns(port: u16, n: usize) -> Vec<Packet> {
     (0..n)
         .map(|i| {
-            Packet::tcp(i as u64, ip((i % 200) as u8), 1025 + i as u16, ip(250), port, TcpFlags::syn(), 48)
+            Packet::tcp(
+                i as u64,
+                ip((i % 200) as u8),
+                1025 + i as u16,
+                ip(250),
+                port,
+                TcpFlags::syn(),
+                48,
+            )
         })
         .collect()
 }
@@ -27,7 +35,11 @@ fn syns(port: u16, n: usize) -> Vec<Packet> {
 fn main() {
     println!("== Table 1: heuristics labeling community traffic ==\n");
     let rows = vec![
-        vec!["Attack".into(), "Sasser".into(), "ports 1023/tcp, 5554/tcp or 9898/tcp".into()],
+        vec![
+            "Attack".into(),
+            "Sasser".into(),
+            "ports 1023/tcp, 5554/tcp or 9898/tcp".into(),
+        ],
         vec!["Attack".into(), "RPC".into(), "port 135/tcp".into()],
         vec!["Attack".into(), "SMB".into(), "port 445/tcp".into()],
         vec!["Attack".into(), "Ping".into(), "high ICMP traffic".into()],
@@ -36,52 +48,94 @@ fn main() {
             "Other attacks".into(),
             ">7 packets and SYN/RST/FIN >= 50%; or http/ftp/ssh/dns with SYN >= 30%".into(),
         ],
-        vec!["Attack".into(), "NetBIOS".into(), "ports 137/udp or 139/tcp".into()],
-        vec!["Special".into(), "Http".into(), "ports 80/tcp, 8080/tcp with < 30% SYN".into()],
+        vec![
+            "Attack".into(),
+            "NetBIOS".into(),
+            "ports 137/udp or 139/tcp".into(),
+        ],
+        vec![
+            "Special".into(),
+            "Http".into(),
+            "ports 80/tcp, 8080/tcp with < 30% SYN".into(),
+        ],
         vec![
             "Special".into(),
             "dns,ftp,ssh".into(),
             "ports 20, 21, 22/tcp or 53/tcp&udp with < 30% SYN".into(),
         ],
-        vec!["Unknown".into(), "Unknown".into(), "traffic matching no other heuristic".into()],
+        vec![
+            "Unknown".into(),
+            "Unknown".into(),
+            "traffic matching no other heuristic".into(),
+        ],
     ];
     out::print_table(&["category", "label", "details"], &rows);
 
     println!("\n== live demonstration on synthetic snippets ==\n");
     let demos: Vec<(&str, Vec<Packet>, HeuristicLabel)> = vec![
-        ("5554/tcp backdoor flows", syns(5554, 20), HeuristicLabel::Sasser),
+        (
+            "5554/tcp backdoor flows",
+            syns(5554, 20),
+            HeuristicLabel::Sasser,
+        ),
         ("135/tcp sweep", syns(135, 20), HeuristicLabel::Rpc),
         ("445/tcp sweep", syns(445, 20), HeuristicLabel::Smb),
         (
             "ICMP echo flood",
-            (0..40).map(|i| Packet::icmp(i, ip(1), ip(2), 8, 0, 1064)).collect(),
+            (0..40)
+                .map(|i| Packet::icmp(i, ip(1), ip(2), 8, 0, 1064))
+                .collect(),
             HeuristicLabel::Ping,
         ),
-        ("SYN scan on 6667/tcp", syns(6667, 30), HeuristicLabel::OtherAttack),
+        (
+            "SYN scan on 6667/tcp",
+            syns(6667, 30),
+            HeuristicLabel::OtherAttack,
+        ),
         (
             "137/udp name queries",
-            (0..30).map(|i| Packet::udp(i, ip(1), 137, ip((i % 99) as u8), 137, 78)).collect(),
+            (0..30)
+                .map(|i| Packet::udp(i, ip(1), 137, ip((i % 99) as u8), 137, 78))
+                .collect(),
             HeuristicLabel::NetBios,
         ),
         (
             "HTTP download",
             (0..30)
                 .map(|i| {
-                    Packet::tcp(i, ip(2), 80, ip(1), 2000, TcpFlags(TcpFlags::ACK | TcpFlags::PSH), 512)
+                    Packet::tcp(
+                        i,
+                        ip(2),
+                        80,
+                        ip(1),
+                        2000,
+                        TcpFlags(TcpFlags::ACK | TcpFlags::PSH),
+                        512,
+                    )
                 })
                 .collect(),
             HeuristicLabel::Http,
         ),
         (
             "DNS exchange",
-            (0..20).map(|i| Packet::udp(i, ip(1), 1025, ip(2), 53, 80)).collect(),
+            (0..20)
+                .map(|i| Packet::udp(i, ip(1), 1025, ip(2), 53, 80))
+                .collect(),
             HeuristicLabel::MultiServices,
         ),
         (
             "p2p transfer on high ports",
             (0..30)
                 .map(|i| {
-                    Packet::tcp(i, ip(1), 40000, ip(2), 50000, TcpFlags(TcpFlags::ACK | TcpFlags::PSH), 1500)
+                    Packet::tcp(
+                        i,
+                        ip(1),
+                        40000,
+                        ip(2),
+                        50000,
+                        TcpFlags(TcpFlags::ACK | TcpFlags::PSH),
+                        1500,
+                    )
                 })
                 .collect(),
             HeuristicLabel::Unknown,

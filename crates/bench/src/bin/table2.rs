@@ -22,12 +22,14 @@ fn main() {
             None,
         )
     });
-    let total = per_day.iter().fold(GainCost::default(), |acc, gc| GainCost {
-        gain_acc: acc.gain_acc + gc.gain_acc,
-        cost_acc: acc.cost_acc + gc.cost_acc,
-        gain_rej: acc.gain_rej + gc.gain_rej,
-        cost_rej: acc.cost_rej + gc.cost_rej,
-    });
+    let total = per_day
+        .iter()
+        .fold(GainCost::default(), |acc, gc| GainCost {
+            gain_acc: acc.gain_acc + gc.gain_acc,
+            cost_acc: acc.cost_acc + gc.cost_acc,
+            gain_rej: acc.gain_rej + gc.gain_rej,
+            cost_rej: acc.cost_rej + gc.cost_rej,
+        });
 
     println!("\n== Table 2: SCANN gains and losses (community counts) ==\n");
     out::print_table(
@@ -47,10 +49,14 @@ fn main() {
     );
     let accepted = total.gain_acc + total.cost_acc;
     let rejected = total.gain_rej + total.cost_rej;
-    println!("\naccepted communities: {accepted}  (attack ratio {:.2})",
-        total.gain_acc as f64 / accepted.max(1) as f64);
-    println!("rejected communities: {rejected}  (attack ratio {:.2})",
-        total.cost_rej as f64 / rejected.max(1) as f64);
+    println!(
+        "\naccepted communities: {accepted}  (attack ratio {:.2})",
+        total.gain_acc as f64 / accepted.max(1) as f64
+    );
+    println!(
+        "rejected communities: {rejected}  (attack ratio {:.2})",
+        total.cost_rej as f64 / rejected.max(1) as f64
+    );
     let _ = out::write_csv_series(
         &args.out_dir,
         "table2",

@@ -38,11 +38,11 @@ impl Args {
     /// `--years FROM:TO`, `--days N`, `--scale X`, `--out DIR`,
     /// `--panel P`, `--exclusive`.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
     /// Parses an explicit iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut args = Args::default();
         let mut it = iter.into_iter();
         while let Some(flag) = it.next() {
@@ -82,7 +82,7 @@ mod tests {
     use super::*;
 
     fn parse(s: &str) -> Args {
-        Args::from_iter(s.split_whitespace().map(String::from))
+        Args::from_args(s.split_whitespace().map(String::from))
     }
 
     #[test]

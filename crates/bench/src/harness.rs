@@ -2,12 +2,15 @@
 //!
 //! Figure workloads all share one shape: generate N archive days,
 //! push each through the pipeline, reduce each day to a small summary
-//! value, aggregate. Days are independent, so they run on a scoped
-//! thread pool; results come back in day order regardless of
-//! scheduling.
+//! value, aggregate. Days are independent, so they fan out through
+//! `mawilab_exec::par_map` (honoring `MAWILAB_THREADS`); results come
+//! back in day order regardless of scheduling.
 
 use mawilab_combiner::Decision;
-use mawilab_core::{MawilabPipeline, PipelineConfig, PipelineReport, StrategyKind, StreamingPipeline, StreamingReport};
+use mawilab_core::{
+    MawilabPipeline, PipelineConfig, PipelineReport, StrategyKind, StreamingPipeline,
+    StreamingReport,
+};
 use mawilab_detectors::TraceView;
 use mawilab_model::{FlowTable, TraceChunker, TraceDate};
 use mawilab_synth::{ArchiveConfig, ArchiveSimulator, GroundTruth, LabeledTrace};
@@ -30,40 +33,31 @@ pub struct DayContext<'a> {
 }
 
 /// The shared day scheduler: generates each archive day, hands it to
-/// `per_day` on a scoped thread pool, and returns the results in day
-/// order regardless of scheduling. Both the batch and the streaming
-/// harness entry points are thin wrappers over this.
+/// `per_day` on the workspace fan-out helper ([`mawilab_exec::par_map`],
+/// honoring `MAWILAB_THREADS`), and returns the results in day order
+/// regardless of scheduling. Both the batch and the streaming harness
+/// entry points are thin wrappers over this.
 fn schedule_days<T, F>(days: &[TraceDate], scale: f64, per_day: F) -> Vec<T>
 where
     T: Send,
     F: Fn(TraceDate, LabeledTrace) -> T + Sync,
 {
-    let sim = ArchiveSimulator::new(ArchiveConfig { scale, ..Default::default() });
-    let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-    let next = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
-    let mut results: Vec<Option<T>> = (0..days.len()).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-
-    std::thread::scope(|s| {
-        for _ in 0..n_threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= days.len() {
-                    break;
-                }
-                let date = days[i];
-                let value = per_day(date, sim.generate(date));
-                **slots[i].lock().expect("poisoned result slot") = Some(value);
-                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                if d % 25 == 0 || d == days.len() {
-                    eprintln!("  [{d}/{} days]", days.len());
-                }
-            });
-        }
+    let sim = ArchiveSimulator::new(ArchiveConfig {
+        scale,
+        ..Default::default()
     });
-    results.into_iter().map(|r| r.expect("missing day result")).collect()
+    let done = AtomicUsize::new(0);
+    // Cap the outer day fan-out: each day runs a whole pipeline that
+    // fans out internally, so an uncapped outer map would square the
+    // worker count on big machines.
+    mawilab_exec::par_map_capped(days, 16, |&date| {
+        let value = per_day(date, sim.generate(date));
+        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if d.is_multiple_of(25) || d == days.len() {
+            eprintln!("  [{d}/{} days]", days.len());
+        }
+        value
+    })
 }
 
 /// Runs `reduce` over every day, in parallel, returning per-day
@@ -130,7 +124,12 @@ where
         let t0 = std::time::Instant::now();
         let report = pipeline.run(&mut source).expect("streaming run failed");
         let wall = t0.elapsed();
-        reduce(&StreamingDayContext { date, truth: &truth, report: &report, wall })
+        reduce(&StreamingDayContext {
+            date,
+            truth: &truth,
+            report: &report,
+            wall,
+        })
     })
 }
 
@@ -163,7 +162,7 @@ mod tests {
         let ok = run_days(&days, 0.3, PipelineConfig::default(), |ctx| {
             ctx.per_strategy.len() == 5
                 && ctx.report.decisions.len() == ctx.report.community_count()
-                && ctx.labeled_trace.trace.len() > 0
+                && !ctx.labeled_trace.trace.is_empty()
                 && ctx.view.trace.len() == ctx.labeled_trace.trace.len()
         });
         assert!(ok.iter().all(|&b| b));
@@ -182,9 +181,7 @@ mod tests {
             PipelineConfig::default(),
             |ctx| {
                 assert!(ctx.report.stats.chunks > 1);
-                assert!(
-                    (ctx.report.stats.peak_chunk_packets as u64) < ctx.report.stats.packets
-                );
+                assert!((ctx.report.stats.peak_chunk_packets as u64) < ctx.report.stats.packets);
                 (ctx.report.alarm_count(), ctx.report.decisions.clone())
             },
         );

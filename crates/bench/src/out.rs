@@ -81,7 +81,7 @@ mod tests {
     fn fmt_scales() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(0.1234567), "0.1235");
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(2.54159), "2.54");
         assert_eq!(fmt(1234.5), "1234"); // ties-to-even f64 formatting
     }
 }

@@ -44,7 +44,9 @@ pub struct Scann {
 
 impl Default for Scann {
     fn default() -> Self {
-        Scann { dims: CaDims::Count(1) }
+        Scann {
+            dims: CaDims::Count(1),
+        }
     }
 }
 
@@ -67,8 +69,9 @@ impl Scann {
         if table.is_empty() {
             return Vec::new();
         }
-        let rows: Vec<Vec<f64>> =
-            (0..table.len()).map(|c| Self::indicator_row(table.row(c))).collect();
+        let rows: Vec<Vec<f64>> = (0..table.len())
+            .map(|c| Self::indicator_row(table.row(c)))
+            .collect();
         let t = Matrix::from_rows(&rows);
         let ca = CorrespondenceAnalysis::fit(&t, self.dims);
         let total_inertia: f64 = ca.inertia().iter().sum();
@@ -85,7 +88,11 @@ impl Scann {
                 let d_acc = distance(x, &accept_ref);
                 let d_rej = distance(x, &reject_ref);
                 let accepted = d_acc < d_rej;
-                let (d_own, d_other) = if accepted { (d_acc, d_rej) } else { (d_rej, d_acc) };
+                let (d_own, d_other) = if accepted {
+                    (d_acc, d_rej)
+                } else {
+                    (d_rej, d_acc)
+                };
                 let rel = if d_own > 0.0 {
                     d_other / d_own - 1.0
                 } else if d_other > 0.0 {
@@ -93,7 +100,10 @@ impl Scann {
                 } else {
                     0.0
                 };
-                Decision { accepted, relative_distance: Some(rel) }
+                Decision {
+                    accepted,
+                    relative_distance: Some(rel),
+                }
             })
             .collect()
     }
@@ -187,7 +197,10 @@ mod tests {
         let d = Scann::default().classify(&t);
         assert!(d[0].accepted);
         assert!(d[1].accepted);
-        assert!(!d[2].accepted, "Hough-only community accepted despite Hough being noise");
+        assert!(
+            !d[2].accepted,
+            "Hough-only community accepted despite Hough being noise"
+        );
     }
 
     /// A realistic mixed table: unanimous communities, two strong
@@ -223,7 +236,10 @@ mod tests {
     fn realistic_table_separates_strong_from_noise() {
         let t = realistic();
         let d = Scann::default().classify(&t);
-        assert!((0..25).all(|c| d[c].accepted), "strong communities rejected");
+        assert!(
+            (0..25).all(|c| d[c].accepted),
+            "strong communities rejected"
+        );
         assert!((25..58).all(|c| !d[c].accepted), "noise accepted");
     }
 
@@ -268,7 +284,9 @@ mod tests {
 
     #[test]
     fn empty_table_is_empty_output() {
-        assert!(Scann::default().classify(&VoteTable::from_rows(vec![])).is_empty());
+        assert!(Scann::default()
+            .classify(&VoteTable::from_rows(vec![]))
+            .is_empty());
     }
 
     #[test]

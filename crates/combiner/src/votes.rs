@@ -75,7 +75,10 @@ impl VoteTable {
 
     /// Number of distinct detectors voting for community `c`.
     pub fn detector_count(&self, c: usize) -> usize {
-        DetectorKind::ALL.iter().filter(|d| self.confidence(c, **d) > 0.0).count()
+        DetectorKind::ALL
+            .iter()
+            .filter(|d| self.confidence(c, **d) > 0.0)
+            .count()
     }
 
     /// Total votes (configurations) for community `c`.
@@ -99,7 +102,10 @@ pub struct Decision {
 impl Decision {
     /// Plain accept/reject decision without a distance.
     pub fn new(accepted: bool) -> Self {
-        Decision { accepted, relative_distance: None }
+        Decision {
+            accepted,
+            relative_distance: None,
+        }
     }
 }
 

@@ -73,8 +73,7 @@ pub fn benchmark_alarms(
         let traffic = report.communities.community_traffic(lc.community);
         let hit = candidate_sets.iter().any(|set| {
             let inter = intersection_size(set, &traffic);
-            inter > 0
-                && measure.value(inter, set.len().max(1), traffic.len().max(1)) >= min_overlap
+            inter > 0 && measure.value(inter, set.len().max(1), traffic.len().max(1)) >= min_overlap
         });
         community_matched[lc.community] = hit;
         if lc.label == MawilabLabel::Anomalous {
@@ -94,8 +93,7 @@ pub fn benchmark_alarms(
         let hit = report.labeled.communities.iter().any(|lc| {
             let traffic = report.communities.community_traffic(lc.community);
             let inter = intersection_size(set, &traffic);
-            inter > 0
-                && measure.value(inter, set.len().max(1), traffic.len().max(1)) >= min_overlap
+            inter > 0 && measure.value(inter, set.len().max(1), traffic.len().max(1)) >= min_overlap
         });
         if hit {
             matched_alarms += 1;
@@ -104,7 +102,12 @@ pub fn benchmark_alarms(
         }
     }
 
-    BenchmarkResult { detected, missed, matched_alarms, unmatched_alarms }
+    BenchmarkResult {
+        detected,
+        missed,
+        matched_alarms,
+        unmatched_alarms,
+    }
 }
 
 #[cfg(test)]

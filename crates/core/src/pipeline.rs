@@ -6,7 +6,9 @@ use mawilab_combiner::{
 use mawilab_detectors::{run_all, standard_configurations, Detector, TraceView};
 use mawilab_label::{label_communities, LabeledCommunity, MawilabLabel};
 use mawilab_model::{FlowTable, Granularity, Trace};
-use mawilab_similarity::{AlarmCommunities, SimilarityEstimator, SimilarityMeasure};
+use mawilab_similarity::{
+    extract_traffic, AlarmCommunities, SimilarityEstimator, SimilarityMeasure,
+};
 use std::time::{Duration, Instant};
 
 /// Which combination strategy step 3 uses.
@@ -60,13 +62,19 @@ impl StrategyKind {
 
 /// Pipeline configuration. The default matches the paper's released
 /// settings: uniflow granularity, Simpson similarity, SCANN
-/// combination, 20% rule support.
+/// combination, 20% rule support, no edge pruning, classical
+/// modularity.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Traffic granularity for the similarity estimator.
     pub granularity: Granularity,
     /// Edge-weight measure of the similarity graph.
     pub measure: SimilarityMeasure,
+    /// Similarity-graph edges at or below this weight are dropped
+    /// (0.0 = keep every intersecting pair, the paper's setting).
+    pub min_similarity: f64,
+    /// Louvain resolution (1.0 = classical modularity).
+    pub resolution: f64,
     /// Combination strategy.
     pub strategy: StrategyKind,
     /// Apriori support threshold for community summaries (paper:
@@ -79,19 +87,43 @@ impl Default for PipelineConfig {
         PipelineConfig {
             granularity: Granularity::Uniflow,
             measure: SimilarityMeasure::Simpson,
+            min_similarity: 0.0,
+            resolution: 1.0,
             strategy: StrategyKind::Scann,
             min_support: 0.2,
         }
     }
 }
 
-/// Wall-clock cost of each pipeline step (§6 discusses runtime).
+impl PipelineConfig {
+    /// The similarity estimator this configuration describes — the
+    /// single place the pipeline's four estimator knobs are wired
+    /// through, shared by the batch and streaming pipelines.
+    pub fn estimator(&self) -> SimilarityEstimator {
+        SimilarityEstimator {
+            granularity: self.granularity,
+            measure: self.measure,
+            min_similarity: self.min_similarity,
+            resolution: self.resolution,
+        }
+    }
+}
+
+/// Wall-clock cost of each pipeline stage (§6 discusses runtime).
+/// Step 2 is broken out into its three phases — extraction, graph
+/// build, Louvain — since it is the stage the paper names as the
+/// bottleneck and the one the sharded engine attacks.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PipelineTimings {
     /// Detector execution (all configurations, parallel).
     pub detect: Duration,
-    /// Traffic extraction + graph + Louvain.
-    pub estimate: Duration,
+    /// Traffic extraction (batch: per-alarm scan; streaming: pass 2
+    /// drain).
+    pub extract: Duration,
+    /// Sharded similarity-graph construction.
+    pub graph: Duration,
+    /// Louvain community mining.
+    pub louvain: Duration,
     /// Vote table + combination strategy.
     pub combine: Duration,
     /// Heuristics + Apriori summaries + taxonomy.
@@ -99,9 +131,15 @@ pub struct PipelineTimings {
 }
 
 impl PipelineTimings {
+    /// Step-2 total: traffic extraction + graph + Louvain (the old
+    /// single `estimate` figure).
+    pub fn estimate(&self) -> Duration {
+        self.extract + self.graph + self.louvain
+    }
+
     /// Total wall-clock time.
     pub fn total(&self) -> Duration {
-        self.detect + self.estimate + self.combine + self.label
+        self.detect + self.estimate() + self.combine + self.label
     }
 }
 
@@ -115,7 +153,9 @@ pub struct LabeledReport {
 impl LabeledReport {
     /// Communities labeled `Anomalous`.
     pub fn anomalies(&self) -> impl Iterator<Item = &LabeledCommunity> {
-        self.communities.iter().filter(|c| c.label == MawilabLabel::Anomalous)
+        self.communities
+            .iter()
+            .filter(|c| c.label == MawilabLabel::Anomalous)
     }
 
     /// Number of communities carrying `label`.
@@ -161,7 +201,10 @@ impl MawilabPipeline {
     /// Builds the pipeline with the paper's 12 standard detector
     /// configurations.
     pub fn new(config: PipelineConfig) -> Self {
-        MawilabPipeline { config, detectors: standard_configurations() }
+        MawilabPipeline {
+            config,
+            detectors: standard_configurations(),
+        }
     }
 
     /// Replaces the detector set (e.g. to ablate a family or add an
@@ -186,13 +229,12 @@ impl MawilabPipeline {
         let detect = t0.elapsed();
 
         let t1 = Instant::now();
-        let estimator = SimilarityEstimator {
-            granularity: self.config.granularity,
-            measure: self.config.measure,
-            ..Default::default()
-        };
-        let communities = estimator.estimate(&view, alarms);
-        let estimate = t1.elapsed();
+        let traffic = extract_traffic(&view, &alarms, self.config.granularity);
+        let extract = t1.elapsed();
+        let (communities, mining) = self
+            .config
+            .estimator()
+            .estimate_from_traffic_timed(alarms, traffic);
 
         let t2 = Instant::now();
         let votes = VoteTable::from_communities(&communities);
@@ -215,7 +257,14 @@ impl MawilabPipeline {
             votes,
             decisions,
             labeled,
-            timings: PipelineTimings { detect, estimate, combine, label },
+            timings: PipelineTimings {
+                detect,
+                extract,
+                graph: mining.graph,
+                louvain: mining.louvain,
+                combine,
+                label,
+            },
         }
     }
 
@@ -277,8 +326,16 @@ mod tests {
         assert_eq!(a.decisions, b.decisions);
         assert_eq!(a.votes, b.votes);
         assert_eq!(
-            a.labeled.communities.iter().map(|c| c.label).collect::<Vec<_>>(),
-            b.labeled.communities.iter().map(|c| c.label).collect::<Vec<_>>()
+            a.labeled
+                .communities
+                .iter()
+                .map(|c| c.label)
+                .collect::<Vec<_>>(),
+            b.labeled
+                .communities
+                .iter()
+                .map(|c| c.label)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -298,10 +355,17 @@ mod tests {
         }
         // Nesting sanity: minimum ⊆ average ⊆ maximum accepted sets.
         let get = |k: StrategyKind| {
-            per_strategy.iter().find(|(kk, _)| *kk == k).map(|(_, d)| d.clone()).unwrap()
+            per_strategy
+                .iter()
+                .find(|(kk, _)| *kk == k)
+                .map(|(_, d)| d.clone())
+                .unwrap()
         };
-        let (mins, avgs, maxs) =
-            (get(StrategyKind::Minimum), get(StrategyKind::Average), get(StrategyKind::Maximum));
+        let (mins, avgs, maxs) = (
+            get(StrategyKind::Minimum),
+            get(StrategyKind::Average),
+            get(StrategyKind::Maximum),
+        );
         for c in 0..report.community_count() {
             if mins[c].accepted {
                 assert!(avgs[c].accepted);
@@ -334,9 +398,8 @@ mod tests {
     fn custom_detector_set_is_respected() {
         use mawilab_detectors::{KlDetector, Tuning};
         let lt = small_trace();
-        let pipeline = MawilabPipeline::new(PipelineConfig::default()).with_detectors(vec![
-            Box::new(KlDetector::new(Tuning::Sensitive)),
-        ]);
+        let pipeline = MawilabPipeline::new(PipelineConfig::default())
+            .with_detectors(vec![Box::new(KlDetector::new(Tuning::Sensitive))]);
         let report = pipeline.run(&lt.trace);
         assert!(report
             .communities

@@ -37,13 +37,11 @@
 
 use crate::pipeline::{LabeledReport, PipelineConfig, PipelineTimings};
 use mawilab_combiner::{Decision, VoteTable};
-use mawilab_detectors::{
-    standard_configurations, ChunkView, Detector, IncrementalDetector,
-};
+use mawilab_detectors::Alarm;
+use mawilab_detectors::{standard_configurations, ChunkView, Detector, IncrementalDetector};
 use mawilab_label::{label_communities_streaming, CommunityEvidence};
 use mawilab_model::{ItemIndex, PacketChunk, PacketSource, SourceError};
-use mawilab_similarity::{AlarmCommunities, SimilarityEstimator, StreamingExtractor};
-use mawilab_detectors::Alarm;
+use mawilab_similarity::{AlarmCommunities, StreamingExtractor};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
@@ -72,8 +70,8 @@ pub struct StreamingReport {
     pub decisions: Vec<Decision>,
     /// Step-4 output: labeled communities.
     pub labeled: LabeledReport,
-    /// Wall-clock accounting (detect = pass 1, estimate = pass 2 +
-    /// graph).
+    /// Wall-clock accounting (detect = pass 1, extract = pass 2
+    /// drain, then graph / Louvain / combine / label).
     pub timings: PipelineTimings,
     /// Ingest statistics.
     pub stats: StreamStats,
@@ -101,7 +99,10 @@ impl StreamingPipeline {
     /// Builds the pipeline with the paper's 12 standard detector
     /// configurations.
     pub fn new(config: PipelineConfig) -> Self {
-        StreamingPipeline { config, detectors: standard_configurations() }
+        StreamingPipeline {
+            config,
+            detectors: standard_configurations(),
+        }
     }
 
     /// Replaces the detector set (any batch [`Detector`] works — its
@@ -201,15 +202,13 @@ impl StreamingPipeline {
             extractor.into_traffic()
         };
         stats.items = index.item_count();
+        let extract = t1.elapsed();
 
         // Steps 2–4 on the accumulated state: unchanged batch code.
-        let estimator = SimilarityEstimator {
-            granularity: self.config.granularity,
-            measure: self.config.measure,
-            ..Default::default()
-        };
-        let communities = estimator.estimate_from_traffic(alarms, traffic);
-        let estimate = t1.elapsed();
+        let (communities, mining) = self
+            .config
+            .estimator()
+            .estimate_from_traffic_timed(alarms, traffic);
 
         let t2 = Instant::now();
         let votes = VoteTable::from_communities(&communities);
@@ -234,7 +233,14 @@ impl StreamingPipeline {
             votes,
             decisions,
             labeled,
-            timings: PipelineTimings { detect, estimate, combine, label },
+            timings: PipelineTimings {
+                detect,
+                extract,
+                graph: mining.graph,
+                louvain: mining.louvain,
+                combine,
+                label,
+            },
             stats,
         })
     }
@@ -256,7 +262,9 @@ mod tests {
     fn streaming_report_is_consistent() {
         let lt = small_trace();
         let mut source = TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US);
-        let report = StreamingPipeline::new(PipelineConfig::default()).run(&mut source).unwrap();
+        let report = StreamingPipeline::new(PipelineConfig::default())
+            .run(&mut source)
+            .unwrap();
         assert!(report.alarm_count() > 0);
         assert!(report.community_count() > 0);
         assert_eq!(report.decisions.len(), report.community_count());
@@ -277,8 +285,12 @@ mod tests {
         assert_eq!(streamed.communities.traffic, batch.communities.traffic);
         assert_eq!(streamed.votes, batch.votes);
         assert_eq!(streamed.decisions, batch.decisions);
-        let labels: Vec<MawilabLabel> =
-            streamed.labeled.communities.iter().map(|c| c.label).collect();
+        let labels: Vec<MawilabLabel> = streamed
+            .labeled
+            .communities
+            .iter()
+            .map(|c| c.label)
+            .collect();
         let batch_labels: Vec<MawilabLabel> =
             batch.labeled.communities.iter().map(|c| c.label).collect();
         assert_eq!(labels, batch_labels);
@@ -289,7 +301,9 @@ mod tests {
         let meta = mawilab_model::TraceMeta::standard(mawilab_model::TraceDate::new(2004, 6, 2));
         let trace = mawilab_model::Trace::new(meta, vec![]);
         let mut source = TraceChunker::new(trace, DEFAULT_CHUNK_US);
-        let report = StreamingPipeline::new(PipelineConfig::default()).run(&mut source).unwrap();
+        let report = StreamingPipeline::new(PipelineConfig::default())
+            .run(&mut source)
+            .unwrap();
         assert_eq!(report.alarm_count(), 0);
         assert_eq!(report.community_count(), 0);
         assert_eq!(report.stats.chunks, 0);

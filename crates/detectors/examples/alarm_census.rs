@@ -5,14 +5,23 @@ use std::time::Instant;
 
 fn main() {
     let lt = TraceGenerator::new(SynthConfig::default().with_seed(2024)).generate();
-    println!("trace: {} packets, {:.2}% anomalous", lt.trace.len(), lt.truth.anomalous_fraction() * 100.0);
+    println!(
+        "trace: {} packets, {:.2}% anomalous",
+        lt.trace.len(),
+        lt.truth.anomalous_fraction() * 100.0
+    );
     let flows = mawilab_model::FlowTable::build(&lt.trace.packets);
     let view = TraceView::new(&lt.trace, &flows);
     let mut total = 0;
     for c in standard_configurations() {
         let t0 = Instant::now();
         let alarms = c.analyze(&view);
-        println!("{:20} {:5} alarms  {:?}", c.label(), alarms.len(), t0.elapsed());
+        println!(
+            "{:20} {:5} alarms  {:?}",
+            c.label(),
+            alarms.len(),
+            t0.elapsed()
+        );
         total += alarms.len();
     }
     println!("total: {total}");

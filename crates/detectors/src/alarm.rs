@@ -25,8 +25,12 @@ pub enum DetectorKind {
 
 impl DetectorKind {
     /// All families, in the paper's presentation order.
-    pub const ALL: [DetectorKind; 4] =
-        [DetectorKind::Pca, DetectorKind::Gamma, DetectorKind::Hough, DetectorKind::Kl];
+    pub const ALL: [DetectorKind; 4] = [
+        DetectorKind::Pca,
+        DetectorKind::Gamma,
+        DetectorKind::Hough,
+        DetectorKind::Kl,
+    ];
 
     /// Stable index `0..4` (used for vote-table columns).
     pub fn index(self) -> usize {

@@ -106,7 +106,12 @@ impl GammaDetector {
     }
 
     fn finish_direction(&self, state: &GammaDirState, window: TimeWindow, out: &mut Vec<Alarm>) {
-        let GammaDirState { dir, sketch, series, hosts } = state;
+        let GammaDirState {
+            dir,
+            sketch,
+            series,
+            hosts,
+        } = state;
 
         // Per row: trajectories → robust distance from the median
         // trajectory → flagged bins.
@@ -114,15 +119,13 @@ impl GammaDetector {
         let mut flagged_any = false;
         let mut max_score: f64 = 0.0;
         for per_bin in series {
-            let trajs: Vec<Option<Vec<f64>>> =
-                per_bin.iter().map(|s| self.trajectory(s)).collect();
+            let trajs: Vec<Option<Vec<f64>>> = per_bin.iter().map(|s| self.trajectory(s)).collect();
             let dim = self.scales * 2;
             // Reference: per-coordinate median and MAD over valid bins.
             let mut med = vec![0.0; dim];
             let mut scale = vec![0.0; dim];
             for d in 0..dim {
-                let col: Vec<f64> =
-                    trajs.iter().flatten().map(|t| t[d]).collect();
+                let col: Vec<f64> = trajs.iter().flatten().map(|t| t[d]).collect();
                 med[d] = median(&col);
                 scale[d] = mad(&col);
             }
@@ -184,7 +187,13 @@ impl Detector for GammaDetector {
     }
 
     fn incremental(&self) -> Box<dyn IncrementalDetector> {
-        Box::new(GammaAccumulator { det: self.clone(), window: None, t_bins: 0, seen: 0, dirs: Vec::new() })
+        Box::new(GammaAccumulator {
+            det: self.clone(),
+            window: None,
+            t_bins: 0,
+            seen: 0,
+            dirs: Vec::new(),
+        })
     }
 }
 
@@ -239,7 +248,9 @@ impl IncrementalDetector for GammaAccumulator {
         let window = self.window.expect("observe before begin");
         self.seen += chunk.packets.len() as u64;
         for p in chunk.packets {
-            let Some(dt) = p.ts_us.checked_sub(window.start_us) else { continue };
+            let Some(dt) = p.ts_us.checked_sub(window.start_us) else {
+                continue;
+            };
             let t = (dt / self.det.delta_us) as usize;
             if t >= self.t_bins {
                 continue;
@@ -285,13 +296,15 @@ mod tests {
     }
 
     fn flood() -> SynthConfig {
-        SynthConfig::default().with_seed(202).with_anomalies(vec![AnomalySpec::SynFlood {
-            victim: 0,
-            dport: 80,
-            rate_pps: 300.0,
-            duration_s: 15.0,
-            spoofed: false,
-        }])
+        SynthConfig::default()
+            .with_seed(202)
+            .with_anomalies(vec![AnomalySpec::SynFlood {
+                victim: 0,
+                dport: 80,
+                rate_pps: 300.0,
+                duration_s: 15.0,
+                spoofed: false,
+            }])
     }
 
     #[test]
@@ -304,15 +317,23 @@ mod tests {
         let victim_hit = alarms
             .iter()
             .any(|a| matches!(a.scope, AlarmScope::DstHost(ip) if ip == victim));
-        assert!(victim_hit, "victim {victim} not reported; alarms: {}", alarms.len());
+        assert!(
+            victim_hit,
+            "victim {victim} not reported; alarms: {}",
+            alarms.len()
+        );
     }
 
     #[test]
     fn reports_both_directions() {
         let cfg = SynthConfig::default().with_seed(203);
         let (alarms, _) = run(Tuning::Sensitive, cfg);
-        let has_src = alarms.iter().any(|a| matches!(a.scope, AlarmScope::SrcHost(_)));
-        let has_dst = alarms.iter().any(|a| matches!(a.scope, AlarmScope::DstHost(_)));
+        let has_src = alarms
+            .iter()
+            .any(|a| matches!(a.scope, AlarmScope::SrcHost(_)));
+        let has_dst = alarms
+            .iter()
+            .any(|a| matches!(a.scope, AlarmScope::DstHost(_)));
         assert!(has_src && has_dst, "src={has_src} dst={has_dst}");
     }
 

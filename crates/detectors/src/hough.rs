@@ -17,6 +17,11 @@ use crate::{ChunkView, Detector, IncrementalDetector};
 use mawilab_model::{FlowKey, TimeWindow, TraceMeta};
 use std::collections::{HashMap, HashSet};
 
+/// Picture cells: `(x, y)` pixel → (packet count, contributing flow
+/// keys). Flow keys are kept so an anomalous line can be resolved
+/// back to the exact flows that drew it.
+type PictureCells = HashMap<(u16, u16), (u32, HashSet<FlowKey>)>;
+
 /// Which picture a pixel belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Picture {
@@ -67,14 +72,18 @@ impl HoughDetector {
     }
 
     /// Pixel of one packet in one picture.
-    fn pixel(&self, picture: Picture, window_start_us: u64, bin_us: u64, p: &mawilab_model::Packet) -> (u16, u16) {
-        let x = ((p.ts_us.saturating_sub(window_start_us) / bin_us) as usize)
-            .min(self.time_bins - 1);
+    fn pixel(
+        &self,
+        picture: Picture,
+        window_start_us: u64,
+        bin_us: u64,
+        p: &mawilab_model::Packet,
+    ) -> (u16, u16) {
+        let x =
+            ((p.ts_us.saturating_sub(window_start_us) / bin_us) as usize).min(self.time_bins - 1);
         let y = match picture {
             Picture::Port => (p.dport as usize * self.y_bins) >> 16, // port/64
-            Picture::Addr => {
-                (u32::from(p.dst).wrapping_mul(2_654_435_761) as usize) % self.y_bins
-            }
+            Picture::Addr => (u32::from(p.dst).wrapping_mul(2_654_435_761) as usize) % self.y_bins,
         };
         (x as u16, y as u16)
     }
@@ -83,7 +92,7 @@ impl HoughDetector {
         &self,
         window: TimeWindow,
         bin_us: u64,
-        cells: &HashMap<(u16, u16), (u32, HashSet<FlowKey>)>,
+        cells: &PictureCells,
         out: &mut Vec<Alarm>,
     ) {
         // Per-row (y) baseline: the median count across all time bins
@@ -224,7 +233,10 @@ impl Detector for HoughDetector {
             window: None,
             bin_us: 1,
             seen: 0,
-            pictures: [(Picture::Port, HashMap::new()), (Picture::Addr, HashMap::new())],
+            pictures: [
+                (Picture::Port, HashMap::new()),
+                (Picture::Addr, HashMap::new()),
+            ],
         })
     }
 }
@@ -238,7 +250,7 @@ pub struct HoughAccumulator {
     window: Option<TimeWindow>,
     bin_us: u64,
     seen: u64,
-    pictures: [(Picture, HashMap<(u16, u16), (u32, HashSet<FlowKey>)>); 2],
+    pictures: [(Picture, PictureCells); 2],
 }
 
 impl IncrementalDetector for HoughAccumulator {
@@ -281,7 +293,8 @@ impl IncrementalDetector for HoughAccumulator {
         }
         let window = self.window.expect("finish before begin");
         for (_, cells) in &self.pictures {
-            self.det.finish_picture(window, self.bin_us, cells, &mut out);
+            self.det
+                .finish_picture(window, self.bin_us, cells, &mut out);
         }
         out
     }
@@ -302,11 +315,13 @@ mod tests {
     }
 
     fn worm() -> SynthConfig {
-        SynthConfig::default().with_seed(303).with_anomalies(vec![AnomalySpec::SasserWorm {
-            infected: 2,
-            scans: 1500,
-            rate_pps: 60.0,
-        }])
+        SynthConfig::default()
+            .with_seed(303)
+            .with_anomalies(vec![AnomalySpec::SasserWorm {
+                infected: 2,
+                scans: 1500,
+                rate_pps: 60.0,
+            }])
     }
 
     #[test]
@@ -317,22 +332,31 @@ mod tests {
         // Some alarm's flow set must contain flows from the worm.
         let hit = alarms.iter().any(|a| match &a.scope {
             AlarmScope::FlowSet(keys) => {
-                keys.iter().filter(|k| k.src == infected && k.dport == 445).count() > 20
+                keys.iter()
+                    .filter(|k| k.src == infected && k.dport == 445)
+                    .count()
+                    > 20
             }
             _ => false,
         });
-        assert!(hit, "no alarm captured the 445 sweep; {} alarms", alarms.len());
+        assert!(
+            hit,
+            "no alarm captured the 445 sweep; {} alarms",
+            alarms.len()
+        );
     }
 
     #[test]
     fn detects_port_scan_line() {
         let cfg =
-            SynthConfig::default().with_seed(304).with_anomalies(vec![AnomalySpec::PortScan {
-                scanner: 1,
-                victim: 3,
-                ports: 3000,
-                rate_pps: 120.0,
-            }]);
+            SynthConfig::default()
+                .with_seed(304)
+                .with_anomalies(vec![AnomalySpec::PortScan {
+                    scanner: 1,
+                    victim: 3,
+                    ports: 3000,
+                    rate_pps: 120.0,
+                }]);
         let (alarms, lt) = run(Tuning::Sensitive, cfg);
         let scanner = lt.truth.anomalies()[0].rule.src.unwrap();
         let hit = alarms.iter().any(|a| match &a.scope {
@@ -345,18 +369,20 @@ mod tests {
     #[test]
     fn flood_appears_as_horizontal_line() {
         let cfg =
-            SynthConfig::default().with_seed(305).with_anomalies(vec![AnomalySpec::PingFlood {
-                src: 2,
-                dst: 4,
-                rate_pps: 250.0,
-                duration_s: 30.0,
-            }]);
+            SynthConfig::default()
+                .with_seed(305)
+                .with_anomalies(vec![AnomalySpec::PingFlood {
+                    src: 2,
+                    dst: 4,
+                    rate_pps: 250.0,
+                    duration_s: 30.0,
+                }]);
         let (alarms, lt) = run(Tuning::Optimal, cfg);
         let src = lt.truth.anomalies()[0].rule.src.unwrap();
         let hit = alarms.iter().any(|a| match &a.scope {
-            AlarmScope::FlowSet(keys) => {
-                keys.iter().any(|k| k.src == src && k.proto == Protocol::Icmp)
-            }
+            AlarmScope::FlowSet(keys) => keys
+                .iter()
+                .any(|k| k.src == src && k.proto == Protocol::Icmp),
             _ => false,
         });
         assert!(hit, "flood line missed");

@@ -19,8 +19,8 @@
 use crate::alarm::{Alarm, AlarmScope, DetectorKind, Tuning};
 use crate::{ChunkView, Detector, IncrementalDetector};
 use mawilab_mining::{mine_rules, Transaction};
-use mawilab_stats::{kl_contributions, kl_divergence_counts, mad, median, Histogram};
 use mawilab_model::{TimeWindow, TraceMeta};
+use mawilab_stats::{kl_contributions, kl_divergence_counts, mad, median, Histogram};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
@@ -33,8 +33,12 @@ enum Feature {
     DstPort,
 }
 
-const FEATURES: [Feature; 4] =
-    [Feature::SrcAddr, Feature::DstAddr, Feature::SrcPort, Feature::DstPort];
+const FEATURES: [Feature; 4] = [
+    Feature::SrcAddr,
+    Feature::DstAddr,
+    Feature::SrcPort,
+    Feature::DstPort,
+];
 
 impl Feature {
     /// Histogram key of one packet — delegated to
@@ -191,7 +195,11 @@ impl IncrementalDetector for KlAccumulator {
         } else {
             self.hists = FEATURES
                 .iter()
-                .map(|_| (0..self.t_bins).map(|_| Histogram::new(self.det.hist_bins)).collect())
+                .map(|_| {
+                    (0..self.t_bins)
+                        .map(|_| Histogram::new(self.det.hist_bins))
+                        .collect()
+                })
                 .collect();
             self.bin_tuples = vec![HashMap::new(); self.t_bins];
         }
@@ -218,7 +226,8 @@ impl IncrementalDetector for KlAccumulator {
             return Vec::new();
         }
         let window = self.window.expect("finish before begin");
-        self.det.finish_analysis(window, self.t_bins, &self.hists, &self.bin_tuples)
+        self.det
+            .finish_analysis(window, self.t_bins, &self.hists, &self.bin_tuples)
     }
 }
 
@@ -240,7 +249,9 @@ impl KlDetector {
             // not drown a real distribution shift.
             const PSEUDO: f64 = 0.5;
             let series: Vec<f64> = (1..t_bins)
-                .map(|t| kl_divergence_counts(hists[fi][t].counts(), hists[fi][t - 1].counts(), PSEUDO))
+                .map(|t| {
+                    kl_divergence_counts(hists[fi][t].counts(), hists[fi][t - 1].counts(), PSEUDO)
+                })
                 .collect();
             // Robust baseline: the anomaly's own spikes must not lift
             // the threshold (median/MAD instead of mean/σ).
@@ -263,8 +274,11 @@ impl KlDetector {
                         .filter(|&(_, v)| v > 0.0)
                         .collect();
                 contrib.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN contribution"));
-                let top: HashSet<usize> =
-                    contrib.iter().take(self.top_cells).map(|&(c, _)| c).collect();
+                let top: HashSet<usize> = contrib
+                    .iter()
+                    .take(self.top_cells)
+                    .map(|&(c, _)| c)
+                    .collect();
                 if top.is_empty() {
                     continue;
                 }
@@ -337,13 +351,15 @@ mod tests {
         // Victim 60: an unpopular host, so the flood shifts the
         // dst-address histogram hard (victim 0 is the Zipf rank-1
         // host whose distribution barely moves).
-        SynthConfig::default().with_seed(404).with_anomalies(vec![AnomalySpec::SynFlood {
-            victim: 60,
-            dport: 80,
-            rate_pps: 350.0,
-            duration_s: 12.0,
-            spoofed: true,
-        }])
+        SynthConfig::default()
+            .with_seed(404)
+            .with_anomalies(vec![AnomalySpec::SynFlood {
+                victim: 60,
+                dport: 80,
+                rate_pps: 350.0,
+                duration_s: 12.0,
+                spoofed: true,
+            }])
     }
 
     #[test]
@@ -363,11 +379,13 @@ mod tests {
     #[test]
     fn worm_yields_a_rule_binding_port_445_or_source() {
         let cfg =
-            SynthConfig::default().with_seed(405).with_anomalies(vec![AnomalySpec::SasserWorm {
-                infected: 1,
-                scans: 1500,
-                rate_pps: 120.0,
-            }]);
+            SynthConfig::default()
+                .with_seed(405)
+                .with_anomalies(vec![AnomalySpec::SasserWorm {
+                    infected: 1,
+                    scans: 1500,
+                    rate_pps: 120.0,
+                }]);
         let (alarms, lt) = run(Tuning::Sensitive, cfg);
         let src = lt.truth.anomalies()[0].rule.src.unwrap();
         let hit = alarms.iter().any(|a| match &a.scope {
@@ -427,7 +445,11 @@ mod tests {
     fn quiet_trace_produces_few_alarms() {
         let cfg = SynthConfig::default().with_seed(9).with_anomalies(vec![]);
         let (alarms, _) = run(Tuning::Conservative, cfg);
-        assert!(alarms.len() <= 8, "{} alarms on pure background", alarms.len());
+        assert!(
+            alarms.len() <= 8,
+            "{} alarms on pure background",
+            alarms.len()
+        );
     }
 
     #[test]
@@ -440,8 +462,7 @@ mod tests {
         )
         .generate();
         let flows = FlowTable::build(&lt.trace.packets);
-        let alarms =
-            KlDetector::new(Tuning::Sensitive).analyze(&TraceView::new(&lt.trace, &flows));
+        let alarms = KlDetector::new(Tuning::Sensitive).analyze(&TraceView::new(&lt.trace, &flows));
         assert!(alarms.is_empty());
     }
 }

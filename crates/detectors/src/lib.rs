@@ -46,7 +46,11 @@ pub struct TraceView<'a> {
 impl<'a> TraceView<'a> {
     /// Bundles a trace with its flow table.
     pub fn new(trace: &'a Trace, flows: &'a FlowTable) -> Self {
-        assert_eq!(trace.len(), flows.packet_count(), "flow table for a different trace");
+        assert_eq!(
+            trace.len(),
+            flows.packet_count(),
+            "flow table for a different trace"
+        );
         TraceView { trace, flows }
     }
 }
@@ -69,13 +73,21 @@ pub struct ChunkView<'a> {
 impl<'a> ChunkView<'a> {
     /// View over one streamed chunk.
     pub fn of_chunk(meta: &'a TraceMeta, chunk: &'a PacketChunk) -> Self {
-        ChunkView { meta, window: chunk.window, packets: &chunk.packets }
+        ChunkView {
+            meta,
+            window: chunk.window,
+            packets: &chunk.packets,
+        }
     }
 
     /// View presenting an entire in-memory trace as one chunk — the
     /// batch adapter's input.
     pub fn whole_trace(trace: &'a Trace) -> Self {
-        ChunkView { meta: &trace.meta, window: trace.meta.window(), packets: &trace.packets }
+        ChunkView {
+            meta: &trace.meta,
+            window: trace.meta.window(),
+            packets: &trace.packets,
+        }
     }
 }
 
@@ -163,47 +175,26 @@ pub fn standard_configurations() -> Vec<Box<dyn Detector>> {
     v
 }
 
-/// Runs a set of configurations over one trace, in parallel, returning
-/// the concatenated alarms (each alarm already carries its detector
-/// kind and tuning).
+/// Runs a set of configurations over one trace, in parallel via the
+/// workspace fan-out helper ([`mawilab_exec::par_map`], honoring
+/// `MAWILAB_THREADS`), returning the concatenated alarms in
+/// configuration order (each alarm already carries its detector kind
+/// and tuning).
 pub fn run_all(configs: &[Box<dyn Detector>], view: &TraceView<'_>) -> Vec<Alarm> {
-    let mut results: Vec<Vec<Alarm>> = Vec::with_capacity(configs.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = configs
-            .iter()
-            .map(|c| s.spawn(move || c.analyze(view)))
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("detector thread panicked"));
-        }
-    });
-    results.into_iter().flatten().collect()
+    mawilab_exec::par_map(configs, |c| c.analyze(view)).concat()
 }
 
 /// Folds one chunk into every incremental configuration, in parallel
-/// across configurations (scoped threads; the chunk is shared
-/// read-only).
+/// across configurations (the chunk is shared read-only).
 pub fn observe_all(configs: &mut [Box<dyn IncrementalDetector>], chunk: &ChunkView<'_>) {
-    std::thread::scope(|s| {
-        for c in configs.iter_mut() {
-            s.spawn(move || c.observe(chunk));
-        }
-    });
+    mawilab_exec::par_for_each_mut(configs, |c| c.observe(chunk));
 }
 
 /// Finishes every incremental configuration, returning the
 /// concatenated alarms in configuration order — the same order
 /// [`run_all`] concatenates batch results in.
 pub fn finish_all(configs: &mut [Box<dyn IncrementalDetector>]) -> Vec<Alarm> {
-    let mut results: Vec<Vec<Alarm>> = Vec::with_capacity(configs.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> =
-            configs.iter_mut().map(|c| s.spawn(move || c.finish())).collect();
-        for h in handles {
-            results.push(h.join().expect("detector thread panicked"));
-        }
-    });
-    results.into_iter().flatten().collect()
+    mawilab_exec::par_map_mut(configs, |c| c.finish()).concat()
 }
 
 #[cfg(test)]
@@ -220,8 +211,12 @@ mod tests {
         labels.dedup();
         assert_eq!(labels.len(), 12, "duplicate configuration labels");
         // 3 per family.
-        for kind in [DetectorKind::Pca, DetectorKind::Gamma, DetectorKind::Hough, DetectorKind::Kl]
-        {
+        for kind in [
+            DetectorKind::Pca,
+            DetectorKind::Gamma,
+            DetectorKind::Hough,
+            DetectorKind::Kl,
+        ] {
             assert_eq!(configs.iter().filter(|c| c.kind() == kind).count(), 3);
         }
     }

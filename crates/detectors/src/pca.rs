@@ -24,9 +24,9 @@ use crate::alarm::{Alarm, AlarmScope, DetectorKind, Tuning};
 use crate::{ChunkView, Detector, IncrementalDetector};
 use mawilab_linalg::pca::{ColumnScaling, PcaComponents};
 use mawilab_linalg::{Matrix, Pca};
+use mawilab_model::{TimeWindow, TraceMeta};
 use mawilab_sketch::SketchFamily;
 use mawilab_stats::{mad, median};
-use mawilab_model::{TimeWindow, TraceMeta};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
@@ -112,7 +112,9 @@ impl PcaDetector {
         // Rank-trim: refit on the cleanest 70% of the observations.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            outlyingness[a].partial_cmp(&outlyingness[b]).expect("NaN outlyingness")
+            outlyingness[a]
+                .partial_cmp(&outlyingness[b])
+                .expect("NaN outlyingness")
         });
         let keep_n = ((n * 7) / 10).max(self.components + 2).min(n);
         let mut keep: Vec<usize> = order[..keep_n].to_vec();
@@ -199,7 +201,9 @@ impl IncrementalDetector for PcaAccumulator {
         for p in chunk.packets {
             // Packets stamped outside the nominal window (clock skew
             // in real captures) are skipped.
-            let Some(dt) = p.ts_us.checked_sub(window.start_us) else { continue };
+            let Some(dt) = p.ts_us.checked_sub(window.start_us) else {
+                continue;
+            };
             let t = (dt / self.det.bin_us) as usize;
             if t >= self.t_bins {
                 continue;
@@ -219,7 +223,8 @@ impl IncrementalDetector for PcaAccumulator {
         if self.seen == 0 {
             return Vec::new();
         }
-        self.det.finish_analysis(sketch, window, self.t_bins, &self.counts, &self.active)
+        self.det
+            .finish_analysis(sketch, window, self.t_bins, &self.counts, &self.active)
     }
 }
 
@@ -235,14 +240,15 @@ impl PcaDetector {
     ) -> Vec<Alarm> {
         // Per row: subspace fit → flagged (time, bin) pairs.
         // flagged[row][t] = boolean bin vector (empty Vec = untouched).
-        let mut flagged: Vec<Vec<Vec<bool>>> =
-            vec![vec![Vec::new(); t_bins]; self.sketch_rows];
+        let mut flagged: Vec<Vec<Vec<bool>>> = vec![vec![Vec::new(); t_bins]; self.sketch_rows];
         let mut bin_scores = vec![0.0f64; t_bins];
         for (row, m) in counts.iter().enumerate() {
             let pca = self.robust_fit(m);
             let residuals: Vec<Vec<f64>> = (0..t_bins).map(|t| pca.residual(m.row(t))).collect();
-            let energies: Vec<f64> =
-                residuals.iter().map(|e| e.iter().map(|x| x * x).sum()).collect();
+            let energies: Vec<f64> = residuals
+                .iter()
+                .map(|e| e.iter().map(|x| x * x).sum())
+                .collect();
             // Robust Q-statistic threshold: median + λ·MAD, so the
             // anomaly cannot inflate its own detection threshold.
             let q_thr = median(&energies) + self.threshold * mad(&energies).max(1e-9);
@@ -281,11 +287,15 @@ impl PcaDetector {
             if flagged.iter().any(|rows| rows[t].is_empty()) {
                 continue;
             }
-            let flag_vecs: Vec<Vec<bool>> =
-                (0..self.sketch_rows).map(|r| flagged[r][t].clone()).collect();
+            let flag_vecs: Vec<Vec<bool>> = (0..self.sketch_rows)
+                .map(|r| flagged[r][t].clone())
+                .collect();
             let candidates = active[t].iter().map(|&ip| ip as u64);
             for key in sketch.identify(candidates, &flag_vecs) {
-                per_ip_bins.entry(Ipv4Addr::from(key as u32)).or_default().push(t);
+                per_ip_bins
+                    .entry(Ipv4Addr::from(key as u32))
+                    .or_default()
+                    .push(t);
             }
         }
 
@@ -342,12 +352,14 @@ mod tests {
     }
 
     fn flood_config() -> SynthConfig {
-        SynthConfig::default().with_seed(101).with_anomalies(vec![AnomalySpec::PingFlood {
-            src: 0,
-            dst: 1,
-            rate_pps: 400.0,
-            duration_s: 12.0,
-        }])
+        SynthConfig::default()
+            .with_seed(101)
+            .with_anomalies(vec![AnomalySpec::PingFlood {
+                src: 0,
+                dst: 1,
+                rate_pps: 400.0,
+                duration_s: 12.0,
+            }])
     }
 
     #[test]
@@ -391,7 +403,9 @@ mod tests {
     #[test]
     fn all_alarms_are_src_host_scoped() {
         let (alarms, _) = analyze(Tuning::Sensitive, flood_config());
-        assert!(alarms.iter().all(|a| matches!(a.scope, AlarmScope::SrcHost(_))));
+        assert!(alarms
+            .iter()
+            .all(|a| matches!(a.scope, AlarmScope::SrcHost(_))));
         assert!(alarms.iter().all(|a| a.detector == DetectorKind::Pca));
     }
 
@@ -410,9 +424,13 @@ mod tests {
             .with_anomalies(vec![]);
         let lt = TraceGenerator::new(cfg).generate();
         let flows = FlowTable::build(&lt.trace.packets);
-        let alarms = PcaDetector::new(Tuning::Sensitive)
-            .analyze(&TraceView::new(&lt.trace, &flows));
-        assert!(alarms.len() <= 2, "near-empty trace produced {} alarms", alarms.len());
+        let alarms =
+            PcaDetector::new(Tuning::Sensitive).analyze(&TraceView::new(&lt.trace, &flows));
+        assert!(
+            alarms.len() <= 2,
+            "near-empty trace produced {} alarms",
+            alarms.len()
+        );
     }
 
     #[test]
@@ -427,8 +445,7 @@ mod tests {
         };
         // Conservative tuning on pure background: few alarms relative
         // to the number of active hosts.
-        let hosts: std::collections::HashSet<_> =
-            lt.trace.packets.iter().map(|p| p.src).collect();
+        let hosts: std::collections::HashSet<_> = lt.trace.packets.iter().map(|p| p.src).collect();
         assert!(
             alarms.len() < hosts.len() / 10,
             "{} alarms for {} hosts",

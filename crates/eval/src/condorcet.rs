@@ -36,7 +36,9 @@ pub fn majority_accuracy(l: u64, p: f64) -> f64 {
     assert!((0.0..=1.0).contains(&p), "accuracy outside [0,1]");
     assert!(l >= 1, "need at least one detector");
     let from = l / 2 + 1;
-    (from..=l).map(|m| binomial(l, m) * p.powi(m as i32) * (1.0 - p).powi((l - m) as i32)).sum()
+    (from..=l)
+        .map(|m| binomial(l, m) * p.powi(m as i32) * (1.0 - p).powi((l - m) as i32))
+        .sum()
 }
 
 #[cfg(test)]

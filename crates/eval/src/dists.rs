@@ -28,7 +28,10 @@ pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
     let mut v: Vec<f64> = values.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
     let n = v.len() as f64;
-    v.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
 }
 
 /// Probability mass over small non-negative integer outcomes, e.g.

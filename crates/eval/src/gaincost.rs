@@ -81,18 +81,21 @@ mod tests {
 
     /// Two communities: c0 = {Gamma, KL alarms}, c1 = {Hough alarm}.
     fn communities() -> AlarmCommunities {
-        let alarms =
-            vec![alarm(DetectorKind::Gamma), alarm(DetectorKind::Kl), alarm(DetectorKind::Hough)];
+        let alarms = vec![
+            alarm(DetectorKind::Gamma),
+            alarm(DetectorKind::Kl),
+            alarm(DetectorKind::Hough),
+        ];
         let est = mawilab_similarity::SimilarityEstimator::default();
         let traffic = vec![vec![1, 2], vec![1, 2], vec![9]];
         let graph = est.build_graph(&traffic);
-        AlarmCommunities {
+        AlarmCommunities::new(
             alarms,
             traffic,
             graph,
-            partition: Partition::from_labels(vec![0, 0, 1]),
-            granularity: Granularity::Uniflow,
-        }
+            Partition::from_labels(vec![0, 0, 1]),
+            Granularity::Uniflow,
+        )
     }
 
     fn lc(community: usize, heuristic: HeuristicLabel) -> LabeledCommunity {
@@ -119,7 +122,15 @@ mod tests {
         let labeled = vec![lc(0, HeuristicLabel::Smb), lc(1, HeuristicLabel::Unknown)];
         let decisions = vec![Decision::new(true), Decision::new(false)];
         let gc = gain_cost(&comms, &labeled, &decisions, None);
-        assert_eq!(gc, GainCost { gain_acc: 1, cost_acc: 0, gain_rej: 1, cost_rej: 0 });
+        assert_eq!(
+            gc,
+            GainCost {
+                gain_acc: 1,
+                cost_acc: 0,
+                gain_rej: 1,
+                cost_rej: 0
+            }
+        );
         assert_eq!(gc.total(), 2);
     }
 
@@ -130,10 +141,26 @@ mod tests {
         let decisions = vec![Decision::new(false), Decision::new(false)];
         // Gamma participates only in community 0 (Attack, rejected).
         let gamma = gain_cost(&comms, &labeled, &decisions, Some(DetectorKind::Gamma));
-        assert_eq!(gamma, GainCost { gain_acc: 0, cost_acc: 0, gain_rej: 0, cost_rej: 1 });
+        assert_eq!(
+            gamma,
+            GainCost {
+                gain_acc: 0,
+                cost_acc: 0,
+                gain_rej: 0,
+                cost_rej: 1
+            }
+        );
         // Hough only in community 1 (Unknown, rejected).
         let hough = gain_cost(&comms, &labeled, &decisions, Some(DetectorKind::Hough));
-        assert_eq!(hough, GainCost { gain_acc: 0, cost_acc: 0, gain_rej: 1, cost_rej: 0 });
+        assert_eq!(
+            hough,
+            GainCost {
+                gain_acc: 0,
+                cost_acc: 0,
+                gain_rej: 1,
+                cost_rej: 0
+            }
+        );
         // PCA participates nowhere.
         let pca = gain_cost(&comms, &labeled, &decisions, Some(DetectorKind::Pca));
         assert_eq!(pca.total(), 0);

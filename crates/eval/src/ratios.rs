@@ -28,10 +28,7 @@ pub struct AttackRatios {
 /// Computes the accepted/rejected attack ratios of one classified
 /// trace. `labeled[i]` must describe community `i` and `decisions[i]`
 /// its decision.
-pub fn attack_ratio_by_class(
-    labeled: &[LabeledCommunity],
-    decisions: &[Decision],
-) -> AttackRatios {
+pub fn attack_ratio_by_class(labeled: &[LabeledCommunity], decisions: &[Decision]) -> AttackRatios {
     assert_eq!(labeled.len(), decisions.len(), "decision/label mismatch");
     let mut acc = (0usize, 0usize); // (attack, total)
     let mut rej = (0usize, 0usize);
@@ -102,11 +99,11 @@ mod tests {
     #[test]
     fn ratios_split_by_class() {
         let labeled = vec![
-            lc(0, HeuristicLabel::Smb),      // attack, accepted
-            lc(1, HeuristicLabel::Http),     // special, accepted
-            lc(2, HeuristicLabel::Ping),     // attack, rejected
-            lc(3, HeuristicLabel::Unknown),  // unknown, rejected
-            lc(4, HeuristicLabel::Unknown),  // unknown, rejected
+            lc(0, HeuristicLabel::Smb),     // attack, accepted
+            lc(1, HeuristicLabel::Http),    // special, accepted
+            lc(2, HeuristicLabel::Ping),    // attack, rejected
+            lc(3, HeuristicLabel::Unknown), // unknown, rejected
+            lc(4, HeuristicLabel::Unknown), // unknown, rejected
         ];
         let decisions = vec![dec(true), dec(true), dec(false), dec(false), dec(false)];
         let r = attack_ratio_by_class(&labeled, &decisions);

@@ -33,7 +33,10 @@ pub fn connected_components(g: &Graph) -> Partition {
         next += 1;
     }
     // Labels are already dense and first-appearance ordered.
-    Partition { community: labels, count: next }
+    Partition {
+        community: labels,
+        count: next,
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,11 @@ pub struct Graph {
 impl Graph {
     /// Creates a graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n], self_loops: vec![0.0; n], edge_count: 0 }
+        Graph {
+            adj: vec![Vec::new(); n],
+            self_loops: vec![0.0; n],
+            edge_count: 0,
+        }
     }
 
     /// Number of nodes.
@@ -31,7 +35,10 @@ impl Graph {
     /// Adds (or accumulates onto) the undirected edge `u—v` with
     /// weight `w > 0`.
     pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
-        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
         assert!(w > 0.0 && w.is_finite(), "edge weight must be positive");
         if u == v {
             if self.self_loops[u] == 0.0 {
@@ -75,8 +82,12 @@ impl Graph {
 
     /// Total edge weight `m` (each edge once, self-loops once).
     pub fn total_weight(&self) -> f64 {
-        let half: f64 =
-            self.adj.iter().flat_map(|l| l.iter().map(|(_, w)| w)).sum::<f64>() / 2.0;
+        let half: f64 = self
+            .adj
+            .iter()
+            .flat_map(|l| l.iter().map(|(_, w)| w))
+            .sum::<f64>()
+            / 2.0;
         half + self.self_loops.iter().sum::<f64>()
     }
 
@@ -87,7 +98,9 @@ impl Graph {
 
     /// Number of isolated nodes.
     pub fn isolated_count(&self) -> usize {
-        (0..self.node_count()).filter(|&u| self.is_isolated(u)).count()
+        (0..self.node_count())
+            .filter(|&u| self.is_isolated(u))
+            .count()
     }
 }
 

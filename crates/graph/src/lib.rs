@@ -12,14 +12,20 @@
 //!
 //! * [`graph`] — [`Graph`]: adjacency-list weighted undirected graph
 //!   with parallel-edge merging.
-//! * [`louvain`] — the Louvain method plus modularity computation.
+//! * [`csr`] — [`CsrGraph`]: the flat compressed-sparse-row form the
+//!   Louvain engine runs on.
+//! * [`louvain`] — the Louvain method plus modularity computation;
+//!   large graphs use a deterministic parallel propose-then-apply
+//!   sweep (see [`louvain::PARALLEL_SWEEP_MIN_NODES`]).
 //! * [`components`] — connected components (used in tests and as a
 //!   degenerate-case baseline).
 
 pub mod components;
+pub mod csr;
 pub mod graph;
 pub mod louvain;
 
 pub use components::connected_components;
+pub use csr::CsrGraph;
 pub use graph::Graph;
-pub use louvain::{louvain, modularity, Partition};
+pub use louvain::{louvain, louvain_csr, modularity, Partition};

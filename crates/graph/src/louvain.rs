@@ -11,7 +11,23 @@
 //! (2) aggregation of communities into super-nodes; repeat until no
 //! move improves modularity. Determinism matters here — the whole
 //! MAWILab pipeline must label a trace identically on every run.
+//!
+//! All levels run on the [`CsrGraph`] form: sweeps walk flat arrays
+//! instead of per-node heap allocations, and aggregation bulk-builds
+//! the next level from a sorted edge list. Small graphs use the exact
+//! sequential greedy sweep; at [`PARALLEL_SWEEP_MIN_NODES`] nodes and
+//! above, the local-moving phase runs one sequential gossip sweep and
+//! then pruned **propose-then-apply** refinement rounds whose
+//! modularity-gain scans fan out over [`mawilab_exec::par_map`]:
+//! proposals are computed against a frozen snapshot (embarrassingly
+//! parallel, thread-count invariant), then applied one by one in node
+//! order, each move revalidated against the live state so every
+//! applied move still strictly increases modularity. Refinement
+//! rounds rescan only nodes adjacent to a move. The cutover is by
+//! *size only* — never by thread count — so any `MAWILAB_THREADS`
+//! setting partitions a given graph identically.
 
+use crate::csr::CsrGraph;
 use crate::graph::Graph;
 
 /// A partition of graph nodes into communities.
@@ -42,7 +58,10 @@ impl Partition {
                 }
             }
         }
-        Partition { community: labels, count: next }
+        Partition {
+            community: labels,
+            count: next,
+        }
     }
 
     /// Number of communities.
@@ -103,23 +122,39 @@ pub fn modularity(g: &Graph, p: &Partition) -> f64 {
         .sum()
 }
 
+/// Node count at and above which the local-moving phase uses the
+/// parallel propose-then-apply sweep. The cutover depends only on
+/// graph size, so a given graph is partitioned identically at every
+/// `MAWILAB_THREADS` setting.
+pub const PARALLEL_SWEEP_MIN_NODES: usize = 256;
+
 /// Runs Louvain to convergence and returns the final partition on the
 /// original nodes.
 ///
 /// `resolution` scales the null-model term of the gain (1.0 =
 /// classical modularity; the paper uses the classical setting).
 pub fn louvain(g: &Graph, resolution: f64) -> Partition {
+    louvain_csr(&CsrGraph::from_graph(g), resolution)
+}
+
+/// [`louvain`] over an already-flattened [`CsrGraph`] (callers that
+/// hold one avoid the conversion).
+pub fn louvain_csr(g: &CsrGraph, resolution: f64) -> Partition {
     assert!(resolution > 0.0, "resolution must be positive");
     let n = g.node_count();
     if n == 0 {
-        return Partition { community: vec![], count: 0 };
+        return Partition {
+            community: vec![],
+            count: 0,
+        };
     }
     // node → community on the *original* graph, refined level by level.
     let mut assignment: Vec<usize> = (0..n).collect();
-    let mut level_graph = g.clone();
+    let mut owned_level: Option<CsrGraph> = None;
 
     loop {
-        let (labels, improved) = one_level(&level_graph, resolution);
+        let level_graph = owned_level.as_ref().unwrap_or(g);
+        let (labels, improved) = one_level(level_graph, resolution);
         if !improved {
             break;
         }
@@ -131,66 +166,49 @@ pub fn louvain(g: &Graph, resolution: f64) -> Partition {
         if level_part.community_count() == level_graph.node_count() {
             break; // aggregation would be a no-op
         }
-        level_graph = aggregate(&level_graph, &level_part);
+        owned_level = Some(aggregate(level_graph, &level_part));
     }
     Partition::from_labels(assignment)
 }
 
 /// One round of greedy local moving. Returns the label vector and
 /// whether any node moved.
-fn one_level(g: &Graph, resolution: f64) -> (Vec<usize>, bool) {
+fn one_level(g: &CsrGraph, resolution: f64) -> (Vec<usize>, bool) {
+    if g.node_count() >= PARALLEL_SWEEP_MIN_NODES {
+        one_level_parallel(g, resolution)
+    } else {
+        one_level_sequential(g, resolution)
+    }
+}
+
+/// The exact sequential greedy sweep: scan nodes in order, each
+/// against the fully up-to-date state.
+fn one_level_sequential(g: &CsrGraph, resolution: f64) -> (Vec<usize>, bool) {
     let n = g.node_count();
     let two_m = 2.0 * g.total_weight();
     let mut labels: Vec<usize> = (0..n).collect();
     if two_m == 0.0 {
         return (labels, false);
     }
-    let degrees: Vec<f64> = (0..n).map(|v| g.degree(v)).collect();
-    let mut sigma_tot: Vec<f64> = degrees.clone();
+    let degrees = g.degrees();
+    let mut sigma_tot: Vec<f64> = degrees.to_vec();
     let mut improved_any = false;
 
     // Scratch: community id → accumulated edge weight from the node
     // being scanned (reset lazily via a generation stamp).
-    let mut weight_to = vec![0.0f64; n];
-    let mut stamp = vec![0u32; n];
-    let mut generation = 0u32;
+    let mut scratch = GainScratch::new(n);
 
     loop {
         let mut moved = false;
         for v in 0..n {
             let cv = labels[v];
-            generation += 1;
-            // Gather neighbour-community weights.
-            let mut candidates: Vec<usize> = Vec::new();
-            for &(u, w) in g.neighbors(v) {
-                let cu = labels[u as usize];
-                if stamp[cu] != generation {
-                    stamp[cu] = generation;
-                    weight_to[cu] = 0.0;
-                    candidates.push(cu);
-                }
-                weight_to[cu] += w;
-            }
+            let w_own = scratch.accumulate(g, &labels, v, cv);
             // Remove v from its community.
             sigma_tot[cv] -= degrees[v];
-            let w_own = if stamp[cv] == generation { weight_to[cv] } else { 0.0 };
             let base_gain = w_own - resolution * sigma_tot[cv] * degrees[v] / two_m;
-
-            // Best neighbouring community (ties keep the lowest id so
-            // results are order-independent of HashMap iteration).
-            let mut best_c = cv;
-            let mut best_gain = base_gain;
-            candidates.sort_unstable();
-            for &c in &candidates {
-                if c == cv {
-                    continue;
-                }
-                let gain = weight_to[c] - resolution * sigma_tot[c] * degrees[v] / two_m;
-                if gain > best_gain + 1e-12 {
-                    best_gain = gain;
-                    best_c = c;
-                }
-            }
+            let best_c = scratch.best(cv, base_gain, |c, w_to| {
+                w_to - resolution * sigma_tot[c] * degrees[v] / two_m
+            });
             sigma_tot[best_c] += degrees[v];
             if best_c != cv {
                 labels[v] = best_c;
@@ -205,39 +223,269 @@ fn one_level(g: &Graph, resolution: f64) -> (Vec<usize>, bool) {
     (labels, improved_any)
 }
 
+/// Active sets at or above this size refine via the parallel
+/// propose-then-apply round; smaller ones use a pruned sequential
+/// gossip round (immediate updates converge faster than frozen
+/// proposals, and a scoped-thread fan-out only pays for itself on
+/// large scans). A size-only cutover, so results stay thread-count
+/// invariant.
+const PARALLEL_PROPOSE_MIN_ACTIVE: usize = 4096;
+
+/// The large-graph sweep: one full sequential gossip pass, then
+/// pruned **propose-then-apply** refinement rounds.
+///
+/// The opening pass is the exact greedy sweep (immediate updates) —
+/// it does the bulk of the moves at one scan per node. Each
+/// refinement round then (1) **proposes**: every node adjacent to a
+/// previous move recomputes its best community against a frozen
+/// snapshot of labels and community masses, fanned out over
+/// [`mawilab_exec::par_map`] when the active set is large; and (2)
+/// **applies**: proposals are replayed in node order, revalidated
+/// against the live state, and applied only when the move still
+/// strictly increases modularity. Every phase is deterministic and
+/// independent of the worker count. Rescanning only moved
+/// neighbourhoods (standard Louvain pruning) is what makes this
+/// faster than the classic full re-sweeps even single-threaded.
+fn one_level_parallel(g: &CsrGraph, resolution: f64) -> (Vec<usize>, bool) {
+    let n = g.node_count();
+    let two_m = 2.0 * g.total_weight();
+    let mut labels: Vec<usize> = (0..n).collect();
+    if two_m == 0.0 {
+        return (labels, false);
+    }
+    let degrees = g.degrees();
+    let mut sigma_tot: Vec<f64> = degrees.to_vec();
+    let mut improved_any = false;
+    let mut scratch = GainScratch::new(n);
+
+    // Opening gossip sweep, collecting the movers.
+    let mut movers: Vec<u32> = Vec::new();
+    for v in 0..n {
+        let cv = labels[v];
+        let w_own = scratch.accumulate(g, &labels, v, cv);
+        sigma_tot[cv] -= degrees[v];
+        let base_gain = w_own - resolution * sigma_tot[cv] * degrees[v] / two_m;
+        let best_c = scratch.best(cv, base_gain, |c, w_to| {
+            w_to - resolution * sigma_tot[c] * degrees[v] / two_m
+        });
+        sigma_tot[best_c] += degrees[v];
+        if best_c != cv {
+            labels[v] = best_c;
+            movers.push(v as u32);
+            improved_any = true;
+        }
+    }
+
+    // Pruned propose-then-apply refinement.
+    while !movers.is_empty() {
+        // Active set: the movers and their neighbourhoods, ascending.
+        let mut active: Vec<u32> = Vec::new();
+        for &v in &movers {
+            active.push(v);
+            active.extend_from_slice(g.neighbor_targets(v as usize));
+        }
+        active.sort_unstable();
+        active.dedup();
+
+        if active.len() >= PARALLEL_PROPOSE_MIN_ACTIVE {
+            // Propose against the frozen snapshot, in parallel.
+            let workers = mawilab_exec::thread_count();
+            let chunk = active.len().div_ceil(workers).max(1);
+            let chunks: Vec<&[u32]> = active.chunks(chunk).collect();
+            let labels_ref = &labels;
+            let sigma_ref = &sigma_tot;
+            let proposals: Vec<(u32, u32)> = mawilab_exec::par_map(&chunks, |part| {
+                let mut local = GainScratch::new(n);
+                propose(
+                    g, part, labels_ref, sigma_ref, degrees, two_m, resolution, &mut local,
+                )
+            })
+            .concat();
+
+            // Apply in node order, revalidating against live state.
+            movers.clear();
+            for (v, proposed) in proposals {
+                let (v, proposed) = (v as usize, proposed as usize);
+                let cv = labels[v];
+                if proposed == cv {
+                    continue;
+                }
+                let (mut w_own, mut w_new) = (0.0, 0.0);
+                for (u, w) in g.neighbors(v) {
+                    let cu = labels[u as usize];
+                    if cu == cv {
+                        w_own += w;
+                    } else if cu == proposed {
+                        w_new += w;
+                    }
+                }
+                let st_own = sigma_tot[cv] - degrees[v];
+                let base_gain = w_own - resolution * st_own * degrees[v] / two_m;
+                let gain = w_new - resolution * sigma_tot[proposed] * degrees[v] / two_m;
+                if gain > base_gain + 1e-12 {
+                    sigma_tot[cv] -= degrees[v];
+                    sigma_tot[proposed] += degrees[v];
+                    labels[v] = proposed;
+                    movers.push(v as u32);
+                    improved_any = true;
+                }
+            }
+        } else {
+            // Small active set: pruned gossip round (immediate
+            // updates), same move rule as the opening sweep.
+            let mut round_movers: Vec<u32> = Vec::new();
+            for &v in &active {
+                let v = v as usize;
+                let cv = labels[v];
+                let w_own = scratch.accumulate(g, &labels, v, cv);
+                sigma_tot[cv] -= degrees[v];
+                let base_gain = w_own - resolution * sigma_tot[cv] * degrees[v] / two_m;
+                let best_c = scratch.best(cv, base_gain, |c, w_to| {
+                    w_to - resolution * sigma_tot[c] * degrees[v] / two_m
+                });
+                sigma_tot[best_c] += degrees[v];
+                if best_c != cv {
+                    labels[v] = best_c;
+                    round_movers.push(v as u32);
+                    improved_any = true;
+                }
+            }
+            movers = round_movers;
+        }
+    }
+    (labels, improved_any)
+}
+
+/// Best-community proposals for `part` against a frozen snapshot of
+/// labels and community masses. A pure function of the snapshot —
+/// chunking and execution strategy cannot change its output.
+#[allow(clippy::too_many_arguments)]
+fn propose(
+    g: &CsrGraph,
+    part: &[u32],
+    labels: &[usize],
+    sigma_tot: &[f64],
+    degrees: &[f64],
+    two_m: f64,
+    resolution: f64,
+    scratch: &mut GainScratch,
+) -> Vec<(u32, u32)> {
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    for &v in part {
+        let v = v as usize;
+        let cv = labels[v];
+        let w_own = scratch.accumulate(g, labels, v, cv);
+        let st_own = sigma_tot[cv] - degrees[v];
+        let base_gain = w_own - resolution * st_own * degrees[v] / two_m;
+        let best_c = scratch.best(cv, base_gain, |c, w_to| {
+            w_to - resolution * sigma_tot[c] * degrees[v] / two_m
+        });
+        if best_c != cv {
+            out.push((v as u32, best_c as u32));
+        }
+    }
+    out
+}
+
+/// Reusable neighbor-community accumulation scratch: community id →
+/// summed edge weight from the scanned node, reset lazily via a
+/// generation stamp so each scan is O(degree).
+struct GainScratch {
+    weight_to: Vec<f64>,
+    stamp: Vec<u32>,
+    generation: u32,
+    candidates: Vec<usize>,
+}
+
+impl GainScratch {
+    fn new(n: usize) -> Self {
+        GainScratch {
+            weight_to: vec![0.0; n],
+            stamp: vec![0; n],
+            generation: 0,
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Accumulates `v`'s edge weight per neighbouring community and
+    /// returns the weight into `v`'s own community. Candidates are
+    /// left sorted ascending for [`best`](Self::best).
+    fn accumulate(&mut self, g: &CsrGraph, labels: &[usize], v: usize, cv: usize) -> f64 {
+        self.generation += 1;
+        self.candidates.clear();
+        for (u, w) in g.neighbors(v) {
+            let cu = labels[u as usize];
+            if self.stamp[cu] != self.generation {
+                self.stamp[cu] = self.generation;
+                self.weight_to[cu] = 0.0;
+                self.candidates.push(cu);
+            }
+            self.weight_to[cu] += w;
+        }
+        let w_own = if self.stamp[cv] == self.generation {
+            self.weight_to[cv]
+        } else {
+            0.0
+        };
+        self.candidates.sort_unstable();
+        w_own
+    }
+
+    /// The best community for the accumulated node: maximises
+    /// `gain(c, weight_to[c])` over the sorted candidates, starting
+    /// from the stay-put `base_gain`. Ties keep the lowest id so
+    /// results are independent of scan order.
+    fn best(&self, cv: usize, base_gain: f64, gain: impl Fn(usize, f64) -> f64) -> usize {
+        let mut best_c = cv;
+        let mut best_gain = base_gain;
+        for &c in &self.candidates {
+            if c == cv {
+                continue;
+            }
+            let gain_c = gain(c, self.weight_to[c]);
+            if gain_c > best_gain + 1e-12 {
+                best_gain = gain_c;
+                best_c = c;
+            }
+        }
+        best_c
+    }
+}
+
 /// Builds the aggregated graph: one node per community, inter-community
 /// weights summed, intra-community weight folded into self-loops.
-fn aggregate(g: &Graph, p: &Partition) -> Graph {
+fn aggregate(g: &CsrGraph, p: &Partition) -> CsrGraph {
     let nc = p.community_count();
-    let mut agg = Graph::new(nc);
     // Self-loops: intra-community edge weight + old self-loops.
     let mut intra = vec![0.0f64; nc];
-    let mut inter: std::collections::BTreeMap<(usize, usize), f64> =
-        std::collections::BTreeMap::new();
+    let mut inter: Vec<(u32, u32, f64)> = Vec::new();
     for v in 0..g.node_count() {
         let cv = p.of(v);
         intra[cv] += g.self_loop(v);
-        for &(u, w) in g.neighbors(v) {
+        for (u, w) in g.neighbors(v) {
+            if (u as usize) <= v {
+                continue; // each undirected edge once
+            }
             let cu = p.of(u as usize);
             if cu == cv {
-                if (u as usize) > v {
-                    intra[cv] += w;
-                }
-            } else if (u as usize) > v {
-                let key = (cv.min(cu), cv.max(cu));
-                *inter.entry(key).or_insert(0.0) += w;
+                intra[cv] += w;
+            } else {
+                let (a, b) = (cv.min(cu) as u32, cv.max(cu) as u32);
+                inter.push((a, b, w));
             }
         }
     }
-    for (c, &w) in intra.iter().enumerate() {
-        if w > 0.0 {
-            agg.add_edge(c, c, w);
+    inter.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    // Fold parallel edges (multiple original edges between the same
+    // community pair) by summing weights in place.
+    let mut folded: Vec<(u32, u32, f64)> = Vec::with_capacity(inter.len());
+    for (a, b, w) in inter {
+        match folded.last_mut() {
+            Some(last) if last.0 == a && last.1 == b => last.2 += w,
+            _ => folded.push((a, b, w)),
         }
     }
-    for ((a, b), w) in inter {
-        agg.add_edge(a, b, w);
-    }
-    agg
+    CsrGraph::from_sorted_edges(nc, &folded, intra)
 }
 
 #[cfg(test)]
@@ -408,5 +656,90 @@ mod tests {
     #[should_panic(expected = "resolution")]
     fn zero_resolution_panics() {
         louvain(&Graph::new(1), 0.0);
+    }
+
+    /// A graph big enough to take the parallel propose-then-apply
+    /// path: cliques of 8 over 60% of the nodes, the rest isolated —
+    /// the shape of a real similarity graph.
+    fn large_similarity_like(n: usize) -> Graph {
+        assert!(n >= PARALLEL_SWEEP_MIN_NODES);
+        let mut g = Graph::new(n);
+        let clustered = n * 6 / 10;
+        let mut state = 7u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for start in (0..clustered).step_by(8) {
+            let end = (start + 8).min(clustered);
+            for i in start..end {
+                for j in (i + 1)..end {
+                    if rnd() % 10 < 7 {
+                        g.add_edge(i, j, ((rnd() % 90) + 10) as f64 / 100.0);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn parallel_sweep_finds_the_planted_cliques() {
+        let g = large_similarity_like(400);
+        let p = louvain(&g, 1.0);
+        // Clique members cluster together; isolated nodes stay
+        // singleton.
+        for start in (0..240).step_by(8) {
+            let c = p.of(start);
+            for i in start..(start + 8).min(240) {
+                assert_eq!(p.of(i), c, "clique at {start} split");
+            }
+        }
+        for v in 240..400 {
+            assert_eq!(p.sizes()[p.of(v)], 1, "isolated node {v} absorbed");
+        }
+        let singles = Partition::from_labels((0..400).collect());
+        assert!(modularity(&g, &p) > modularity(&g, &singles));
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic() {
+        let g = large_similarity_like(512);
+        let p1 = louvain(&g, 1.0);
+        let p2 = louvain(&g, 1.0);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn parallel_propose_rounds_are_deterministic_and_improving() {
+        // Big enough that the first refinement active set crosses
+        // PARALLEL_PROPOSE_MIN_ACTIVE, exercising the propose-apply
+        // rounds (the gossip-only tests above stay below it).
+        let n = 8192;
+        let g = large_similarity_like(n);
+        let p1 = louvain(&g, 1.0);
+        let p2 = louvain(&g, 1.0);
+        assert_eq!(p1, p2);
+        let singles = Partition::from_labels((0..n).collect());
+        assert!(modularity(&g, &p1) > modularity(&g, &singles));
+        // Isolated nodes must remain singletons.
+        let sizes = p1.sizes();
+        for v in (n * 6 / 10)..n {
+            assert_eq!(sizes[p1.of(v)], 1, "isolated node {v} absorbed");
+        }
+    }
+
+    #[test]
+    fn louvain_csr_matches_louvain() {
+        for n in [40usize, 400] {
+            let g = if n >= PARALLEL_SWEEP_MIN_NODES {
+                large_similarity_like(n)
+            } else {
+                two_triangles()
+            };
+            let via_graph = louvain(&g, 1.0);
+            let via_csr = louvain_csr(&CsrGraph::from_graph(&g), 1.0);
+            assert_eq!(via_graph, via_csr);
+        }
     }
 }

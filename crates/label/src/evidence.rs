@@ -65,7 +65,8 @@ impl CommunityEvidence {
                 for ((p, &id), &m) in packets.iter().zip(ids).zip(matched) {
                     if m {
                         self.packet_profiles.entry(id).or_default().add(p);
-                        self.packet_transactions.insert(id, Transaction::of_packet(p));
+                        self.packet_transactions
+                            .insert(id, Transaction::of_packet(p));
                     }
                 }
             }

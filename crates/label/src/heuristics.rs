@@ -45,7 +45,7 @@ pub enum HeuristicLabel {
     /// High ICMP traffic.
     Ping,
     /// >7 packets with SYN/RST/FIN ≥ 50%, or service ports with
-    /// SYN ≥ 30%.
+    /// > SYN ≥ 30%.
     OtherAttack,
     /// Ports 137/udp or 139/tcp.
     NetBios,
@@ -299,7 +299,10 @@ impl TrafficProfile {
         if p.icmp_ratio() >= ICMP_SHARE && p.icmp >= ICMP_MIN {
             return HeuristicLabel::Ping;
         }
-        let service_share = p.tcp_share(80).max(p.tcp_share(8080)).max(p.tcp_share(20))
+        let service_share = p
+            .tcp_share(80)
+            .max(p.tcp_share(8080))
+            .max(p.tcp_share(20))
             .max(p.tcp_share(21))
             .max(p.tcp_share(22))
             .max(p.tcp_share(53).max(p.udp_share(53)));
@@ -314,7 +317,10 @@ impl TrafficProfile {
         if (p.tcp_share(80) >= PORT_SHARE || p.tcp_share(8080) >= PORT_SHARE) && syn < 0.3 {
             return HeuristicLabel::Http;
         }
-        let multi = p.tcp_share(20).max(p.tcp_share(21)).max(p.tcp_share(22))
+        let multi = p
+            .tcp_share(20)
+            .max(p.tcp_share(21))
+            .max(p.tcp_share(22))
             .max(p.tcp_share(53))
             .max(p.udp_share(53));
         if multi >= PORT_SHARE && syn < 0.3 {
@@ -337,7 +343,15 @@ mod tests {
     fn syn_to(port: u16, n: usize) -> Vec<Packet> {
         (0..n)
             .map(|i| {
-                Packet::tcp(i as u64, ip((i % 200) as u8), 1025 + i as u16, ip(250), port, TcpFlags::syn(), 48)
+                Packet::tcp(
+                    i as u64,
+                    ip((i % 200) as u8),
+                    1025 + i as u16,
+                    ip(250),
+                    port,
+                    TcpFlags::syn(),
+                    48,
+                )
             })
             .collect()
     }
@@ -365,7 +379,11 @@ mod tests {
     fn sasser_ports() {
         for port in [1023, 5554, 9898] {
             let pkts = syn_to(port, 20);
-            assert_eq!(classify_packets(&pkts), HeuristicLabel::Sasser, "port {port}");
+            assert_eq!(
+                classify_packets(&pkts),
+                HeuristicLabel::Sasser,
+                "port {port}"
+            );
         }
     }
 
@@ -377,14 +395,17 @@ mod tests {
 
     #[test]
     fn ping_flood_is_ping() {
-        let pkts: Vec<Packet> =
-            (0..50).map(|i| Packet::icmp(i, ip(1), ip(2), 8, 0, 1064)).collect();
+        let pkts: Vec<Packet> = (0..50)
+            .map(|i| Packet::icmp(i, ip(1), ip(2), 8, 0, 1064))
+            .collect();
         assert_eq!(classify_packets(&pkts), HeuristicLabel::Ping);
     }
 
     #[test]
     fn few_icmp_is_not_ping() {
-        let pkts: Vec<Packet> = (0..5).map(|i| Packet::icmp(i, ip(1), ip(2), 8, 0, 64)).collect();
+        let pkts: Vec<Packet> = (0..5)
+            .map(|i| Packet::icmp(i, ip(1), ip(2), 8, 0, 64))
+            .collect();
         assert_ne!(classify_packets(&pkts), HeuristicLabel::Ping);
     }
 
@@ -412,8 +433,9 @@ mod tests {
 
     #[test]
     fn netbios_ports() {
-        let udp: Vec<Packet> =
-            (0..20).map(|i| Packet::udp(i, ip(1), 137, ip((i % 200) as u8), 137, 78)).collect();
+        let udp: Vec<Packet> = (0..20)
+            .map(|i| Packet::udp(i, ip(1), 137, ip((i % 200) as u8), 137, 78))
+            .collect();
         assert_eq!(classify_packets(&udp), HeuristicLabel::NetBios);
         // 139/tcp with low flag ratios (needs data packets to avoid
         // the OtherAttack rule).
@@ -436,13 +458,17 @@ mod tests {
     fn normal_http_is_special() {
         let pkts = http_session(30);
         assert_eq!(classify_packets(&pkts), HeuristicLabel::Http);
-        assert_eq!(classify_packets(&pkts).category(), HeuristicCategory::Special);
+        assert_eq!(
+            classify_packets(&pkts).category(),
+            HeuristicCategory::Special
+        );
     }
 
     #[test]
     fn dns_is_multi_services() {
-        let pkts: Vec<Packet> =
-            (0..20).map(|i| Packet::udp(i, ip(1), 1025, ip(2), 53, 80)).collect();
+        let pkts: Vec<Packet> = (0..20)
+            .map(|i| Packet::udp(i, ip(1), 1025, ip(2), 53, 80))
+            .collect();
         assert_eq!(classify_packets(&pkts), HeuristicLabel::MultiServices);
     }
 
@@ -462,12 +488,18 @@ mod tests {
             })
             .collect();
         assert_eq!(classify_packets(&pkts), HeuristicLabel::Unknown);
-        assert_eq!(classify_packets(&pkts).category(), HeuristicCategory::Unknown);
+        assert_eq!(
+            classify_packets(&pkts).category(),
+            HeuristicCategory::Unknown
+        );
     }
 
     #[test]
     fn empty_traffic_is_unknown() {
-        assert_eq!(classify_packets(std::iter::empty()), HeuristicLabel::Unknown);
+        assert_eq!(
+            classify_packets(std::iter::empty()),
+            HeuristicLabel::Unknown
+        );
     }
 
     #[test]
@@ -485,7 +517,10 @@ mod tests {
             assert!(!l.to_string().is_empty());
         }
         assert_eq!(
-            HeuristicLabel::ALL.iter().filter(|l| l.category() == HeuristicCategory::Attack).count(),
+            HeuristicLabel::ALL
+                .iter()
+                .filter(|l| l.category() == HeuristicCategory::Attack)
+                .count(),
             6
         );
     }

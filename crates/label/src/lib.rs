@@ -26,4 +26,6 @@ pub mod taxonomy;
 pub use evidence::CommunityEvidence;
 pub use heuristics::{classify_packets, HeuristicCategory, HeuristicLabel, TrafficProfile};
 pub use summary::{summarize_community, CommunitySummary};
-pub use taxonomy::{label_communities, label_communities_streaming, LabeledCommunity, MawilabLabel};
+pub use taxonomy::{
+    label_communities, label_communities_streaming, LabeledCommunity, MawilabLabel,
+};

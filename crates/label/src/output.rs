@@ -53,12 +53,19 @@ pub fn write_csv<W: Write>(mut w: W, report: &[LabeledCommunity]) -> io::Result<
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 /// Writes the labeled communities as an admd-style XML annotation
 /// document.
-pub fn write_xml<W: Write>(mut w: W, trace_name: &str, report: &[LabeledCommunity]) -> io::Result<()> {
+pub fn write_xml<W: Write>(
+    mut w: W,
+    trace_name: &str,
+    report: &[LabeledCommunity],
+) -> io::Result<()> {
     writeln!(w, r#"<?xml version="1.0" encoding="UTF-8"?>"#)?;
     writeln!(
         w,

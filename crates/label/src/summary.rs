@@ -81,7 +81,7 @@ pub fn summarize_community(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mawilab_detectors::{standard_configurations, run_all};
+    use mawilab_detectors::{run_all, standard_configurations};
     use mawilab_model::FlowTable;
     use mawilab_similarity::SimilarityEstimator;
     use mawilab_synth::{AnomalySpec, SynthConfig, TraceGenerator};
@@ -97,7 +97,11 @@ mod tests {
                 duration_s: 15.0,
                 spoofed: true,
             },
-            AnomalySpec::SasserWorm { infected: 5, scans: 900, rate_pps: 70.0 },
+            AnomalySpec::SasserWorm {
+                infected: 5,
+                scans: 900,
+                rate_pps: 70.0,
+            },
         ]);
         let lt = TraceGenerator::new(cfg).generate();
         let flows = FlowTable::build(&lt.trace.packets);
@@ -105,7 +109,10 @@ mod tests {
             let view = TraceView::new(&lt.trace, &flows);
             run_all(&standard_configurations(), &view)
         };
-        let est = SimilarityEstimator { granularity, ..Default::default() };
+        let est = SimilarityEstimator {
+            granularity,
+            ..Default::default()
+        };
         let communities = {
             let view = TraceView::new(&lt.trace, &flows);
             est.estimate(&view, alarms)
@@ -120,8 +127,16 @@ mod tests {
         assert!(communities.community_count() > 0);
         for c in 0..communities.community_count() {
             let s = summarize_community(&view, &communities, c, 0.2);
-            assert!((0.0..=4.0).contains(&s.rule_degree), "degree {}", s.rule_degree);
-            assert!((0.0..=1.0).contains(&s.rule_support), "support {}", s.rule_support);
+            assert!(
+                (0.0..=4.0).contains(&s.rule_degree),
+                "degree {}",
+                s.rule_degree
+            );
+            assert!(
+                (0.0..=1.0).contains(&s.rule_support),
+                "support {}",
+                s.rule_support
+            );
             if !s.rules.is_empty() {
                 assert!(s.rule_support > 0.0);
                 // Rule counts are bounded by the transaction count.
@@ -148,7 +163,11 @@ mod tests {
 
     #[test]
     fn granularities_produce_transactions() {
-        for g in [Granularity::Packet, Granularity::Uniflow, Granularity::Biflow] {
+        for g in [
+            Granularity::Packet,
+            Granularity::Uniflow,
+            Granularity::Biflow,
+        ] {
             let (lt, flows, communities) = pipeline_communities(g);
             let view = TraceView::new(&lt.trace, &flows);
             let non_empty = (0..communities.community_count())

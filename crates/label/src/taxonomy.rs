@@ -139,8 +139,11 @@ pub fn label_communities(
 
     (0..communities.community_count())
         .map(|c| {
-            let heuristic =
-                classify_packets(packets_of[c].iter().map(|&i| &view.trace.packets[i as usize]));
+            let heuristic = classify_packets(
+                packets_of[c]
+                    .iter()
+                    .map(|&i| &view.trace.packets[i as usize]),
+            );
             let summary = summarize_community(view, communities, c, min_support);
             LabeledCommunity {
                 community: c,
@@ -211,7 +214,10 @@ mod tests {
     use super::*;
 
     fn dec(accepted: bool, rel: Option<f64>) -> Decision {
-        Decision { accepted, relative_distance: rel }
+        Decision {
+            accepted,
+            relative_distance: rel,
+        }
     }
 
     #[test]
@@ -221,7 +227,10 @@ mod tests {
         assert_eq!(label_of(&dec(false, Some(0.2))), MawilabLabel::Suspicious);
         assert_eq!(label_of(&dec(false, Some(0.5))), MawilabLabel::Suspicious);
         assert_eq!(label_of(&dec(false, Some(0.500001))), MawilabLabel::Notice);
-        assert_eq!(label_of(&dec(false, Some(f64::INFINITY))), MawilabLabel::Notice);
+        assert_eq!(
+            label_of(&dec(false, Some(f64::INFINITY))),
+            MawilabLabel::Notice
+        );
         assert_eq!(label_of(&dec(false, None)), MawilabLabel::Notice);
     }
 

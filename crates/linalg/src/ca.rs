@@ -71,9 +71,9 @@ impl CorrespondenceAnalysis {
         // Masses.
         let mut r = vec![0.0; n];
         let mut c = vec![0.0; m];
-        for i in 0..n {
+        for (i, ri) in r.iter_mut().enumerate() {
             for (j, &v) in table.row(i).iter().enumerate() {
-                r[i] += v / total;
+                *ri += v / total;
                 c[j] += v / total;
             }
         }
@@ -257,11 +257,7 @@ mod tests {
 
     #[test]
     fn zero_rows_map_to_origin() {
-        let t = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![0.0, 0.0],
-            vec![2.0, 1.0],
-        ]);
+        let t = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 0.0], vec![2.0, 1.0]]);
         let ca = CorrespondenceAnalysis::fit(&t, CaDims::Count(1));
         assert!(ca.row_coords(1).iter().all(|&x| x == 0.0));
     }

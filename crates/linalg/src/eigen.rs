@@ -145,7 +145,9 @@ mod tests {
         let mut a = Matrix::zeros(n, n);
         let mut state = 1u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for i in 0..n {

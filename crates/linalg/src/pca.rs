@@ -171,7 +171,9 @@ impl Pca {
     /// observation.
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
         let z = self.standardise(row);
-        (0..self.k()).map(|j| dot(&z, &self.components.col(j))).collect()
+        (0..self.k())
+            .map(|j| dot(&z, &self.components.col(j)))
+            .collect()
     }
 
     /// The residual vector of one observation: its standardised form
@@ -181,8 +183,9 @@ impl Pca {
     /// detector.
     pub fn residual(&self, row: &[f64]) -> Vec<f64> {
         let z = self.standardise(row);
-        let scores: Vec<f64> =
-            (0..self.k()).map(|j| dot(&z, &self.components.col(j))).collect();
+        let scores: Vec<f64> = (0..self.k())
+            .map(|j| dot(&z, &self.components.col(j)))
+            .collect();
         let mut e = z;
         for (j, &s) in scores.iter().enumerate() {
             let comp = self.components.col(j);
@@ -219,7 +222,9 @@ mod tests {
         let mut rows = Vec::new();
         let mut state = 99u64;
         let mut noise = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 0.01
         };
         for i in 0..200 {
@@ -242,7 +247,10 @@ mod tests {
         let pca = Pca::fit(&data, PcaComponents::Count(1));
         let typical = pca.residual_sq(data.row(10));
         let anomaly = pca.residual_sq(&[5.0, -5.0]); // orthogonal to y=x
-        assert!(anomaly > 1000.0 * (typical + 1e-9), "{anomaly} vs {typical}");
+        assert!(
+            anomaly > 1000.0 * (typical + 1e-9),
+            "{anomaly} vs {typical}"
+        );
     }
 
     #[test]
@@ -287,7 +295,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "two observations")]
     fn single_observation_panics() {
-        Pca::fit(&Matrix::from_rows(&[vec![1.0, 2.0]]), PcaComponents::Count(1));
+        Pca::fit(
+            &Matrix::from_rows(&[vec![1.0, 2.0]]),
+            PcaComponents::Count(1),
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl Svd {
     pub fn with_tolerance(a: &Matrix, rel_tol: f64) -> Self {
         let (n, m) = (a.rows(), a.cols());
         if n == 0 || m == 0 {
-            return Svd { u: Matrix::zeros(n, 0), sigma: vec![], v: Matrix::zeros(m, 0) };
+            return Svd {
+                u: Matrix::zeros(n, 0),
+                sigma: vec![],
+                v: Matrix::zeros(m, 0),
+            };
         }
         let eig = SymmetricEigen::new(&a.gram());
         let lam_max = eig.values.first().copied().unwrap_or(0.0).max(0.0);
@@ -91,11 +95,7 @@ mod tests {
 
     #[test]
     fn reconstructs_full_rank_matrix() {
-        let a = Matrix::from_rows(&[
-            vec![3.0, 1.0],
-            vec![1.0, 3.0],
-            vec![1.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![3.0, 1.0], vec![1.0, 3.0], vec![1.0, 1.0]]);
         let svd = Svd::new(&a);
         assert_eq!(svd.rank(), 2);
         assert!(svd.reconstruct().max_abs_diff(&a) < 1e-9);

@@ -62,7 +62,10 @@ pub fn apriori(transactions: &[Transaction], min_support: f64) -> Vec<FrequentIt
     let mut level: Vec<FrequentItemset> = counts
         .into_iter()
         .filter(|&(_, c)| c >= min_count)
-        .map(|(item, count)| FrequentItemset { items: vec![item], count })
+        .map(|(item, count)| FrequentItemset {
+            items: vec![item],
+            count,
+        })
         .collect();
     level.sort_by(|a, b| a.items.cmp(&b.items));
 
@@ -153,9 +156,9 @@ pub fn mine_rules(transactions: &[Transaction], min_support: f64) -> MinedRules 
     // Maximal = not a strict subset of another frequent itemset.
     let mut maximal: Vec<&FrequentItemset> = Vec::new();
     for f in &frequent {
-        let is_subset = frequent.iter().any(|g| {
-            g.items.len() > f.items.len() && f.items.iter().all(|i| g.items.contains(i))
-        });
+        let is_subset = frequent
+            .iter()
+            .any(|g| g.items.len() > f.items.len() && f.items.iter().all(|i| g.items.contains(i)));
         if !is_subset {
             maximal.push(f);
         }
@@ -179,8 +182,11 @@ pub fn mine_rules(transactions: &[Transaction], min_support: f64) -> MinedRules 
             .filter(|t| rules.iter().any(|(_, _, items)| t.contains_all(items)))
             .count()
     };
-    let rule_support =
-        if transactions.is_empty() { 0.0 } else { covered as f64 / transactions.len() as f64 };
+    let rule_support = if transactions.is_empty() {
+        0.0
+    } else {
+        covered as f64 / transactions.len() as f64
+    };
 
     MinedRules {
         rules: rules.into_iter().map(|(r, c, _)| (r, c)).collect(),
@@ -208,7 +214,12 @@ mod tests {
             t.push(Transaction::new(ip(1), 80, ip(100 + i), 1000 + i as u16));
         }
         for i in 0..4u8 {
-            t.push(Transaction::new(ip(200 + i), 4000 + i as u16, ip(50 + i), 22));
+            t.push(Transaction::new(
+                ip(200 + i),
+                4000 + i as u16,
+                ip(50 + i),
+                22,
+            ));
         }
         t
     }
@@ -262,8 +273,9 @@ mod tests {
 
     #[test]
     fn identical_transactions_mine_full_tuple() {
-        let txs: Vec<Transaction> =
-            (0..5).map(|_| Transaction::new(ip(1), 1234, ip(2), 80)).collect();
+        let txs: Vec<Transaction> = (0..5)
+            .map(|_| Transaction::new(ip(1), 1234, ip(2), 80))
+            .collect();
         let rules = mine_rules(&txs, 0.2);
         assert_eq!(rules.rules.len(), 1);
         assert_eq!(rules.rule_degree, 4.0);
@@ -304,7 +316,11 @@ mod tests {
         txs.push(Transaction::new(ip(30), 1, ip(31), 2));
         txs.push(Transaction::new(ip(32), 3, ip(33), 4));
         let rules = mine_rules(&txs, 0.4);
-        assert!((rules.rule_support - 0.8).abs() < 1e-12, "{}", rules.rule_support);
+        assert!(
+            (rules.rule_support - 0.8).abs() < 1e-12,
+            "{}",
+            rules.rule_support
+        );
     }
 
     #[test]

@@ -34,22 +34,34 @@ pub struct Item {
 impl Item {
     /// Item for a source address.
     pub fn src_ip(ip: Ipv4Addr) -> Self {
-        Item { field: Field::SrcIp, value: u32::from(ip) }
+        Item {
+            field: Field::SrcIp,
+            value: u32::from(ip),
+        }
     }
 
     /// Item for a destination address.
     pub fn dst_ip(ip: Ipv4Addr) -> Self {
-        Item { field: Field::DstIp, value: u32::from(ip) }
+        Item {
+            field: Field::DstIp,
+            value: u32::from(ip),
+        }
     }
 
     /// Item for a source port.
     pub fn src_port(p: u16) -> Self {
-        Item { field: Field::SrcPort, value: p as u32 }
+        Item {
+            field: Field::SrcPort,
+            value: p as u32,
+        }
     }
 
     /// Item for a destination port.
     pub fn dst_port(p: u16) -> Self {
-        Item { field: Field::DstPort, value: p as u32 }
+        Item {
+            field: Field::DstPort,
+            value: p as u32,
+        }
     }
 }
 

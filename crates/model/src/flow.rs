@@ -55,7 +55,13 @@ pub struct FlowKey {
 impl FlowKey {
     /// Extracts the unidirectional key of a packet.
     pub fn of(p: &Packet) -> Self {
-        FlowKey { src: p.src, dst: p.dst, sport: p.sport, dport: p.dport, proto: p.proto }
+        FlowKey {
+            src: p.src,
+            dst: p.dst,
+            sport: p.sport,
+            dport: p.dport,
+            proto: p.proto,
+        }
     }
 
     /// The same flow viewed from the opposite direction.
@@ -72,7 +78,11 @@ impl FlowKey {
 
 impl fmt::Display for FlowKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {}:{} > {}:{}", self.proto, self.src, self.sport, self.dst, self.dport)
+        write!(
+            f,
+            "{} {}:{} > {}:{}",
+            self.proto, self.src, self.sport, self.dst, self.dport
+        )
     }
 }
 
@@ -104,16 +114,32 @@ impl BiflowKey {
     /// Canonicalises a unidirectional key.
     pub fn from_flow(k: &FlowKey) -> Self {
         if (k.src, k.sport) <= (k.dst, k.dport) {
-            BiflowKey { a: k.src, aport: k.sport, b: k.dst, bport: k.dport, proto: k.proto }
+            BiflowKey {
+                a: k.src,
+                aport: k.sport,
+                b: k.dst,
+                bport: k.dport,
+                proto: k.proto,
+            }
         } else {
-            BiflowKey { a: k.dst, aport: k.dport, b: k.src, bport: k.sport, proto: k.proto }
+            BiflowKey {
+                a: k.dst,
+                aport: k.dport,
+                b: k.src,
+                bport: k.sport,
+                proto: k.proto,
+            }
         }
     }
 }
 
 impl fmt::Display for BiflowKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {}:{} <> {}:{}", self.proto, self.a, self.aport, self.b, self.bport)
+        write!(
+            f,
+            "{} {}:{} <> {}:{}",
+            self.proto, self.a, self.aport, self.b, self.bport
+        )
     }
 }
 
@@ -399,13 +425,28 @@ mod tests {
 
     #[test]
     fn biflow_key_is_direction_invariant() {
-        let k = FlowKey { src: ip(9), dst: ip(1), sport: 4444, dport: 80, proto: Protocol::Tcp };
-        assert_eq!(BiflowKey::from_flow(&k), BiflowKey::from_flow(&k.reversed()));
+        let k = FlowKey {
+            src: ip(9),
+            dst: ip(1),
+            sport: 4444,
+            dport: 80,
+            proto: Protocol::Tcp,
+        };
+        assert_eq!(
+            BiflowKey::from_flow(&k),
+            BiflowKey::from_flow(&k.reversed())
+        );
     }
 
     #[test]
     fn reversed_twice_is_identity() {
-        let k = FlowKey { src: ip(9), dst: ip(1), sport: 4444, dport: 80, proto: Protocol::Tcp };
+        let k = FlowKey {
+            src: ip(9),
+            dst: ip(1),
+            sport: 4444,
+            dport: 80,
+            proto: Protocol::Tcp,
+        };
         assert_eq!(k.reversed().reversed(), k);
     }
 
@@ -436,8 +477,13 @@ mod tests {
             let bk = BiflowKey::of(p);
             assert_eq!(t.find_biflow(&bk), Some(t.biflow_of(i)));
         }
-        let missing =
-            FlowKey { src: ip(250), dst: ip(251), sport: 1, dport: 2, proto: Protocol::Tcp };
+        let missing = FlowKey {
+            src: ip(250),
+            dst: ip(251),
+            sport: 1,
+            dport: 2,
+            proto: Protocol::Tcp,
+        };
         assert_eq!(t.find_uniflow(&missing), None);
     }
 
@@ -462,7 +508,11 @@ mod tests {
     fn item_index_matches_flow_table_ids() {
         let packets = pkts();
         let table = FlowTable::build(&packets);
-        for g in [Granularity::Packet, Granularity::Uniflow, Granularity::Biflow] {
+        for g in [
+            Granularity::Packet,
+            Granularity::Uniflow,
+            Granularity::Biflow,
+        ] {
             let mut index = ItemIndex::new(g);
             for (i, p) in packets.iter().enumerate() {
                 let expected = match g {

@@ -198,7 +198,16 @@ impl Packet {
         flags: TcpFlags,
         len: u16,
     ) -> Self {
-        Packet { ts_us, src, dst, sport, dport, len, proto: Protocol::Tcp, flags }
+        Packet {
+            ts_us,
+            src,
+            dst,
+            sport,
+            dport,
+            len,
+            proto: Protocol::Tcp,
+            flags,
+        }
     }
 
     /// Creates a UDP packet.
@@ -327,7 +336,15 @@ mod tests {
 
     #[test]
     fn tcp_ports_visible_icmp_fields_hidden() {
-        let p = Packet::tcp(5, ip(1, 2, 3, 4), 1234, ip(5, 6, 7, 8), 80, TcpFlags::syn(), 40);
+        let p = Packet::tcp(
+            5,
+            ip(1, 2, 3, 4),
+            1234,
+            ip(5, 6, 7, 8),
+            80,
+            TcpFlags::syn(),
+            40,
+        );
         assert_eq!(p.src_port(), Some(1234));
         assert_eq!(p.dst_port(), Some(80));
         assert_eq!(p.icmp_type(), None);
@@ -342,7 +359,14 @@ mod tests {
 
     #[test]
     fn display_formats_endpoints() {
-        let p = Packet::udp(1_000_000, ip(192, 0, 2, 1), 53, ip(198, 51, 100, 7), 3456, 120);
+        let p = Packet::udp(
+            1_000_000,
+            ip(192, 0, 2, 1),
+            53,
+            ip(198, 51, 100, 7),
+            3456,
+            120,
+        );
         let s = p.to_string();
         assert!(s.contains("192.0.2.1:53"), "{s}");
         assert!(s.contains("udp"), "{s}");

@@ -74,7 +74,7 @@ pub fn write_pcap<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
     hdr[0..4].copy_from_slice(&MAGIC_US.to_le_bytes());
     hdr[4..6].copy_from_slice(&2u16.to_le_bytes()); // version major
     hdr[6..8].copy_from_slice(&4u16.to_le_bytes()); // version minor
-    // thiszone, sigfigs = 0
+                                                    // thiszone, sigfigs = 0
     hdr[16..20].copy_from_slice(&65_535u32.to_le_bytes()); // snaplen
     hdr[20..24].copy_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
     w.write_all(&hdr)?;
@@ -251,10 +251,12 @@ fn read_record<R: Read>(
     }
     frame.resize(incl_len, 0);
     r.read_exact(frame)?;
-    Ok(match decode_frame(frame, ts_sec * 1_000_000 + ts_usec, orig_len) {
-        Some(p) => RecordRead::Packet(p),
-        None => RecordRead::Skipped,
-    })
+    Ok(
+        match decode_frame(frame, ts_sec * 1_000_000 + ts_usec, orig_len) {
+            Some(p) => RecordRead::Packet(p),
+            None => RecordRead::Skipped,
+        },
+    )
 }
 
 /// Streaming pcap reader: a [`PacketSource`] that yields time-binned
@@ -419,7 +421,16 @@ fn decode_frame(frame: &[u8], ts_us: u64, orig_len: usize) -> Option<Packet> {
         _ => return None, // declared transport but truncated header
     };
     let len = orig_len.saturating_sub(ETH_HDR).min(u16::MAX as usize) as u16;
-    Some(Packet { ts_us, src, dst, sport, dport, len, proto, flags })
+    Some(Packet {
+        ts_us,
+        src,
+        dst,
+        sport,
+        dport,
+        len,
+        proto,
+        flags,
+    })
 }
 
 #[cfg(test)]
@@ -469,7 +480,10 @@ mod tests {
     fn header_magic_and_linktype() {
         let mut buf = Vec::new();
         write_pcap(&mut buf, &sample_trace()).unwrap();
-        assert_eq!(u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]), MAGIC_US);
+        assert_eq!(
+            u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]),
+            MAGIC_US
+        );
         assert_eq!(
             u32::from_le_bytes([buf[20], buf[21], buf[22], buf[23]]),
             LINKTYPE_ETHERNET
@@ -519,7 +533,10 @@ mod tests {
         write_pcap(&mut buf, &trace).unwrap();
         buf.truncate(buf.len() - 3); // cut mid-frame
         let meta = trace.meta.clone();
-        assert!(matches!(read_pcap(Cursor::new(&buf), meta), Err(PcapError::Io(_))));
+        assert!(matches!(
+            read_pcap(Cursor::new(&buf), meta),
+            Err(PcapError::Io(_))
+        ));
     }
 
     #[test]

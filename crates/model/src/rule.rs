@@ -34,17 +34,27 @@ impl TrafficRule {
 
     /// Rule pinning only the source host.
     pub fn src_host(ip: Ipv4Addr) -> Self {
-        TrafficRule { src: Some(ip), ..Default::default() }
+        TrafficRule {
+            src: Some(ip),
+            ..Default::default()
+        }
     }
 
     /// Rule pinning only the destination host.
     pub fn dst_host(ip: Ipv4Addr) -> Self {
-        TrafficRule { dst: Some(ip), ..Default::default() }
+        TrafficRule {
+            dst: Some(ip),
+            ..Default::default()
+        }
     }
 
     /// Rule pinning only the destination port (optionally protocol).
     pub fn dst_port(port: u16, proto: Option<Protocol>) -> Self {
-        TrafficRule { dport: Some(port), proto, ..Default::default() }
+        TrafficRule {
+            dport: Some(port),
+            proto,
+            ..Default::default()
+        }
     }
 
     /// Number of non-wildcard items among the four tuple fields —
@@ -86,7 +96,8 @@ impl TrafficRule {
 impl fmt::Display for TrafficRule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn item<T: fmt::Display>(v: &Option<T>) -> String {
-            v.as_ref().map_or_else(|| "*".to_string(), |x| x.to_string())
+            v.as_ref()
+                .map_or_else(|| "*".to_string(), |x| x.to_string())
         }
         write!(
             f,
@@ -151,7 +162,11 @@ mod tests {
     fn generalizes_partial_order() {
         let any = TrafficRule::any();
         let host = TrafficRule::src_host(ip(1));
-        let full = TrafficRule { src: Some(ip(1)), dport: Some(80), ..Default::default() };
+        let full = TrafficRule {
+            src: Some(ip(1)),
+            dport: Some(80),
+            ..Default::default()
+        };
         assert!(any.generalizes(&host));
         assert!(host.generalizes(&full));
         assert!(any.generalizes(&full));
@@ -163,7 +178,11 @@ mod tests {
 
     #[test]
     fn display_uses_star_for_wildcards() {
-        let r = TrafficRule { src: Some(ip(1)), dport: Some(80), ..Default::default() };
+        let r = TrafficRule {
+            src: Some(ip(1)),
+            dport: Some(80),
+            ..Default::default()
+        };
         assert_eq!(r.to_string(), "<10.0.0.1, *, *, 80>");
     }
 
@@ -171,7 +190,11 @@ mod tests {
     fn generalization_implies_match_superset() {
         // If a generalizes b and a packet matches b, it must match a.
         let a = TrafficRule::dst_host(ip(2));
-        let b = TrafficRule { dst: Some(ip(2)), dport: Some(80), ..Default::default() };
+        let b = TrafficRule {
+            dst: Some(ip(2)),
+            dport: Some(80),
+            ..Default::default()
+        };
         assert!(a.generalizes(&b));
         let p = pkt();
         assert!(b.matches(&p) && a.matches(&p));

@@ -46,7 +46,10 @@ pub struct PacketChunk {
 
 impl Default for PacketChunk {
     fn default() -> Self {
-        PacketChunk { window: TimeWindow::new(0, 0), packets: Vec::new() }
+        PacketChunk {
+            window: TimeWindow::new(0, 0),
+            packets: Vec::new(),
+        }
     }
 }
 
@@ -142,7 +145,12 @@ impl TraceChunker {
     /// Chunks a trace at `bin_us`-wide time bins.
     pub fn new(trace: Trace, bin_us: u64) -> Self {
         assert!(bin_us > 0, "chunk bin width must be positive");
-        TraceChunker { trace, bin_us, pos: 0, buf: PacketChunk::default() }
+        TraceChunker {
+            trace,
+            bin_us,
+            pos: 0,
+            buf: PacketChunk::default(),
+        }
     }
 
     /// The wrapped trace.
@@ -174,9 +182,7 @@ impl PacketSource for TraceChunker {
         let k = chunk_index(start_us, self.bin_us, packets[self.pos].ts_us);
         let begin = self.pos;
         let mut end = self.pos;
-        while end < packets.len()
-            && chunk_index(start_us, self.bin_us, packets[end].ts_us) <= k
-        {
+        while end < packets.len() && chunk_index(start_us, self.bin_us, packets[end].ts_us) <= k {
             end += 1;
         }
         self.pos = end;
@@ -207,8 +213,10 @@ mod tests {
     fn trace_with_offsets(offsets_us: &[u64]) -> Trace {
         let meta = TraceMeta::standard(TraceDate::new(2004, 5, 3));
         let base = meta.window().start_us;
-        let packets: Vec<Packet> =
-            offsets_us.iter().map(|&o| Packet::udp(base + o, ip(1), 1, ip(2), 2, 100)).collect();
+        let packets: Vec<Packet> = offsets_us
+            .iter()
+            .map(|&o| Packet::udp(base + o, ip(1), 1, ip(2), 2, 100))
+            .collect();
         Trace::new(meta, packets)
     }
 

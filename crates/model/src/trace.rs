@@ -26,7 +26,10 @@ impl TimeWindow {
 
     /// Window covering everything.
     pub fn all() -> Self {
-        TimeWindow { start_us: 0, end_us: u64::MAX }
+        TimeWindow {
+            start_us: 0,
+            end_us: u64::MAX,
+        }
     }
 
     /// Whether a timestamp falls inside the window.
@@ -55,7 +58,12 @@ impl TimeWindow {
 
 impl fmt::Display for TimeWindow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:.3}s, {:.3}s)", self.start_us as f64 / 1e6, self.end_us as f64 / 1e6)
+        write!(
+            f,
+            "[{:.3}s, {:.3}s)",
+            self.start_us as f64 / 1e6,
+            self.end_us as f64 / 1e6
+        )
     }
 }
 
@@ -88,7 +96,11 @@ impl TraceDate {
     /// algorithm). Used to derive deterministic per-day seeds and
     /// epoch-based packet timestamps.
     pub fn days_since_epoch(&self) -> i64 {
-        let y = if self.month <= 2 { self.year as i64 - 1 } else { self.year as i64 };
+        let y = if self.month <= 2 {
+            self.year as i64 - 1
+        } else {
+            self.year as i64
+        };
         let era = if y >= 0 { y } else { y - 399 } / 400;
         let yoe = y - era * 400;
         let mp = (self.month as i64 + 9) % 12;
@@ -161,7 +173,12 @@ pub struct TraceMeta {
 impl TraceMeta {
     /// Metadata for a standard 15-minute samplepoint-B trace.
     pub fn standard(date: TraceDate) -> Self {
-        TraceMeta { date, duration_s: 900, era: LinkEra::for_date(date), samplepoint: "B".into() }
+        TraceMeta {
+            date,
+            duration_s: 900,
+            era: LinkEra::for_date(date),
+            samplepoint: "B".into(),
+        }
     }
 
     /// The capture window in epoch microseconds (traces start at
@@ -283,11 +300,26 @@ mod tests {
 
     #[test]
     fn link_eras_follow_upgrade_dates() {
-        assert_eq!(LinkEra::for_date(TraceDate::new(2004, 5, 1)), LinkEra::Car18Mbps);
-        assert_eq!(LinkEra::for_date(TraceDate::new(2006, 6, 30)), LinkEra::Car18Mbps);
-        assert_eq!(LinkEra::for_date(TraceDate::new(2006, 7, 1)), LinkEra::Full100Mbps);
-        assert_eq!(LinkEra::for_date(TraceDate::new(2007, 5, 31)), LinkEra::Full100Mbps);
-        assert_eq!(LinkEra::for_date(TraceDate::new(2007, 6, 1)), LinkEra::Full150Mbps);
+        assert_eq!(
+            LinkEra::for_date(TraceDate::new(2004, 5, 1)),
+            LinkEra::Car18Mbps
+        );
+        assert_eq!(
+            LinkEra::for_date(TraceDate::new(2006, 6, 30)),
+            LinkEra::Car18Mbps
+        );
+        assert_eq!(
+            LinkEra::for_date(TraceDate::new(2006, 7, 1)),
+            LinkEra::Full100Mbps
+        );
+        assert_eq!(
+            LinkEra::for_date(TraceDate::new(2007, 5, 31)),
+            LinkEra::Full100Mbps
+        );
+        assert_eq!(
+            LinkEra::for_date(TraceDate::new(2007, 6, 1)),
+            LinkEra::Full150Mbps
+        );
         assert_eq!(LinkEra::Full150Mbps.capacity_mbps(), 150.0);
     }
 
@@ -305,8 +337,9 @@ mod tests {
     #[test]
     fn packet_range_selects_window() {
         let meta = TraceMeta::standard(TraceDate::new(2005, 3, 1));
-        let packets: Vec<_> =
-            (0..10).map(|i| Packet::udp(i * 10, ip(1), 1, ip(2), 2, 100)).collect();
+        let packets: Vec<_> = (0..10)
+            .map(|i| Packet::udp(i * 10, ip(1), 1, ip(2), 2, 100))
+            .collect();
         let t = Trace::new(meta, packets);
         assert_eq!(t.packet_range(&TimeWindow::new(20, 50)), 2..5);
         assert_eq!(t.packet_range(&TimeWindow::new(0, 1)), 0..1);

@@ -5,6 +5,7 @@ use mawilab_detectors::{Alarm, DetectorKind, TraceView, Tuning};
 use mawilab_graph::{louvain, Graph, Partition};
 use mawilab_model::Granularity;
 use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 /// Edge-weight measure between two alarms' traffic sets (paper
 /// §2.1.2). Simpson outperformed the others in the paper's
@@ -90,15 +91,77 @@ impl SimilarityEstimator {
         alarms: Vec<Alarm>,
         traffic: Vec<Vec<u32>>,
     ) -> AlarmCommunities {
-        assert_eq!(alarms.len(), traffic.len(), "one traffic set per alarm required");
-        let graph = self.build_graph(&traffic);
-        let partition = louvain(&graph, self.resolution);
-        AlarmCommunities { alarms, traffic, graph, partition, granularity: self.granularity }
+        self.estimate_from_traffic_timed(alarms, traffic).0
     }
 
-    /// Builds the similarity graph from per-alarm traffic sets using
-    /// an inverted index, so only co-occurring pairs are scored.
+    /// [`estimate_from_traffic`](Self::estimate_from_traffic) with a
+    /// wall-clock breakdown of the two mining stages — the pipelines
+    /// report graph and Louvain cost separately (§6 names this stage
+    /// as the runtime bottleneck).
+    pub fn estimate_from_traffic_timed(
+        &self,
+        alarms: Vec<Alarm>,
+        traffic: Vec<Vec<u32>>,
+    ) -> (AlarmCommunities, EstimateTimings) {
+        assert_eq!(
+            alarms.len(),
+            traffic.len(),
+            "one traffic set per alarm required"
+        );
+        let t0 = Instant::now();
+        let graph = self.build_graph(&traffic);
+        let graph_t = t0.elapsed();
+        let t1 = Instant::now();
+        let partition = louvain(&graph, self.resolution);
+        let louvain_t = t1.elapsed();
+        (
+            AlarmCommunities::new(alarms, traffic, graph, partition, self.granularity),
+            EstimateTimings {
+                graph: graph_t,
+                louvain: louvain_t,
+            },
+        )
+    }
+
+    /// Builds the similarity graph from per-alarm traffic sets with
+    /// the sharded parallel engine: candidate pairs are discovered
+    /// per time bin of the traffic-id space (see [`crate::shard`]),
+    /// then scored in parallel chunks, then folded into the graph in
+    /// deterministic `(a, b)` order. Output is byte-identical to
+    /// [`build_graph_sequential`](Self::build_graph_sequential) at
+    /// any `MAWILAB_THREADS` setting.
     pub fn build_graph(&self, traffic: &[Vec<u32>]) -> Graph {
+        let mut g = Graph::new(traffic.len());
+        let pairs = crate::shard::candidate_pairs(traffic);
+        // Score pairs in parallel: each chunk produces its surviving
+        // weighted edges; chunks are concatenated in order, so the
+        // insertion order equals the sequential reference's.
+        let workers = mawilab_exec::thread_count();
+        let chunk = pairs.len().div_ceil(workers.max(1) * 4).max(1);
+        let chunks: Vec<&[(u32, u32)]> = pairs.chunks(chunk).collect();
+        let scored: Vec<Vec<(u32, u32, f64)>> = mawilab_exec::par_map(&chunks, |part| {
+            part.iter()
+                .filter_map(|&(a, b)| {
+                    let (sa, sb) = (&traffic[a as usize], &traffic[b as usize]);
+                    let inter = intersection_size(sa, sb);
+                    let w = self.measure.value(inter, sa.len(), sb.len());
+                    (w > self.min_similarity && w > 0.0).then_some((a, b, w))
+                })
+                .collect()
+        });
+        for (a, b, w) in scored.into_iter().flatten() {
+            g.add_edge(a as usize, b as usize, w);
+        }
+        g
+    }
+
+    /// The retained single-threaded reference implementation: one
+    /// global inverted index, `HashSet` pair dedup, sequential
+    /// scoring. Kept as the equivalence oracle for the sharded engine
+    /// (`tests/shard_equivalence.rs` property-tests
+    /// [`build_graph`](Self::build_graph) against it) and as the
+    /// before/after baseline in the hot-path benches.
+    pub fn build_graph_sequential(&self, traffic: &[Vec<u32>]) -> Graph {
         let mut g = Graph::new(traffic.len());
         // item → alarms containing it.
         let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
@@ -130,8 +193,23 @@ impl SimilarityEstimator {
     }
 }
 
+/// Wall-clock breakdown of
+/// [`SimilarityEstimator::estimate_from_traffic_timed`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EstimateTimings {
+    /// Sharded similarity-graph construction.
+    pub graph: Duration,
+    /// Louvain community mining.
+    pub louvain: Duration,
+}
+
 /// Output of the similarity estimator: alarms, their traffic sets, and
 /// the community partition.
+///
+/// The public fields are for *read* access: accessors are backed by a
+/// member-list cache computed once at construction, so mutating
+/// `partition` / `alarms` / `traffic` in place desynchronizes them.
+/// To re-partition, build a fresh value via [`AlarmCommunities::new`].
 #[derive(Debug, Clone)]
 pub struct AlarmCommunities {
     /// The analyzed alarms (node ids = indices).
@@ -144,22 +222,52 @@ pub struct AlarmCommunities {
     pub partition: Partition,
     /// Granularity the traffic sets are expressed in.
     pub granularity: Granularity,
+    /// Per-community member lists, computed once at construction —
+    /// `detectors_in` / `config_hit` / `community_window` and the vote
+    /// table all iterate members repeatedly, and the former O(n)
+    /// scan per call dominated labeling on alarm-heavy days.
+    members: Vec<Vec<usize>>,
 }
 
 impl AlarmCommunities {
+    /// Bundles estimator output, precomputing the per-community
+    /// member lists every downstream accessor shares.
+    pub fn new(
+        alarms: Vec<Alarm>,
+        traffic: Vec<Vec<u32>>,
+        graph: Graph,
+        partition: Partition,
+        granularity: Granularity,
+    ) -> Self {
+        assert_eq!(
+            alarms.len(),
+            traffic.len(),
+            "one traffic set per alarm required"
+        );
+        assert_eq!(
+            alarms.len(),
+            partition.community.len(),
+            "partition over different alarms"
+        );
+        let members = partition.members();
+        AlarmCommunities {
+            alarms,
+            traffic,
+            graph,
+            partition,
+            granularity,
+            members,
+        }
+    }
+
     /// Number of communities.
     pub fn community_count(&self) -> usize {
         self.partition.community_count()
     }
 
-    /// Alarm indices of community `c`.
-    pub fn members(&self, c: usize) -> Vec<usize> {
-        self.partition
-            .community
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &cc)| (cc == c).then_some(i))
-            .collect()
+    /// Alarm indices of community `c` (ascending).
+    pub fn members(&self, c: usize) -> &[usize] {
+        &self.members[c]
     }
 
     /// Sizes of all communities, indexed by community id.
@@ -176,7 +284,7 @@ impl AlarmCommunities {
     /// Union of the traffic ids of a community's alarms.
     pub fn community_traffic(&self, c: usize) -> Vec<u32> {
         let mut out: Vec<u32> = Vec::new();
-        for m in self.members(c) {
+        for &m in self.members(c) {
             out.extend_from_slice(&self.traffic[m]);
         }
         out.sort_unstable();
@@ -186,8 +294,11 @@ impl AlarmCommunities {
 
     /// Distinct detector families with an alarm in community `c`.
     pub fn detectors_in(&self, c: usize) -> Vec<DetectorKind> {
-        let mut kinds: Vec<DetectorKind> =
-            self.members(c).iter().map(|&m| self.alarms[m].detector).collect();
+        let mut kinds: Vec<DetectorKind> = self
+            .members(c)
+            .iter()
+            .map(|&m| self.alarms[m].detector)
+            .collect();
         kinds.sort();
         kinds.dedup();
         kinds
@@ -202,8 +313,7 @@ impl AlarmCommunities {
 
     /// Earliest-start / latest-end window over a community's alarms.
     pub fn community_window(&self, c: usize) -> Option<mawilab_model::TimeWindow> {
-        let members = self.members(c);
-        let mut it = members.iter().map(|&m| self.alarms[m].window);
+        let mut it = self.members(c).iter().map(|&m| self.alarms[m].window);
         let first = it.next()?;
         Some(it.fold(first, |acc, w| acc.union(&w)))
     }
@@ -231,13 +341,7 @@ mod tests {
         let est = SimilarityEstimator::default();
         let graph = est.build_graph(&sets);
         let partition = louvain(&graph, 1.0);
-        AlarmCommunities {
-            alarms,
-            traffic: sets,
-            graph,
-            partition,
-            granularity: Granularity::Uniflow,
-        }
+        AlarmCommunities::new(alarms, sets, graph, partition, Granularity::Uniflow)
     }
 
     #[test]
@@ -256,9 +360,11 @@ mod tests {
     #[test]
     fn simpson_bounds_and_symmetry() {
         for (i, a, b) in [(1usize, 3usize, 7usize), (3, 3, 9), (2, 5, 5), (4, 4, 4)] {
-            for m in
-                [SimilarityMeasure::Simpson, SimilarityMeasure::Jaccard, SimilarityMeasure::Constant]
-            {
+            for m in [
+                SimilarityMeasure::Simpson,
+                SimilarityMeasure::Jaccard,
+                SimilarityMeasure::Constant,
+            ] {
                 let v1 = m.value(i, a, b);
                 let v2 = m.value(i, b, a);
                 assert_eq!(v1, v2, "asymmetric {m}");
@@ -294,7 +400,10 @@ mod tests {
         ];
         let c = estimate_sets(sets, alarms);
         assert_eq!(c.community_count(), 1);
-        assert_eq!(c.detectors_in(0), vec![DetectorKind::Pca, DetectorKind::Hough]);
+        assert_eq!(
+            c.detectors_in(0),
+            vec![DetectorKind::Pca, DetectorKind::Hough]
+        );
     }
 
     #[test]
@@ -340,7 +449,10 @@ mod tests {
     fn min_similarity_prunes_weak_edges() {
         let sets = vec![(0..100).collect::<Vec<u32>>(), (99..200).collect()];
         // Overlap of exactly one item: Simpson = 1/100.
-        let mut est = SimilarityEstimator { min_similarity: 0.05, ..Default::default() };
+        let mut est = SimilarityEstimator {
+            min_similarity: 0.05,
+            ..Default::default()
+        };
         let g = est.build_graph(&sets);
         assert_eq!(g.edge_count(), 0);
         est.min_similarity = 0.0;
@@ -367,14 +479,43 @@ mod tests {
 
     #[test]
     fn graph_build_deterministic() {
-        let sets: Vec<Vec<u32>> =
-            (0..20).map(|i| ((i * 3)..(i * 3 + 10)).collect()).collect();
+        let sets: Vec<Vec<u32>> = (0..20).map(|i| ((i * 3)..(i * 3 + 10)).collect()).collect();
         let est = SimilarityEstimator::default();
         let g1 = est.build_graph(&sets);
         let g2 = est.build_graph(&sets);
         assert_eq!(g1.edge_count(), g2.edge_count());
         for v in 0..g1.node_count() {
             assert_eq!(g1.neighbors(v), g2.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn sharded_build_matches_sequential_reference() {
+        let sets: Vec<Vec<u32>> = (0..60)
+            .map(|i| {
+                let base = (i % 7) * 50;
+                (base..base + 30 + i % 11).collect()
+            })
+            .collect();
+        for measure in [
+            SimilarityMeasure::Simpson,
+            SimilarityMeasure::Jaccard,
+            SimilarityMeasure::Constant,
+        ] {
+            let est = SimilarityEstimator {
+                measure,
+                ..Default::default()
+            };
+            let sharded = est.build_graph(&sets);
+            let reference = est.build_graph_sequential(&sets);
+            assert_eq!(sharded.edge_count(), reference.edge_count(), "{measure}");
+            for v in 0..reference.node_count() {
+                assert_eq!(
+                    sharded.neighbors(v),
+                    reference.neighbors(v),
+                    "{measure} node {v}"
+                );
+            }
         }
     }
 }

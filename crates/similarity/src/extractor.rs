@@ -17,7 +17,10 @@ pub fn extract_traffic(
     alarms: &[Alarm],
     granularity: Granularity,
 ) -> Vec<Vec<u32>> {
-    alarms.iter().map(|a| extract_one(view, a, granularity)).collect()
+    alarms
+        .iter()
+        .map(|a| extract_one(view, a, granularity))
+        .collect()
 }
 
 fn extract_one(view: &TraceView<'_>, alarm: &Alarm, granularity: Granularity) -> Vec<u32> {
@@ -28,7 +31,9 @@ fn extract_one(view: &TraceView<'_>, alarm: &Alarm, granularity: Granularity) ->
     // per-packet test is O(1) instead of O(|keys|).
     let flow_ids: Option<HashSet<u32>> = match &alarm.scope {
         AlarmScope::FlowSet(keys) => Some(
-            keys.iter().filter_map(|k| view.flows.find_uniflow(k)).collect(),
+            keys.iter()
+                .filter_map(|k| view.flows.find_uniflow(k))
+                .collect(),
         ),
         _ => None,
     };
@@ -77,8 +82,7 @@ mod tests {
     use super::*;
     use mawilab_detectors::{DetectorKind, Tuning};
     use mawilab_model::{
-        FlowKey, FlowTable, Packet, TcpFlags, TimeWindow, Trace, TraceDate, TraceMeta,
-        TrafficRule,
+        FlowKey, FlowTable, Packet, TcpFlags, TimeWindow, Trace, TraceDate, TraceMeta, TrafficRule,
     };
     use std::net::Ipv4Addr;
 
@@ -103,7 +107,13 @@ mod tests {
     }
 
     fn alarm(scope: AlarmScope, window: TimeWindow) -> Alarm {
-        Alarm { detector: DetectorKind::Pca, tuning: Tuning::Optimal, window, scope, score: 1.0 }
+        Alarm {
+            detector: DetectorKind::Pca,
+            tuning: Tuning::Optimal,
+            window,
+            scope,
+            score: 1.0,
+        }
     }
 
     #[test]
@@ -159,8 +169,13 @@ mod tests {
         let t = trace();
         let flows = FlowTable::build(&t.packets);
         let view = TraceView::new(&t, &flows);
-        let ghost =
-            FlowKey { src: ip(9), dst: ip(8), sport: 1, dport: 2, proto: mawilab_model::Protocol::Tcp };
+        let ghost = FlowKey {
+            src: ip(9),
+            dst: ip(8),
+            sport: 1,
+            dport: 2,
+            proto: mawilab_model::Protocol::Tcp,
+        };
         let a = alarm(AlarmScope::FlowSet(vec![ghost]), TimeWindow::all());
         let sets = extract_traffic(&view, &[a], Granularity::Uniflow);
         assert!(sets[0].is_empty());
@@ -171,7 +186,10 @@ mod tests {
         let t = trace();
         let flows = FlowTable::build(&t.packets);
         let view = TraceView::new(&t, &flows);
-        let rule = TrafficRule { dport: Some(80), ..Default::default() };
+        let rule = TrafficRule {
+            dport: Some(80),
+            ..Default::default()
+        };
         let a = alarm(AlarmScope::Rule(rule), TimeWindow::all());
         let sets = extract_traffic(&view, &[a], Granularity::Uniflow);
         // fwd conversation flow (ip1→ip2:80) and the second client
@@ -195,10 +213,17 @@ mod tests {
         let flows = FlowTable::build(&t.packets);
         let view = TraceView::new(&t, &flows);
         let a = alarm(AlarmScope::SrcHost(ip(1)), TimeWindow::all());
-        for g in [Granularity::Packet, Granularity::Uniflow, Granularity::Biflow] {
-            let sets = extract_traffic(&view, &[a.clone()], g);
+        for g in [
+            Granularity::Packet,
+            Granularity::Uniflow,
+            Granularity::Biflow,
+        ] {
+            let sets = extract_traffic(&view, std::slice::from_ref(&a), g);
             let s = &sets[0];
-            assert!(s.windows(2).all(|w| w[0] < w[1]), "not sorted/unique at {g}");
+            assert!(
+                s.windows(2).all(|w| w[0] < w[1]),
+                "not sorted/unique at {g}"
+            );
         }
     }
 

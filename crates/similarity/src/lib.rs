@@ -21,8 +21,9 @@
 
 pub mod estimator;
 pub mod extractor;
+pub(crate) mod shard;
 pub mod streaming;
 
-pub use estimator::{AlarmCommunities, SimilarityEstimator, SimilarityMeasure};
+pub use estimator::{AlarmCommunities, EstimateTimings, SimilarityEstimator, SimilarityMeasure};
 pub use extractor::extract_traffic;
 pub use streaming::StreamingExtractor;

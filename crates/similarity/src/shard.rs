@@ -1,0 +1,259 @@
+//! Sharded candidate-pair discovery for the similarity graph.
+//!
+//! The graph build's dominant cost is discovering which alarm pairs
+//! share at least one traffic unit. The sequential reference does it
+//! with one global inverted index and a `HashSet<(u32, u32)>`; this
+//! module shards the discovery so independent slices run on separate
+//! threads and the per-slice work is hash-free.
+//!
+//! **Why shard by traffic-id range, not by alarm window.** Traffic-unit
+//! ids are assigned in first-appearance order ([`FlowTable`] /
+//! [`ItemIndex`] both number flows as they first show up, and packet
+//! ids are trace positions), so a contiguous id range *is* a time bin
+//! of the traffic. Sharding the inverted index by id range is exact by
+//! construction: a pair lands in shard `k` iff the two alarms co-occur
+//! on an item of bin `k`, and the deduplicated union over bins is
+//! precisely the global candidate set. Binning by *alarm window*
+//! instead — tempting, since detection windows look like natural
+//! shards — is **not** exact at flow granularity: a long-lived flow
+//! puts the same flow id into two alarms whose windows never overlap,
+//! and window-disjoint shards would silently drop that edge. Id-range
+//! bins keep the parallel build byte-identical to the reference (the
+//! property test in `tests/shard_equivalence.rs` checks exactly this).
+//!
+//! Each bin builds a dense per-bin inverted index (a `Vec` indexed by
+//! `item - bin_start` — ids are dense, so this replaces the global
+//! `HashMap`), emits its co-occurring pairs, and sorts/dedups them
+//! locally; the bins are then merged into one globally sorted,
+//! deduplicated pair list. Sparse id spaces (ids much larger than the
+//! number of occurrences, which dense time-ordered ids never produce
+//! but arbitrary callers can) fall back to a per-bin `HashMap` index
+//! with identical output.
+//!
+//! [`FlowTable`]: mawilab_model::FlowTable
+//! [`ItemIndex`]: mawilab_model::ItemIndex
+
+use std::collections::HashMap;
+
+/// How many id-range bins to cut the item space into: a few bins per
+/// worker so atomic work pulling balances bins of uneven density.
+const BINS_PER_WORKER: usize = 4;
+
+/// Dense-index fallback threshold: when the id space is more than
+/// this many times larger than the number of id occurrences, the
+/// per-bin index uses a `HashMap` instead of a dense `Vec`.
+const DENSE_SLACK: usize = 8;
+
+/// Returns all alarm pairs `(a, b)` with `a < b` that share at least
+/// one traffic item, globally sorted and deduplicated — the exact
+/// candidate set of the sequential reference, discovered bin by bin
+/// in parallel.
+pub(crate) fn candidate_pairs(traffic: &[Vec<u32>]) -> Vec<(u32, u32)> {
+    candidate_pairs_with_bins(traffic, mawilab_exec::thread_count() * BINS_PER_WORKER)
+}
+
+/// [`candidate_pairs`] with an explicit bin count — the output is
+/// bin-count invariant (tests sweep this directly).
+fn candidate_pairs_with_bins(traffic: &[Vec<u32>], requested_bins: usize) -> Vec<(u32, u32)> {
+    let Some(max_id) = traffic.iter().filter_map(|s| s.last().copied()).max() else {
+        return Vec::new();
+    };
+    let id_space = max_id as usize + 1;
+    let occurrences: usize = traffic.iter().map(|s| s.len()).sum();
+    let dense = id_space <= occurrences.saturating_mul(DENSE_SLACK) + 1024;
+
+    let bins = requested_bins.clamp(1, id_space);
+    let width = id_space.div_ceil(bins);
+    // Bounds are u64: `hi` of the last bin is `max_id + 1`, which
+    // overflows u32 when an item id is `u32::MAX`.
+    let ranges: Vec<(u64, u64)> = (0..bins)
+        .map(|b| {
+            let lo = (b * width) as u64;
+            let hi = ((b + 1) * width).min(id_space) as u64;
+            (lo, hi)
+        })
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+
+    let per_bin: Vec<Vec<(u32, u32)>> = mawilab_exec::par_map(&ranges, |&(lo, hi)| {
+        if dense {
+            bin_pairs_dense(traffic, lo, hi)
+        } else {
+            bin_pairs_sparse(traffic, lo, hi)
+        }
+    });
+
+    // A pair co-occurring in several bins appears once per bin: merge
+    // the per-bin sorted runs and dedup globally. The merged order is
+    // the reference's `(a, b)` ascending order.
+    let mut pairs: Vec<(u32, u32)> = per_bin.concat();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Pairs co-occurring on an item in `[lo, hi)`, via a dense per-bin
+/// inverted index in counting-sort layout (flat entry array — no
+/// per-item allocation). Sorted and deduplicated.
+fn bin_pairs_dense(traffic: &[Vec<u32>], lo: u64, hi: u64) -> Vec<(u32, u32)> {
+    let width = (hi - lo) as usize;
+    let slices: Vec<&[u32]> = traffic.iter().map(|s| slice_in_range(s, lo, hi)).collect();
+    // Counting sort: occurrences per item, prefix offsets, then fill.
+    let mut offsets = vec![0u32; width + 1];
+    for s in &slices {
+        for &item in *s {
+            offsets[(item as u64 - lo) as usize + 1] += 1;
+        }
+    }
+    for k in 0..width {
+        offsets[k + 1] += offsets[k];
+    }
+    let mut entries = vec![0u32; offsets[width] as usize];
+    let mut cursor = offsets.clone();
+    for (ai, s) in slices.iter().enumerate() {
+        for &item in *s {
+            let k = (item as u64 - lo) as usize;
+            entries[cursor[k] as usize] = ai as u32;
+            cursor[k] += 1;
+        }
+    }
+    // Alarms are scanned in index order, so each item's entry run is
+    // ascending and emitted pairs satisfy `a < b`.
+    pairs_of_index((0..width).map(|k| &entries[offsets[k] as usize..offsets[k + 1] as usize]))
+}
+
+/// Same as [`bin_pairs_dense`] for id spaces too sparse to index
+/// densely.
+fn bin_pairs_sparse(traffic: &[Vec<u32>], lo: u64, hi: u64) -> Vec<(u32, u32)> {
+    let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (ai, set) in traffic.iter().enumerate() {
+        for &item in slice_in_range(set, lo, hi) {
+            index.entry(item).or_default().push(ai as u32);
+        }
+    }
+    pairs_of_index(index.values().map(|v| v.as_slice()))
+}
+
+/// The sub-slice of a sorted id set falling in `[lo, hi)`.
+fn slice_in_range(set: &[u32], lo: u64, hi: u64) -> &[u32] {
+    let start = set.partition_point(|&x| (x as u64) < lo);
+    let end = set.partition_point(|&x| (x as u64) < hi);
+    &set[start..end]
+}
+
+/// Expands per-item alarm lists into sorted, deduplicated pairs.
+/// Lists hold alarm indices in ascending order (alarms are scanned in
+/// index order), so emitted pairs already satisfy `a < b`.
+fn pairs_of_index<'a>(lists: impl Iterator<Item = &'a [u32]>) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut prev: &[u32] = &[];
+    for alarms in lists {
+        // Dense-overlap fast path: consecutive items held by the
+        // exact same alarm set expand to the exact same pairs — one
+        // O(k) comparison avoids re-emitting (and later re-sorting)
+        // the k²/2 duplicates. This is the shape of worst-case
+        // workloads where every alarm shares a common item block.
+        if alarms.len() > 1 && alarms == prev {
+            continue;
+        }
+        prev = alarms;
+        for i in 0..alarms.len() {
+            for j in (i + 1)..alarms.len() {
+                pairs.push((alarms[i], alarms[j]));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The candidate set of the sequential reference, straight from
+    /// its definition.
+    fn reference_pairs(traffic: &[Vec<u32>]) -> Vec<(u32, u32)> {
+        let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (ai, set) in traffic.iter().enumerate() {
+            for &item in set {
+                index.entry(item).or_default().push(ai as u32);
+            }
+        }
+        let mut pairs: std::collections::HashSet<(u32, u32)> = Default::default();
+        for alarms in index.values() {
+            for i in 0..alarms.len() {
+                for j in (i + 1)..alarms.len() {
+                    pairs.insert((alarms[i], alarms[j]));
+                }
+            }
+        }
+        let mut v: Vec<(u32, u32)> = pairs.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_reference_on_overlapping_sets() {
+        let traffic = vec![
+            vec![1, 2, 3, 900],
+            vec![2, 3, 4],
+            vec![100, 101],
+            vec![3, 100, 900],
+            vec![],
+        ];
+        assert_eq!(candidate_pairs(&traffic), reference_pairs(&traffic));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(candidate_pairs(&[]).is_empty());
+        assert!(candidate_pairs(&[vec![], vec![]]).is_empty());
+        assert!(candidate_pairs(&[vec![5, 9]]).is_empty());
+    }
+
+    #[test]
+    fn sparse_id_space_takes_hashmap_path() {
+        // Two items near u32::MAX: dense indexing would allocate 4G
+        // slots; the sparse path must produce the same pairs.
+        let traffic = vec![vec![7, u32::MAX - 1], vec![u32::MAX - 1], vec![7]];
+        assert_eq!(candidate_pairs(&traffic), vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn max_id_item_is_not_dropped() {
+        // id_space = 2^32: the last bin's exclusive bound overflows
+        // u32, so bin bounds must be u64 (regression test).
+        let traffic = vec![vec![u32::MAX], vec![7, u32::MAX]];
+        assert_eq!(candidate_pairs(&traffic), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn pair_spanning_many_bins_appears_once() {
+        // Alarms sharing items across the whole id range co-occur in
+        // every bin; the merged list must still hold the pair once.
+        let a: Vec<u32> = (0..1000).collect();
+        let traffic = vec![a.clone(), a];
+        assert_eq!(candidate_pairs(&traffic), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn identical_across_bin_counts() {
+        // The thread count only picks the bin count; sweeping bins
+        // directly covers every sharding the env override can reach
+        // without mutating process-wide state (the env path itself is
+        // covered by tests/thread_determinism.rs).
+        let traffic: Vec<Vec<u32>> = (0..40)
+            .map(|i| ((i * 13) % 61..(i * 13) % 61 + 20).collect())
+            .collect();
+        let expect = reference_pairs(&traffic);
+        for bins in [1, 3, 16, 1024] {
+            assert_eq!(
+                candidate_pairs_with_bins(&traffic, bins),
+                expect,
+                "{bins} bins"
+            );
+        }
+    }
+}

@@ -127,8 +127,8 @@ mod tests {
     use crate::extractor::extract_traffic;
     use mawilab_detectors::{DetectorKind, TraceView, Tuning};
     use mawilab_model::{
-        FlowTable, Granularity, ItemIndex, PacketSource, TcpFlags, Trace, TraceChunker,
-        TraceDate, TraceMeta, TrafficRule,
+        FlowTable, Granularity, ItemIndex, PacketSource, TcpFlags, Trace, TraceChunker, TraceDate,
+        TraceMeta, TrafficRule,
     };
     use std::net::Ipv4Addr;
 
@@ -168,8 +168,14 @@ mod tests {
         let mut v = vec![
             mk(AlarmScope::SrcHost(ip(1))),
             mk(AlarmScope::DstHost(ip(101))),
-            mk(AlarmScope::Rule(TrafficRule { dport: Some(445), ..Default::default() })),
-            mk(AlarmScope::FlowSet(vec![FlowKey::of(&t.packets[0]), FlowKey::of(&t.packets[3])])),
+            mk(AlarmScope::Rule(TrafficRule {
+                dport: Some(445),
+                ..Default::default()
+            })),
+            mk(AlarmScope::FlowSet(vec![
+                FlowKey::of(&t.packets[0]),
+                FlowKey::of(&t.packets[3]),
+            ])),
         ];
         // A window-restricted alarm exercising mid-stream boundaries.
         v.push(Alarm {
@@ -185,7 +191,11 @@ mod tests {
         let flows = FlowTable::build(&t.packets);
         let view = TraceView::new(&t, &flows);
         let alarms = alarms(&t);
-        for g in [Granularity::Packet, Granularity::Uniflow, Granularity::Biflow] {
+        for g in [
+            Granularity::Packet,
+            Granularity::Uniflow,
+            Granularity::Biflow,
+        ] {
             let batch = extract_traffic(&view, &alarms, g);
             for bin_us in [1_000_000u64, 5_000_000, 300_000_000] {
                 let mut index = ItemIndex::new(g);
@@ -245,7 +255,11 @@ mod tests {
         let mut ex = StreamingExtractor::new(&alarms);
         let chunk_window = TimeWindow::new(base + 5_000_000, base + 10_000_000);
         let matched = ex.observe(chunk_window, &[straggler], &[7]);
-        assert_eq!(matched, &[true], "straggler not tested against the earlier alarm");
+        assert_eq!(
+            matched,
+            &[true],
+            "straggler not tested against the earlier alarm"
+        );
         assert_eq!(ex.into_traffic(), vec![vec![7]]);
     }
 

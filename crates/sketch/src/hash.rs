@@ -31,7 +31,11 @@ impl UniversalHash {
         };
         let a = next() | 1; // multiplier must be odd
         let b = next();
-        UniversalHash { a, b, width: width as u64 }
+        UniversalHash {
+            a,
+            b,
+            width: width as u64,
+        }
     }
 
     /// Output range.

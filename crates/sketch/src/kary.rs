@@ -16,7 +16,9 @@ impl SketchFamily {
     pub fn new(rows: usize, width: usize, seed: u64) -> Self {
         assert!(rows >= 1, "sketch needs at least one row");
         SketchFamily {
-            rows: (0..rows as u64).map(|i| UniversalHash::new(seed, i, width)).collect(),
+            rows: (0..rows as u64)
+                .map(|i| UniversalHash::new(seed, i, width))
+                .collect(),
         }
     }
 
@@ -59,9 +61,7 @@ impl SketchFamily {
         }
         candidates
             .into_iter()
-            .filter(|&key| {
-                self.rows.iter().zip(flagged).all(|(h, f)| f[h.hash(key)])
-            })
+            .filter(|&key| self.rows.iter().zip(flagged).all(|(h, f)| f[h.hash(key)]))
             .collect()
     }
 }
@@ -101,7 +101,11 @@ mod tests {
         assert!(found.contains(&attacker));
         // Collisions must be rare: with f=1 flagged bin per row the
         // expected survivors are 10_000/64⁴ ≈ 0.0006.
-        assert!(found.len() <= 2, "too many false identifications: {}", found.len());
+        assert!(
+            found.len() <= 2,
+            "too many false identifications: {}",
+            found.len()
+        );
     }
 
     #[test]

@@ -62,11 +62,7 @@ pub fn kl_contributions(p: &[u64], q: &[u64], pseudo: f64) -> Vec<f64> {
 /// The shared per-cell term computation behind both count-based
 /// functions — sum-without-allocating for the series hot path,
 /// collected for attribution.
-fn smoothed_terms<'a>(
-    p: &'a [u64],
-    q: &'a [u64],
-    pseudo: f64,
-) -> impl Iterator<Item = f64> + 'a {
+fn smoothed_terms<'a>(p: &'a [u64], q: &'a [u64], pseudo: f64) -> impl Iterator<Item = f64> + 'a {
     assert_eq!(p.len(), q.len(), "distribution lengths differ");
     assert!(!p.is_empty(), "empty distributions");
     assert!(pseudo > 0.0, "pseudo-count must be positive");

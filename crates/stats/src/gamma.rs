@@ -51,11 +51,13 @@ impl Gamma {
         }
         let n = samples.len() as f64;
         let m = samples.iter().sum::<f64>() / n;
-        if !(m > 0.0) || !m.is_finite() {
+        // NaN means fall through to None, so `<=` plus the finite
+        // check covers the negated-comparison forms exactly.
+        if m <= 0.0 || !m.is_finite() {
             return None;
         }
         let v = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1.0);
-        if !(v > 0.0) || !v.is_finite() {
+        if v <= 0.0 || !v.is_finite() {
             return None;
         }
         Some(Gamma::new(m * m / v, v / m))
@@ -66,7 +68,8 @@ impl Gamma {
         if x <= 0.0 {
             return f64::NEG_INFINITY;
         }
-        (self.alpha - 1.0) * x.ln() - x / self.beta
+        (self.alpha - 1.0) * x.ln()
+            - x / self.beta
             - ln_gamma(self.alpha)
             - self.alpha * self.beta.ln()
     }
@@ -110,14 +113,14 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma needs positive argument");
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -143,13 +146,10 @@ mod tests {
     #[test]
     fn ln_gamma_matches_factorials() {
         // Γ(n) = (n-1)!
-        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        let facts: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
         for (i, &f) in facts.iter().enumerate() {
             let x = (i + 1) as f64;
-            assert!(
-                (ln_gamma(x) - (f as f64).ln()).abs() < 1e-10,
-                "ln_gamma({x})"
-            );
+            assert!((ln_gamma(x) - f.ln()).abs() < 1e-10, "ln_gamma({x})");
         }
     }
 

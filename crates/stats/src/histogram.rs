@@ -18,7 +18,10 @@ impl Histogram {
     /// Creates an empty histogram with `bins` cells (≥1).
     pub fn new(bins: usize) -> Self {
         assert!(bins >= 1, "histogram needs at least one bin");
-        Histogram { counts: vec![0; bins], total: 0 }
+        Histogram {
+            counts: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Number of cells.
@@ -66,20 +69,32 @@ impl Histogram {
             let p = 1.0 / self.counts.len() as f64;
             return vec![p; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// Shannon entropy in nats.
     pub fn entropy(&self) -> f64 {
-        self.probabilities().iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
+        self.probabilities()
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum()
     }
 
     /// Cells sorted by count, descending: `(bin index, count)`.
     /// The KL detector uses the head of this list to find the feature
     /// values responsible for a divergence spike.
     pub fn top_cells(&self, k: usize) -> Vec<(usize, u64)> {
-        let mut cells: Vec<(usize, u64)> =
-            self.counts.iter().copied().enumerate().filter(|&(_, c)| c > 0).collect();
+        let mut cells: Vec<(usize, u64)> = self
+            .counts
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .collect();
         cells.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         cells.truncate(k);
         cells

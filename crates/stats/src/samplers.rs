@@ -65,7 +65,10 @@ impl Pareto {
     /// Creates a Pareto sampler.
     pub fn new(xm: f64, alpha: f64) -> Self {
         assert!(xm > 0.0 && xm.is_finite(), "Pareto scale must be positive");
-        assert!(alpha > 0.0 && alpha.is_finite(), "Pareto shape must be positive");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "Pareto shape must be positive"
+        );
         Pareto { xm, alpha }
     }
 
@@ -95,7 +98,10 @@ pub struct LogNormal {
 impl LogNormal {
     /// Creates a log-normal sampler (`sigma ≥ 0`).
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative"
+        );
         LogNormal { mu, sigma }
     }
 
@@ -147,7 +153,10 @@ pub struct Poisson {
 impl Poisson {
     /// Creates a Poisson sampler with mean `λ ≥ 0`.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be non-negative");
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "lambda must be non-negative"
+        );
         Poisson { lambda }
     }
 
@@ -232,7 +241,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed());
         let n = 200_000;
         let m: f64 = (0..n).map(|_| p.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((m - p.mean()).abs() < 0.05, "mean = {m}, theory = {}", p.mean());
+        assert!(
+            (m - p.mean()).abs() < 0.05,
+            "mean = {m}, theory = {}",
+            p.mean()
+        );
     }
 
     #[test]
@@ -275,8 +288,7 @@ mod tests {
         let n = 50_000;
         let samples: Vec<u64> = (0..n).map(|_| p.sample(&mut rng)).collect();
         let m: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let v: f64 =
-            samples.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let v: f64 = samples.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / (n - 1) as f64;
         assert!((m - 200.0).abs() < 1.0, "mean = {m}");
         assert!((v - 200.0).abs() < 10.0, "var = {v}");
     }

@@ -13,8 +13,8 @@
 
 use crate::background::{emit_tcp_flow, HostModel};
 use crate::truth::AnomalyRecord;
-use mawilab_stats::LogNormal;
 use mawilab_model::{Packet, Protocol, TcpFlags, TimeWindow, TrafficRule};
+use mawilab_stats::LogNormal;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -55,26 +55,58 @@ impl AnomalyKind {
 pub enum AnomalySpec {
     /// SYN flood: `rate_pps` SYNs for `duration_s` seconds against
     /// internal server index `victim`, destination port `dport`.
-    SynFlood { victim: usize, dport: u16, rate_pps: f64, duration_s: f64, spoofed: bool },
+    SynFlood {
+        victim: usize,
+        dport: u16,
+        rate_pps: f64,
+        duration_s: f64,
+        spoofed: bool,
+    },
     /// Vertical scan of `ports` sequential ports on internal host
     /// `victim` from external host `scanner`.
-    PortScan { scanner: usize, victim: usize, ports: u16, rate_pps: f64 },
+    PortScan {
+        scanner: usize,
+        victim: usize,
+        ports: u16,
+        rate_pps: f64,
+    },
     /// Sasser-style worm from external host `infected`: `scans` SYNs
     /// to 445/tcp of random hosts; ~5% "victims" receive follow-up
     /// 5554/tcp and 9898/tcp connections.
-    SasserWorm { infected: usize, scans: usize, rate_pps: f64 },
+    SasserWorm {
+        infected: usize,
+        scans: usize,
+        rate_pps: f64,
+    },
     /// Blaster-style worm from external host `infected`: `scans` SYNs
     /// to 135/tcp, follow-up 4444/tcp on ~5%.
-    BlasterWorm { infected: usize, scans: usize, rate_pps: f64 },
+    BlasterWorm {
+        infected: usize,
+        scans: usize,
+        rate_pps: f64,
+    },
     /// NetBIOS probing from external host `prober`: `probes` 137/udp
     /// datagrams plus some 139/tcp SYNs across internal hosts.
-    NetbiosProbe { prober: usize, probes: usize, rate_pps: f64 },
+    NetbiosProbe {
+        prober: usize,
+        probes: usize,
+        rate_pps: f64,
+    },
     /// ICMP echo flood from external host `src` to internal host
     /// `dst`.
-    PingFlood { src: usize, dst: usize, rate_pps: f64, duration_s: f64 },
+    PingFlood {
+        src: usize,
+        dst: usize,
+        rate_pps: f64,
+        duration_s: f64,
+    },
     /// `flows` complete HTTP fetches from distinct external clients to
     /// internal server `server` within `duration_s`.
-    FlashCrowd { server: usize, flows: usize, duration_s: f64 },
+    FlashCrowd {
+        server: usize,
+        flows: usize,
+        duration_s: f64,
+    },
     /// One long transfer of `packets` large segments between an
     /// internal and an external host on ephemeral ports.
     ElephantFlow { packets: usize },
@@ -106,11 +138,33 @@ impl AnomalySpec {
                 duration_s: 20.0,
                 spoofed: true,
             },
-            AnomalySpec::PortScan { scanner: 3, victim: 5, ports: 800, rate_pps: 80.0 },
-            AnomalySpec::SasserWorm { infected: 7, scans: 600, rate_pps: 50.0 },
-            AnomalySpec::PingFlood { src: 11, dst: 2, rate_pps: 40.0, duration_s: 15.0 },
-            AnomalySpec::NetbiosProbe { prober: 13, probes: 300, rate_pps: 30.0 },
-            AnomalySpec::FlashCrowd { server: 1, flows: 60, duration_s: 25.0 },
+            AnomalySpec::PortScan {
+                scanner: 3,
+                victim: 5,
+                ports: 800,
+                rate_pps: 80.0,
+            },
+            AnomalySpec::SasserWorm {
+                infected: 7,
+                scans: 600,
+                rate_pps: 50.0,
+            },
+            AnomalySpec::PingFlood {
+                src: 11,
+                dst: 2,
+                rate_pps: 40.0,
+                duration_s: 15.0,
+            },
+            AnomalySpec::NetbiosProbe {
+                prober: 13,
+                probes: 300,
+                rate_pps: 30.0,
+            },
+            AnomalySpec::FlashCrowd {
+                server: 1,
+                flows: 60,
+                duration_s: 25.0,
+            },
             AnomalySpec::ElephantFlow { packets: 1200 },
         ]
     }
@@ -127,27 +181,71 @@ impl AnomalySpec {
     ) -> AnomalyRecord {
         let before = out.len();
         let (span, rule) = match *self {
-            AnomalySpec::SynFlood { victim, dport, rate_pps, duration_s, spoofed } => {
-                build_syn_flood(id, window, hosts, rng, out, victim, dport, rate_pps, duration_s, spoofed)
-            }
-            AnomalySpec::PortScan { scanner, victim, ports, rate_pps } => {
-                build_port_scan(id, window, hosts, rng, out, scanner, victim, ports, rate_pps)
-            }
-            AnomalySpec::SasserWorm { infected, scans, rate_pps } => build_worm(
-                id, window, hosts, rng, out, infected, scans, rate_pps, 445, &[5554, 9898],
+            AnomalySpec::SynFlood {
+                victim,
+                dport,
+                rate_pps,
+                duration_s,
+                spoofed,
+            } => build_syn_flood(
+                id, window, hosts, rng, out, victim, dport, rate_pps, duration_s, spoofed,
             ),
-            AnomalySpec::BlasterWorm { infected, scans, rate_pps } => {
-                build_worm(id, window, hosts, rng, out, infected, scans, rate_pps, 135, &[4444])
-            }
-            AnomalySpec::NetbiosProbe { prober, probes, rate_pps } => {
-                build_netbios(id, window, hosts, rng, out, prober, probes, rate_pps)
-            }
-            AnomalySpec::PingFlood { src, dst, rate_pps, duration_s } => {
-                build_ping_flood(id, window, hosts, rng, out, src, dst, rate_pps, duration_s)
-            }
-            AnomalySpec::FlashCrowd { server, flows, duration_s } => {
-                build_flash_crowd(id, window, hosts, rng, out, server, flows, duration_s)
-            }
+            AnomalySpec::PortScan {
+                scanner,
+                victim,
+                ports,
+                rate_pps,
+            } => build_port_scan(
+                id, window, hosts, rng, out, scanner, victim, ports, rate_pps,
+            ),
+            AnomalySpec::SasserWorm {
+                infected,
+                scans,
+                rate_pps,
+            } => build_worm(
+                id,
+                window,
+                hosts,
+                rng,
+                out,
+                infected,
+                scans,
+                rate_pps,
+                445,
+                &[5554, 9898],
+            ),
+            AnomalySpec::BlasterWorm {
+                infected,
+                scans,
+                rate_pps,
+            } => build_worm(
+                id,
+                window,
+                hosts,
+                rng,
+                out,
+                infected,
+                scans,
+                rate_pps,
+                135,
+                &[4444],
+            ),
+            AnomalySpec::NetbiosProbe {
+                prober,
+                probes,
+                rate_pps,
+            } => build_netbios(id, window, hosts, rng, out, prober, probes, rate_pps),
+            AnomalySpec::PingFlood {
+                src,
+                dst,
+                rate_pps,
+                duration_s,
+            } => build_ping_flood(id, window, hosts, rng, out, src, dst, rate_pps, duration_s),
+            AnomalySpec::FlashCrowd {
+                server,
+                flows,
+                duration_s,
+            } => build_flash_crowd(id, window, hosts, rng, out, server, flows, duration_s),
             AnomalySpec::ElephantFlow { packets } => {
                 build_elephant(id, window, hosts, rng, out, packets)
             }
@@ -165,7 +263,12 @@ impl AnomalySpec {
 /// Picks a start so that `duration_us` fits inside `window`.
 fn place(window: TimeWindow, duration_us: u64, rng: &mut StdRng) -> u64 {
     let slack = window.len_us().saturating_sub(duration_us);
-    window.start_us + if slack == 0 { 0 } else { rng.random_range(0..slack) }
+    window.start_us
+        + if slack == 0 {
+            0
+        } else {
+            rng.random_range(0..slack)
+        }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -190,9 +293,16 @@ fn build_syn_flood(
         if !window.contains(ts) {
             continue;
         }
-        let src = if spoofed { HostModel::spoofed(rng) } else { hosts.external_at(i % 40) };
+        let src = if spoofed {
+            HostModel::spoofed(rng)
+        } else {
+            hosts.external_at(i % 40)
+        };
         let sport: u16 = rng.random_range(1025..=65000);
-        out.push((Packet::tcp(ts, src, sport, victim_ip, dport, TcpFlags::syn(), 48), id));
+        out.push((
+            Packet::tcp(ts, src, sport, victim_ip, dport, TcpFlags::syn(), 48),
+            id,
+        ));
         // Victim backscatter: occasional SYN/ACK or RST.
         if rng.random::<f64>() < 0.15 {
             let ts2 = ts + rng.random_range(100..2_000u64);
@@ -206,7 +316,12 @@ fn build_syn_flood(
     }
     (
         TimeWindow::new(t0, (t0 + dur_us).min(window.end_us)),
-        TrafficRule { dst: Some(victim_ip), dport: Some(dport), proto: Some(Protocol::Tcp), ..Default::default() },
+        TrafficRule {
+            dst: Some(victim_ip),
+            dport: Some(dport),
+            proto: Some(Protocol::Tcp),
+            ..Default::default()
+        },
     )
 }
 
@@ -237,13 +352,21 @@ fn build_port_scan(
         if rng.random::<f64>() < 0.7 {
             let ts2 = ts + rng.random_range(100..1_500u64);
             if window.contains(ts2) {
-                out.push((Packet::tcp(ts2, dst, p, src, sport, TcpFlags::rst(), 40), id));
+                out.push((
+                    Packet::tcp(ts2, dst, p, src, sport, TcpFlags::rst(), 40),
+                    id,
+                ));
             }
         }
     }
     (
         TimeWindow::new(t0, (t0 + dur_us).min(window.end_us)),
-        TrafficRule { src: Some(src), dst: Some(dst), proto: Some(Protocol::Tcp), ..Default::default() },
+        TrafficRule {
+            src: Some(src),
+            dst: Some(dst),
+            proto: Some(Protocol::Tcp),
+            ..Default::default()
+        },
     )
 }
 
@@ -276,7 +399,10 @@ fn build_worm(
             HostModel::spoofed(rng)
         };
         let sport: u16 = rng.random_range(1025..=65000);
-        out.push((Packet::tcp(ts, src, sport, dst, scan_port, TcpFlags::syn(), 48), id));
+        out.push((
+            Packet::tcp(ts, src, sport, dst, scan_port, TcpFlags::syn(), 48),
+            id,
+        ));
         // ~5% successful infections: SYN/ACK then backdoor transfer.
         if rng.random::<f64>() < 0.05 {
             let mut t = ts + rng.random_range(500..3_000u64);
@@ -298,7 +424,14 @@ fn build_worm(
                     } else if j == 1 {
                         (dst, fp, src, fsport, TcpFlags::syn_ack(), 48)
                     } else {
-                        (src, fsport, dst, fp, TcpFlags(TcpFlags::ACK | TcpFlags::PSH), 512)
+                        (
+                            src,
+                            fsport,
+                            dst,
+                            fp,
+                            TcpFlags(TcpFlags::ACK | TcpFlags::PSH),
+                            512,
+                        )
                     };
                     out.push((Packet::tcp(t, s, spt, d, dpt, flags, len), id));
                 }
@@ -307,7 +440,12 @@ fn build_worm(
     }
     (
         TimeWindow::new(t0, (t0 + dur_us).min(window.end_us)),
-        TrafficRule { src: Some(src), dport: Some(scan_port), proto: Some(Protocol::Tcp), ..Default::default() },
+        TrafficRule {
+            src: Some(src),
+            dport: Some(scan_port),
+            proto: Some(Protocol::Tcp),
+            ..Default::default()
+        },
     )
 }
 
@@ -337,12 +475,19 @@ fn build_netbios(
         } else {
             // Session service connection attempt.
             let sport: u16 = rng.random_range(1025..=65000);
-            out.push((Packet::tcp(ts, src, sport, dst, 139, TcpFlags::syn(), 48), id));
+            out.push((
+                Packet::tcp(ts, src, sport, dst, 139, TcpFlags::syn(), 48),
+                id,
+            ));
         }
     }
     (
         TimeWindow::new(t0, (t0 + dur_us).min(window.end_us)),
-        TrafficRule { src: Some(src), dport: Some(137), ..Default::default() },
+        TrafficRule {
+            src: Some(src),
+            dport: Some(137),
+            ..Default::default()
+        },
     )
 }
 
@@ -378,7 +523,12 @@ fn build_ping_flood(
     }
     (
         TimeWindow::new(t0, (t0 + dur_us).min(window.end_us)),
-        TrafficRule { src: Some(s), dst: Some(d), proto: Some(Protocol::Icmp), ..Default::default() },
+        TrafficRule {
+            src: Some(s),
+            dst: Some(d),
+            proto: Some(Protocol::Icmp),
+            ..Default::default()
+        },
     )
 }
 
@@ -403,7 +553,18 @@ fn build_flash_crowd(
         let client = hosts.external_at(200 + f); // distinct clients
         let cport: u16 = rng.random_range(1025..=65000);
         let n_data = rng.random_range(8..30);
-        emit_tcp_flow(start, window.end_us, client, cport, srv, 80, n_data, &data, rng, out);
+        emit_tcp_flow(
+            start,
+            window.end_us,
+            client,
+            cport,
+            srv,
+            80,
+            n_data,
+            &data,
+            rng,
+            out,
+        );
     }
     // Retag: emit_tcp_flow writes background tags.
     for entry in out[before..].iter_mut() {
@@ -411,7 +572,12 @@ fn build_flash_crowd(
     }
     (
         TimeWindow::new(t0, (t0 + dur_us).min(window.end_us)),
-        TrafficRule { dst: Some(srv), dport: Some(80), proto: Some(Protocol::Tcp), ..Default::default() },
+        TrafficRule {
+            dst: Some(srv),
+            dport: Some(80),
+            proto: Some(Protocol::Tcp),
+            ..Default::default()
+        },
     )
 }
 
@@ -445,7 +611,15 @@ fn build_elephant(
             out.push((Packet::tcp(ts, a, aport, b, bport, TcpFlags::ack(), 40), id));
         } else {
             out.push((
-                Packet::tcp(ts, b, bport, a, aport, TcpFlags(TcpFlags::ACK | TcpFlags::PSH), 1500),
+                Packet::tcp(
+                    ts,
+                    b,
+                    bport,
+                    a,
+                    aport,
+                    TcpFlags(TcpFlags::ACK | TcpFlags::PSH),
+                    1500,
+                ),
                 id,
             ));
         }
@@ -492,14 +666,20 @@ mod tests {
             spoofed: true,
         });
         assert!(pkts.len() >= 900, "{} pkts", pkts.len());
-        let syns = pkts.iter().filter(|(p, _)| p.flags.is_syn() && !p.flags.has(TcpFlags::ACK)).count();
+        let syns = pkts
+            .iter()
+            .filter(|(p, _)| p.flags.is_syn() && !p.flags.has(TcpFlags::ACK))
+            .count();
         assert!(syns as f64 / pkts.len() as f64 > 0.8);
         assert_eq!(rec.kind, AnomalyKind::SynFlood);
         assert_eq!(rec.rule.dport, Some(80));
         assert_eq!(rec.packet_count, pkts.len());
         // Spoofed sources are diverse.
-        let srcs: std::collections::HashSet<_> =
-            pkts.iter().filter(|(p, _)| p.flags.is_syn() && !p.flags.has(TcpFlags::ACK)).map(|(p, _)| p.src).collect();
+        let srcs: std::collections::HashSet<_> = pkts
+            .iter()
+            .filter(|(p, _)| p.flags.is_syn() && !p.flags.has(TcpFlags::ACK))
+            .map(|(p, _)| p.src)
+            .collect();
         assert!(srcs.len() > 500);
     }
 
@@ -528,31 +708,48 @@ mod tests {
 
     #[test]
     fn sasser_scans_445_with_backdoor_followups() {
-        let (pkts, rec) = run(AnomalySpec::SasserWorm { infected: 3, scans: 800, rate_pps: 100.0 });
+        let (pkts, rec) = run(AnomalySpec::SasserWorm {
+            infected: 3,
+            scans: 800,
+            rate_pps: 100.0,
+        });
         let scan_445 = pkts.iter().filter(|(p, _)| p.dport == 445).count();
         assert!(scan_445 > 600);
         let backdoor = pkts
             .iter()
-            .filter(|(p, _)| p.dport == 5554 || p.dport == 9898 || p.sport == 5554 || p.sport == 9898)
+            .filter(|(p, _)| {
+                p.dport == 5554 || p.dport == 9898 || p.sport == 5554 || p.sport == 9898
+            })
             .count();
         assert!(backdoor > 0, "no backdoor traffic");
         assert_eq!(rec.rule.dport, Some(445));
         // Many distinct destinations (sweep).
-        let dsts: std::collections::HashSet<_> =
-            pkts.iter().filter(|(p, _)| p.dport == 445).map(|(p, _)| p.dst).collect();
+        let dsts: std::collections::HashSet<_> = pkts
+            .iter()
+            .filter(|(p, _)| p.dport == 445)
+            .map(|(p, _)| p.dst)
+            .collect();
         assert!(dsts.len() > 200);
     }
 
     #[test]
     fn blaster_scans_135() {
-        let (pkts, _) = run(AnomalySpec::BlasterWorm { infected: 2, scans: 400, rate_pps: 80.0 });
+        let (pkts, _) = run(AnomalySpec::BlasterWorm {
+            infected: 2,
+            scans: 400,
+            rate_pps: 80.0,
+        });
         assert!(pkts.iter().filter(|(p, _)| p.dport == 135).count() > 300);
         assert!(pkts.iter().any(|(p, _)| p.dport == 4444 || p.sport == 4444));
     }
 
     #[test]
     fn netbios_mixes_udp137_and_tcp139() {
-        let (pkts, _) = run(AnomalySpec::NetbiosProbe { prober: 4, probes: 400, rate_pps: 80.0 });
+        let (pkts, _) = run(AnomalySpec::NetbiosProbe {
+            prober: 4,
+            probes: 400,
+            rate_pps: 80.0,
+        });
         let udp137 = pkts
             .iter()
             .filter(|(p, _)| p.proto == Protocol::Udp && p.dport == 137)
@@ -580,13 +777,23 @@ mod tests {
 
     #[test]
     fn flash_crowd_has_low_syn_ratio_on_port_80() {
-        let (pkts, rec) = run(AnomalySpec::FlashCrowd { server: 0, flows: 50, duration_s: 30.0 });
+        let (pkts, rec) = run(AnomalySpec::FlashCrowd {
+            server: 0,
+            flows: 50,
+            duration_s: 30.0,
+        });
         assert!(!pkts.is_empty());
         assert!(pkts.iter().all(|(_, tag)| *tag == 9));
-        let to_80 = pkts.iter().filter(|(p, _)| p.dport == 80 || p.sport == 80).count();
+        let to_80 = pkts
+            .iter()
+            .filter(|(p, _)| p.dport == 80 || p.sport == 80)
+            .count();
         assert!(to_80 as f64 / pkts.len() as f64 > 0.9);
         let syn = pkts.iter().filter(|(p, _)| p.flags.is_syn()).count();
-        assert!((syn as f64 / pkts.len() as f64) < 0.3, "flash crowd looks like a SYN attack");
+        assert!(
+            (syn as f64 / pkts.len() as f64) < 0.3,
+            "flash crowd looks like a SYN attack"
+        );
         assert!(!rec.kind.is_attack());
     }
 

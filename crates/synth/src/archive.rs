@@ -41,7 +41,11 @@ pub struct ArchiveConfig {
 
 impl Default for ArchiveConfig {
     fn default() -> Self {
-        ArchiveConfig { base_seed: 0x4D41_5749, scale: 1.0, duration_s: 60 }
+        ArchiveConfig {
+            base_seed: 0x4D41_5749,
+            scale: 1.0,
+            duration_s: 60,
+        }
     }
 }
 
@@ -80,8 +84,8 @@ impl ArchiveSimulator {
         let background_pps = era_base * growth * jitter * self.cfg.scale;
 
         // p2p share: 8% (2001) → ~45% (2009); accelerates post-2006.
-        let p2p_share = (0.08 + 0.03 * (fy - 2001.0) + if fy > 2006.5 { 0.12 } else { 0.0 })
-            .clamp(0.05, 0.5);
+        let p2p_share =
+            (0.08 + 0.03 * (fy - 2001.0) + if fy > 2006.5 { 0.12 } else { 0.0 }).clamp(0.05, 0.5);
 
         let anomalies = self.daily_anomalies(date, &mut rng);
         SynthConfig {
@@ -147,7 +151,9 @@ impl ArchiveSimulator {
         for _ in 0..Poisson::new(0.8).sample(rng).min(3) {
             specs.push(AnomalySpec::SynFlood {
                 victim: host(rng),
-                dport: *[80u16, 80, 443, 53, 22][rng.random_range(0..5)..].first().unwrap(),
+                dport: *[80u16, 80, 443, 53, 22][rng.random_range(0..5)..]
+                    .first()
+                    .unwrap(),
                 rate_pps: (40.0 + rng.random::<f64>() * 80.0) * s,
                 duration_s: dur * (0.15 + rng.random::<f64>() * 0.3),
                 spoofed: rng.random::<f64>() < 0.7,
@@ -197,7 +203,12 @@ impl ArchiveSimulator {
             });
         }
         // Elephant flows: grow with the p2p era.
-        let elephant_rate = 0.4 + if fy > 2006.5 { 1.6 } else { 0.2 * (fy - 2001.0) / 5.0 };
+        let elephant_rate = 0.4
+            + if fy > 2006.5 {
+                1.6
+            } else {
+                0.2 * (fy - 2001.0) / 5.0
+            };
         for _ in 0..Poisson::new(elephant_rate).sample(rng).min(4) {
             specs.push(AnomalySpec::ElephantFlow {
                 packets: ((600.0 + rng.random::<f64>() * 1200.0) * s) as usize,
@@ -210,7 +221,9 @@ impl ArchiveSimulator {
 /// The first `n` days of a month (the paper samples the first week of
 /// every month for the similarity-estimator study).
 pub fn first_days_of_month(year: u16, month: u8, n: u8) -> Vec<TraceDate> {
-    (1..=n.min(28)).map(|d| TraceDate::new(year, month, d)).collect()
+    (1..=n.min(28))
+        .map(|d| TraceDate::new(year, month, d))
+        .collect()
 }
 
 /// `days_per_month` sample days for every month in `[from_year,
@@ -265,10 +278,10 @@ mod tests {
         // Sample many pre-outbreak days: no Blaster/Sasser anywhere.
         for day in sample_days(2001, 2002, 3) {
             let cfg = sim().config_for(day);
-            assert!(cfg.anomalies.iter().all(|a| !matches!(
-                a.kind(),
-                AnomalyKind::BlasterWorm | AnomalyKind::SasserWorm
-            )));
+            assert!(cfg
+                .anomalies
+                .iter()
+                .all(|a| !matches!(a.kind(), AnomalyKind::BlasterWorm | AnomalyKind::SasserWorm)));
         }
     }
 
@@ -285,7 +298,10 @@ mod tests {
                     .count()
             })
             .sum();
-        assert!(blaster_days > 20, "only {blaster_days} Blaster instances in Sep 2003");
+        assert!(
+            blaster_days > 20,
+            "only {blaster_days} Blaster instances in Sep 2003"
+        );
         let sasser_days: usize = first_days_of_month(2004, 6, 28)
             .into_iter()
             .map(|d| {
@@ -297,7 +313,10 @@ mod tests {
                     .count()
             })
             .sum();
-        assert!(sasser_days > 20, "only {sasser_days} Sasser instances in Jun 2004");
+        assert!(
+            sasser_days > 20,
+            "only {sasser_days} Sasser instances in Jun 2004"
+        );
     }
 
     #[test]
@@ -342,7 +361,12 @@ mod tests {
                 })
                 .sum()
         };
-        assert!(count(2008) > count(2002), "{} vs {}", count(2008), count(2002));
+        assert!(
+            count(2008) > count(2002),
+            "{} vs {}",
+            count(2008),
+            count(2002)
+        );
     }
 
     #[test]
@@ -365,6 +389,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "scale")]
     fn zero_scale_panics() {
-        ArchiveSimulator::new(ArchiveConfig { scale: 0.0, ..Default::default() });
+        ArchiveSimulator::new(ArchiveConfig {
+            scale: 0.0,
+            ..Default::default()
+        });
     }
 }

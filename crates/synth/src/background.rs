@@ -9,8 +9,8 @@
 //! models must absorb (DESIGN.md §2).
 
 use crate::config::SynthConfig;
-use mawilab_stats::{Exponential, LogNormal, Pareto, Zipf};
 use mawilab_model::{Packet, TcpFlags, TimeWindow};
+use mawilab_stats::{Exponential, LogNormal, Pareto, Zipf};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::net::Ipv4Addr;
@@ -110,17 +110,67 @@ struct App {
 fn app_mix(p2p_share: f64) -> Vec<App> {
     let rest = 1.0 - p2p_share;
     vec![
-        App { weight: rest * 0.42, proto_tcp: true, server_port: 80, mean_data_pkts: 10.0 },
-        App { weight: rest * 0.05, proto_tcp: true, server_port: 8080, mean_data_pkts: 8.0 },
-        App { weight: rest * 0.22, proto_tcp: false, server_port: 53, mean_data_pkts: 1.0 },
-        App { weight: rest * 0.08, proto_tcp: true, server_port: 25, mean_data_pkts: 12.0 },
-        App { weight: rest * 0.06, proto_tcp: true, server_port: 22, mean_data_pkts: 14.0 },
-        App { weight: rest * 0.05, proto_tcp: true, server_port: 21, mean_data_pkts: 6.0 },
-        App { weight: rest * 0.05, proto_tcp: false, server_port: 123, mean_data_pkts: 1.0 },
-        App { weight: rest * 0.04, proto_tcp: true, server_port: 443, mean_data_pkts: 9.0 },
-        App { weight: rest * 0.03, proto_tcp: false, server_port: 0, mean_data_pkts: 1.0 }, // icmp echo
+        App {
+            weight: rest * 0.42,
+            proto_tcp: true,
+            server_port: 80,
+            mean_data_pkts: 10.0,
+        },
+        App {
+            weight: rest * 0.05,
+            proto_tcp: true,
+            server_port: 8080,
+            mean_data_pkts: 8.0,
+        },
+        App {
+            weight: rest * 0.22,
+            proto_tcp: false,
+            server_port: 53,
+            mean_data_pkts: 1.0,
+        },
+        App {
+            weight: rest * 0.08,
+            proto_tcp: true,
+            server_port: 25,
+            mean_data_pkts: 12.0,
+        },
+        App {
+            weight: rest * 0.06,
+            proto_tcp: true,
+            server_port: 22,
+            mean_data_pkts: 14.0,
+        },
+        App {
+            weight: rest * 0.05,
+            proto_tcp: true,
+            server_port: 21,
+            mean_data_pkts: 6.0,
+        },
+        App {
+            weight: rest * 0.05,
+            proto_tcp: false,
+            server_port: 123,
+            mean_data_pkts: 1.0,
+        },
+        App {
+            weight: rest * 0.04,
+            proto_tcp: true,
+            server_port: 443,
+            mean_data_pkts: 9.0,
+        },
+        App {
+            weight: rest * 0.03,
+            proto_tcp: false,
+            server_port: 0,
+            mean_data_pkts: 1.0,
+        }, // icmp echo
         // Peer-to-peer: random high ports both sides, Pareto sizes.
-        App { weight: p2p_share, proto_tcp: true, server_port: 0, mean_data_pkts: 20.0 },
+        App {
+            weight: p2p_share,
+            proto_tcp: true,
+            server_port: 0,
+            mean_data_pkts: 20.0,
+        },
     ]
 }
 
@@ -135,8 +185,10 @@ pub fn generate_background(
     let apps = app_mix(cfg.p2p_share.clamp(0.0, 0.9));
     let total_weight: f64 = apps.iter().map(|a| a.weight).sum();
     // Overhead ≈ 5 control packets per TCP flow.
-    let mean_flow_pkts: f64 =
-        apps.iter().map(|a| a.weight / total_weight * (a.mean_data_pkts + 4.0)).sum();
+    let mean_flow_pkts: f64 = apps
+        .iter()
+        .map(|a| a.weight / total_weight * (a.mean_data_pkts + 4.0))
+        .sum();
     let target_packets = cfg.background_pps * cfg.duration_s as f64;
     let flow_rate = target_packets / mean_flow_pkts / cfg.duration_s as f64; // flows per second
     let inter = Exponential::new(flow_rate.max(1e-6));
@@ -196,15 +248,35 @@ pub fn generate_background(
             // p2p: both ports ephemeral, Pareto-tailed packet count.
             let sport: u16 = rng.random_range(1025..=65000);
             let n = (p2p_pkts.sample(rng) as usize).clamp(2, 3_000);
-            emit_tcp_flow(t as u64, end as u64, client, cport, server, sport, n, &data_size, rng, out);
+            emit_tcp_flow(
+                t as u64, end as u64, client, cport, server, sport, n, &data_size, rng, out,
+            );
         } else if app.proto_tcp {
             let n = sample_flow_len(app.mean_data_pkts, rng);
             emit_tcp_flow(
-                t as u64, end as u64, client, cport, server, app.server_port, n, &data_size, rng, out,
+                t as u64,
+                end as u64,
+                client,
+                cport,
+                server,
+                app.server_port,
+                n,
+                &data_size,
+                rng,
+                out,
             );
         } else {
             // UDP request/response (DNS, NTP).
-            emit_udp_exchange(t as u64, end as u64, client, cport, server, app.server_port, rng, out);
+            emit_udp_exchange(
+                t as u64,
+                end as u64,
+                client,
+                cport,
+                server,
+                app.server_port,
+                rng,
+                out,
+            );
         }
     }
 }
@@ -239,11 +311,20 @@ pub fn emit_tcp_flow(
         }
     };
     let mut t = t0;
-    push(t, Packet::tcp(t, client, cport, server, sport, TcpFlags::syn(), 48));
+    push(
+        t,
+        Packet::tcp(t, client, cport, server, sport, TcpFlags::syn(), 48),
+    );
     t += rtt / 2;
-    push(t, Packet::tcp(t, server, sport, client, cport, TcpFlags::syn_ack(), 48));
+    push(
+        t,
+        Packet::tcp(t, server, sport, client, cport, TcpFlags::syn_ack(), 48),
+    );
     t += rtt / 2;
-    push(t, Packet::tcp(t, client, cport, server, sport, TcpFlags::ack(), 40));
+    push(
+        t,
+        Packet::tcp(t, client, cport, server, sport, TcpFlags::ack(), 40),
+    );
     let gap = Exponential::new(1.0 / (0.02 + rng.random::<f64>() * 0.2)); // mean 20–220 ms
     for i in 0..n_data {
         t += (gap.sample(rng) * 1e6) as u64;
@@ -253,14 +334,32 @@ pub fn emit_tcp_flow(
         } else {
             (server, sport, client, cport) // responses dominate
         };
-        push(t, Packet::tcp(t, src, sp, dst, dp, TcpFlags(TcpFlags::ACK | TcpFlags::PSH), len));
+        push(
+            t,
+            Packet::tcp(
+                t,
+                src,
+                sp,
+                dst,
+                dp,
+                TcpFlags(TcpFlags::ACK | TcpFlags::PSH),
+                len,
+            ),
+        );
     }
     t += rtt / 2;
-    push(t, Packet::tcp(t, client, cport, server, sport, TcpFlags::fin_ack(), 40));
+    push(
+        t,
+        Packet::tcp(t, client, cport, server, sport, TcpFlags::fin_ack(), 40),
+    );
     t += rtt / 2;
-    push(t, Packet::tcp(t, server, sport, client, cport, TcpFlags::fin_ack(), 40));
+    push(
+        t,
+        Packet::tcp(t, server, sport, client, cport, TcpFlags::fin_ack(), 40),
+    );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn emit_udp_exchange(
     t0: u64,
     end_us: u64,
@@ -272,11 +371,17 @@ fn emit_udp_exchange(
     out: &mut Vec<(Packet, u32)>,
 ) {
     if t0 < end_us {
-        out.push((Packet::udp(t0, client, cport, server, sport, rng.random_range(60..120)), 0));
+        out.push((
+            Packet::udp(t0, client, cport, server, sport, rng.random_range(60..120)),
+            0,
+        ));
     }
     let t1 = t0 + rng.random_range(10_000..150_000u64);
     if t1 < end_us {
-        out.push((Packet::udp(t1, server, sport, client, cport, rng.random_range(80..512)), 0));
+        out.push((
+            Packet::udp(t1, server, sport, client, cport, rng.random_range(80..512)),
+            0,
+        ));
     }
 }
 
@@ -312,7 +417,10 @@ mod tests {
         generate_background(&cfg, &hosts, window, &mut rng, &mut out);
         let target = cfg.background_pps * cfg.duration_s as f64;
         let got = out.len() as f64;
-        assert!(got > target * 0.5 && got < target * 2.0, "got {got}, target {target}");
+        assert!(
+            got > target * 0.5 && got < target * 2.0,
+            "got {got}, target {target}"
+        );
     }
 
     #[test]
@@ -320,7 +428,9 @@ mod tests {
         let (cfg, hosts, window, mut rng) = setup();
         let mut out = Vec::new();
         generate_background(&cfg, &hosts, window, &mut rng, &mut out);
-        assert!(out.iter().all(|(p, tag)| *tag == 0 && window.contains(p.ts_us)));
+        assert!(out
+            .iter()
+            .all(|(p, tag)| *tag == 0 && window.contains(p.ts_us)));
     }
 
     #[test]
@@ -328,13 +438,15 @@ mod tests {
         let (cfg, hosts, window, mut rng) = setup();
         let mut out = Vec::new();
         generate_background(&cfg, &hosts, window, &mut rng, &mut out);
-        let has_port = |p: u16| {
-            out.iter().any(|(pkt, _)| pkt.dport == p || pkt.sport == p)
-        };
+        let has_port = |p: u16| out.iter().any(|(pkt, _)| pkt.dport == p || pkt.sport == p);
         assert!(has_port(80), "no HTTP");
         assert!(has_port(53), "no DNS");
-        let has_udp = out.iter().any(|(p, _)| p.proto == mawilab_model::Protocol::Udp);
-        let has_icmp = out.iter().any(|(p, _)| p.proto == mawilab_model::Protocol::Icmp);
+        let has_udp = out
+            .iter()
+            .any(|(p, _)| p.proto == mawilab_model::Protocol::Udp);
+        let has_icmp = out
+            .iter()
+            .any(|(p, _)| p.proto == mawilab_model::Protocol::Icmp);
         assert!(has_udp && has_icmp);
     }
 
@@ -380,7 +492,8 @@ mod tests {
     fn stable_host_indexing() {
         let (cfg, hosts, _, _) = setup();
         assert_eq!(hosts.internal_at(0), hosts.internal_at(0));
-        assert_eq!(hosts.internal_at(cfg.internal_hosts), hosts.internal_at(0)); // wraps
+        assert_eq!(hosts.internal_at(cfg.internal_hosts), hosts.internal_at(0));
+        // wraps
     }
 
     #[test]

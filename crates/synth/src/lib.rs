@@ -185,8 +185,10 @@ mod tests {
 
     #[test]
     fn dates_flow_into_metadata() {
-        let mut cfg = SynthConfig::default();
-        cfg.date = TraceDate::new(2008, 2, 7);
+        let cfg = SynthConfig {
+            date: TraceDate::new(2008, 2, 7),
+            ..Default::default()
+        };
         let t = TraceGenerator::new(cfg).generate();
         assert_eq!(t.trace.meta.date, TraceDate::new(2008, 2, 7));
         assert_eq!(t.trace.meta.era, mawilab_model::LinkEra::Full150Mbps);

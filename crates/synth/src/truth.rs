@@ -85,7 +85,11 @@ impl GroundTruth {
     /// Ids of anomalies considered *attacks* (as opposed to benign
     /// oddities like flash crowds / elephant flows).
     pub fn attack_ids(&self) -> Vec<u32> {
-        self.anomalies.iter().filter(|a| a.kind.is_attack()).map(|a| a.id).collect()
+        self.anomalies
+            .iter()
+            .filter(|a| a.kind.is_attack())
+            .map(|a| a.id)
+            .collect()
     }
 }
 
@@ -117,7 +121,10 @@ mod tests {
         let tags = vec![None, Some(1), Some(2), Some(1), None];
         let gt = GroundTruth::new(
             tags,
-            vec![record(1, AnomalyKind::SynFlood, 2), record(2, AnomalyKind::PortScan, 1)],
+            vec![
+                record(1, AnomalyKind::SynFlood, 2),
+                record(2, AnomalyKind::PortScan, 1),
+            ],
         );
         assert_eq!(gt.packets_of(1), vec![1, 3]);
         assert_eq!(gt.packets_of(2), vec![2]);

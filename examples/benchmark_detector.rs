@@ -12,7 +12,9 @@
 //! most evaluations omit — and alarm precision.
 
 use mawilab::core::{benchmark_alarms, MawilabPipeline, PipelineConfig};
-use mawilab::detectors::{Detector, GammaDetector, HoughDetector, KlDetector, PcaDetector, TraceView, Tuning};
+use mawilab::detectors::{
+    Detector, GammaDetector, HoughDetector, KlDetector, PcaDetector, TraceView, Tuning,
+};
 use mawilab::model::FlowTable;
 use mawilab::synth::{SynthConfig, TraceGenerator};
 
@@ -31,8 +33,14 @@ fn main() {
     // Step 2: researchers benchmark their candidate detectors.
     let candidates: Vec<(&str, Box<dyn Detector>)> = vec![
         ("KL/optimal", Box::new(KlDetector::new(Tuning::Optimal))),
-        ("Gamma/optimal", Box::new(GammaDetector::new(Tuning::Optimal))),
-        ("Hough/optimal", Box::new(HoughDetector::new(Tuning::Optimal))),
+        (
+            "Gamma/optimal",
+            Box::new(GammaDetector::new(Tuning::Optimal)),
+        ),
+        (
+            "Hough/optimal",
+            Box::new(HoughDetector::new(Tuning::Optimal)),
+        ),
         ("PCA/optimal", Box::new(PcaDetector::new(Tuning::Optimal))),
     ];
     println!(

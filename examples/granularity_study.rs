@@ -38,16 +38,23 @@ fn main() {
         "{:8} {:>12} {:>8} {:>12} {:>12} {:>12}",
         "gran.", "communities", "single", "max size", "rule deg.", "rule supp."
     );
-    for granularity in [Granularity::Packet, Granularity::Uniflow, Granularity::Biflow] {
-        let estimator = SimilarityEstimator { granularity, ..Default::default() };
+    for granularity in [
+        Granularity::Packet,
+        Granularity::Uniflow,
+        Granularity::Biflow,
+    ] {
+        let estimator = SimilarityEstimator {
+            granularity,
+            ..Default::default()
+        };
         let communities = estimator.estimate(&view, alarms.clone());
         let sizes = communities.sizes();
         let max = sizes.iter().max().copied().unwrap_or(0);
         // Mean rule metrics over non-single communities (paper
         // Fig. 3(c)(d) exclude singles).
         let (mut deg, mut supp, mut n) = (0.0, 0.0, 0usize);
-        for c in 0..communities.community_count() {
-            if sizes[c] < 2 {
+        for (c, &size) in sizes.iter().enumerate() {
+            if size < 2 {
                 continue;
             }
             let s = summarize_community(&view, &communities, c, 0.2);

@@ -32,9 +32,11 @@ fn main() {
         report.communities.single_count(),
         report.timings.total()
     );
-    for label in
-        [MawilabLabel::Anomalous, MawilabLabel::Suspicious, MawilabLabel::Notice]
-    {
+    for label in [
+        MawilabLabel::Anomalous,
+        MawilabLabel::Suspicious,
+        MawilabLabel::Notice,
+    ] {
         println!("  {:10} {}", label.to_string(), report.labeled.count(label));
     }
 

@@ -49,8 +49,12 @@ fn main() {
     println!("\nper-detector anomaly coverage (alarms alone):");
     for d in DetectorKind::ALL {
         let found = score_detector(&matcher, &report.communities, d);
-        let alarms =
-            report.communities.alarms.iter().filter(|a| a.detector == d).count();
+        let alarms = report
+            .communities
+            .alarms
+            .iter()
+            .filter(|a| a.detector == d)
+            .count();
         println!(
             "  {:6} {:4} alarms, {:2}/{} anomalies",
             d.to_string(),
@@ -61,7 +65,10 @@ fn main() {
     }
 
     println!("\nper-strategy ground-truth score:");
-    println!("  {:9} {:>8} {:>13} {:>10} {:>9}", "strategy", "accepted", "anomalies", "attacks", "precision");
+    println!(
+        "  {:9} {:>8} {:>13} {:>10} {:>9}",
+        "strategy", "accepted", "anomalies", "attacks", "precision"
+    );
     for (kind, decisions) in &per_strategy {
         let s = score_strategy(&matcher, &report.communities, decisions);
         println!(

@@ -30,6 +30,7 @@ pub use mawilab_combiner as combiner;
 pub use mawilab_core as core;
 pub use mawilab_detectors as detectors;
 pub use mawilab_eval as eval;
+pub use mawilab_exec as exec;
 pub use mawilab_graph as graph;
 pub use mawilab_label as label;
 pub use mawilab_linalg as linalg;

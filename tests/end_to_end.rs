@@ -21,8 +21,18 @@ fn pipeline_is_fully_deterministic_across_runs() {
     assert_eq!(a.alarm_count(), b.alarm_count());
     assert_eq!(a.votes, b.votes);
     assert_eq!(a.decisions, b.decisions);
-    let la: Vec<_> = a.labeled.communities.iter().map(|c| (c.label, c.heuristic)).collect();
-    let lb: Vec<_> = b.labeled.communities.iter().map(|c| (c.label, c.heuristic)).collect();
+    let la: Vec<_> = a
+        .labeled
+        .communities
+        .iter()
+        .map(|c| (c.label, c.heuristic))
+        .collect();
+    let lb: Vec<_> = b
+        .labeled
+        .communities
+        .iter()
+        .map(|c| (c.label, c.heuristic))
+        .collect();
     assert_eq!(la, lb);
 }
 

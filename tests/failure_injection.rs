@@ -3,9 +3,7 @@
 
 use mawilab::core::{MawilabPipeline, PipelineConfig, StrategyKind};
 use mawilab::model::pcap::{read_pcap, PcapError};
-use mawilab::model::{
-    FlowTable, Granularity, Packet, TcpFlags, Trace, TraceDate, TraceMeta,
-};
+use mawilab::model::{FlowTable, Granularity, Packet, TcpFlags, Trace, TraceDate, TraceMeta};
 use mawilab::similarity::{SimilarityEstimator, SimilarityMeasure};
 use std::net::Ipv4Addr;
 
@@ -17,8 +15,11 @@ fn meta() -> TraceMeta {
 fn empty_trace_labels_nothing() {
     let trace = Trace::new(meta(), vec![]);
     for strategy in StrategyKind::ALL {
-        let report = MawilabPipeline::new(PipelineConfig { strategy, ..Default::default() })
-            .run(&trace);
+        let report = MawilabPipeline::new(PipelineConfig {
+            strategy,
+            ..Default::default()
+        })
+        .run(&trace);
         assert_eq!(report.community_count(), 0);
         assert!(report.labeled.communities.is_empty());
     }
@@ -62,7 +63,11 @@ fn identical_packet_storm_is_handled() {
         })
         .collect();
     let trace = Trace::new(meta(), packets);
-    for granularity in [Granularity::Packet, Granularity::Uniflow, Granularity::Biflow] {
+    for granularity in [
+        Granularity::Packet,
+        Granularity::Uniflow,
+        Granularity::Biflow,
+    ] {
         let report = MawilabPipeline::new(PipelineConfig {
             granularity,
             ..Default::default()
@@ -88,20 +93,27 @@ fn all_measures_and_granularities_run() {
         ));
     }
     let trace = Trace::new(meta(), packets);
-    for measure in
-        [SimilarityMeasure::Simpson, SimilarityMeasure::Jaccard, SimilarityMeasure::Constant]
-    {
-        let report = MawilabPipeline::new(PipelineConfig { measure, ..Default::default() })
-            .run(&trace);
+    for measure in [
+        SimilarityMeasure::Simpson,
+        SimilarityMeasure::Jaccard,
+        SimilarityMeasure::Constant,
+    ] {
+        let report = MawilabPipeline::new(PipelineConfig {
+            measure,
+            ..Default::default()
+        })
+        .run(&trace);
         assert_eq!(report.decisions.len(), report.community_count());
     }
     // Estimator with an absurd threshold prunes every edge: all
     // communities become singles.
     let flows = FlowTable::build(&trace.packets);
     let view = mawilab::detectors::TraceView::new(&trace, &flows);
-    let alarms =
-        mawilab::detectors::run_all(&mawilab::detectors::standard_configurations(), &view);
-    let est = SimilarityEstimator { min_similarity: 1.1, ..Default::default() };
+    let alarms = mawilab::detectors::run_all(&mawilab::detectors::standard_configurations(), &view);
+    let est = SimilarityEstimator {
+        min_similarity: 1.1,
+        ..Default::default()
+    };
     let n_alarms = alarms.len();
     let communities = est.estimate(&view, alarms);
     assert_eq!(communities.community_count(), n_alarms);
@@ -117,7 +129,10 @@ fn corrupt_pcap_inputs_error_cleanly() {
     }
     // Too short for a header.
     let short = vec![0u8; 10];
-    assert!(matches!(read_pcap(std::io::Cursor::new(&short), meta()), Err(PcapError::Io(_))));
+    assert!(matches!(
+        read_pcap(std::io::Cursor::new(&short), meta()),
+        Err(PcapError::Io(_))
+    ));
 }
 
 #[test]
@@ -126,9 +141,30 @@ fn out_of_window_packets_do_not_break_binning() {
     // (clock skew in real captures). Detectors clamp or skip them.
     let w = meta().window();
     let packets = vec![
-        Packet::udp(0, Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 2, 100),
-        Packet::udp(w.start_us, Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 2, 100),
-        Packet::udp(w.end_us + 1_000_000, Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 2, 100),
+        Packet::udp(
+            0,
+            Ipv4Addr::new(1, 1, 1, 1),
+            1,
+            Ipv4Addr::new(2, 2, 2, 2),
+            2,
+            100,
+        ),
+        Packet::udp(
+            w.start_us,
+            Ipv4Addr::new(1, 1, 1, 1),
+            1,
+            Ipv4Addr::new(2, 2, 2, 2),
+            2,
+            100,
+        ),
+        Packet::udp(
+            w.end_us + 1_000_000,
+            Ipv4Addr::new(1, 1, 1, 1),
+            1,
+            Ipv4Addr::new(2, 2, 2, 2),
+            2,
+            100,
+        ),
     ];
     let trace = Trace::new(meta(), packets);
     let report = MawilabPipeline::new(PipelineConfig::default()).run(&trace);

@@ -26,22 +26,22 @@ fn figure2_confidence_scores() {
     // Map A=PCA, B=Gamma, C=Hough. All five alarms share traffic so
     // they form one community.
     let alarms = vec![
-        alarm(DetectorKind::Pca, Tuning::Conservative), // A0
-        alarm(DetectorKind::Pca, Tuning::Optimal),      // A1
+        alarm(DetectorKind::Pca, Tuning::Conservative),   // A0
+        alarm(DetectorKind::Pca, Tuning::Optimal),        // A1
         alarm(DetectorKind::Gamma, Tuning::Conservative), // B0
-        alarm(DetectorKind::Gamma, Tuning::Optimal),    // B1
-        alarm(DetectorKind::Gamma, Tuning::Sensitive),  // B2
+        alarm(DetectorKind::Gamma, Tuning::Optimal),      // B1
+        alarm(DetectorKind::Gamma, Tuning::Sensitive),    // B2
     ];
     let traffic: Vec<Vec<u32>> = vec![vec![1, 2, 3]; 5];
     let est = SimilarityEstimator::default();
     let graph = est.build_graph(&traffic);
-    let communities = AlarmCommunities {
+    let communities = AlarmCommunities::new(
         alarms,
         traffic,
         graph,
-        partition: Partition::from_labels(vec![0; 5]),
-        granularity: Granularity::Uniflow,
-    };
+        Partition::from_labels(vec![0; 5]),
+        Granularity::Uniflow,
+    );
     let votes = VoteTable::from_communities(&communities);
     assert_eq!(votes.len(), 1);
     assert!((votes.confidence(0, DetectorKind::Pca) - 2.0 / 3.0).abs() < 1e-12);
@@ -103,7 +103,7 @@ fn figure1_granularity_effect() {
     let packet_sets = vec![vec![0u32, 1], vec![3, 4], vec![4, 5]];
     let g = est.build_graph(&packet_sets);
     assert_eq!(g.edge_count(), 1); // only Alarm2–Alarm3
-    // Flow granularity: all alarms resolve to the same flow.
+                                   // Flow granularity: all alarms resolve to the same flow.
     let flow_sets = vec![vec![7u32], vec![7], vec![7]];
     let g2 = est.build_graph(&flow_sets);
     assert_eq!(g2.edge_count(), 3); // complete triangle
@@ -117,7 +117,11 @@ fn rule_degree_worked_example() {
     let a = Ipv4Addr::new(198, 51, 100, 1);
     let b = Ipv4Addr::new(198, 51, 100, 2);
     let c = Ipv4Addr::new(198, 51, 100, 3);
-    let r1 = TrafficRule { src: Some(a), dst: Some(b), ..Default::default() };
+    let r1 = TrafficRule {
+        src: Some(a),
+        dst: Some(b),
+        ..Default::default()
+    };
     let r2 = TrafficRule {
         src: Some(a),
         sport: Some(80),
@@ -139,7 +143,12 @@ fn rule_support_worked_example() {
     // two mined rules cover 50% + 25% = 75%.
     let mut txs = Vec::new();
     for i in 0..4u8 {
-        txs.push(Transaction::new(a, 80, Ipv4Addr::new(10, 0, 0, i), 1000 + i as u16));
+        txs.push(Transaction::new(
+            a,
+            80,
+            Ipv4Addr::new(10, 0, 0, i),
+            1000 + i as u16,
+        ));
     }
     for _ in 0..2 {
         txs.push(Transaction::new(
@@ -149,8 +158,22 @@ fn rule_support_worked_example() {
             2222,
         ));
     }
-    txs.push(Transaction::new(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 2));
-    txs.push(Transaction::new(Ipv4Addr::new(3, 3, 3, 3), 3, Ipv4Addr::new(4, 4, 4, 4), 4));
+    txs.push(Transaction::new(
+        Ipv4Addr::new(1, 1, 1, 1),
+        1,
+        Ipv4Addr::new(2, 2, 2, 2),
+        2,
+    ));
+    txs.push(Transaction::new(
+        Ipv4Addr::new(3, 3, 3, 3),
+        3,
+        Ipv4Addr::new(4, 4, 4, 4),
+        4,
+    ));
     let mined = mine_rules(&txs, 0.25);
-    assert!((mined.rule_support - 0.75).abs() < 1e-12, "support = {}", mined.rule_support);
+    assert!(
+        (mined.rule_support - 0.75).abs() < 1e-12,
+        "support = {}",
+        mined.rule_support
+    );
 }

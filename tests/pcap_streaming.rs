@@ -4,8 +4,8 @@
 
 use mawilab::model::pcap::{read_pcap, write_pcap, PcapError, MAX_RECORD_BYTES};
 use mawilab::model::{
-    Packet, PacketSource, SourceError, StreamingPcapReader, TcpFlags, Trace, TraceDate,
-    TraceMeta, DEFAULT_CHUNK_US,
+    Packet, PacketSource, SourceError, StreamingPcapReader, TcpFlags, Trace, TraceDate, TraceMeta,
+    DEFAULT_CHUNK_US,
 };
 use std::io::Cursor;
 use std::net::Ipv4Addr;
@@ -19,13 +19,22 @@ fn ip(d: u8) -> Ipv4Addr {
 fn sample_trace() -> Trace {
     let meta = TraceMeta::standard(TraceDate::new(2004, 5, 3));
     let base = meta.window().start_us;
-    let offsets_us =
-        [0u64, 1, 2_500_000, 5_000_000, 7_499_999, 12_345_678, 24_999_999, 25_000_000];
+    let offsets_us = [
+        0u64, 1, 2_500_000, 5_000_000, 7_499_999, 12_345_678, 24_999_999, 25_000_000,
+    ];
     let packets: Vec<Packet> = offsets_us
         .iter()
         .enumerate()
         .map(|(i, &o)| {
-            Packet::tcp(base + o, ip(1), 1000 + i as u16, ip(2), 80, TcpFlags::syn(), 60)
+            Packet::tcp(
+                base + o,
+                ip(1),
+                1000 + i as u16,
+                ip(2),
+                80,
+                TcpFlags::syn(),
+                60,
+            )
         })
         .collect();
     Trace::new(meta, packets)
@@ -56,7 +65,10 @@ fn streaming_reader_round_trips_and_chunks_by_time() {
     let mut chunk_sizes = Vec::new();
     while let Some(chunk) = reader.next_chunk().unwrap() {
         for p in &chunk.packets {
-            assert!(chunk.window.contains(p.ts_us), "packet outside its chunk window");
+            assert!(
+                chunk.window.contains(p.ts_us),
+                "packet outside its chunk window"
+            );
         }
         chunk_sizes.push(chunk.packets.len());
         packets.extend_from_slice(&chunk.packets);
@@ -82,7 +94,10 @@ fn chunk_boundary_mid_bin_preserves_every_packet() {
         while let Some(chunk) = reader.next_chunk().unwrap() {
             packets.extend_from_slice(&chunk.packets);
         }
-        assert_eq!(packets, trace.packets, "bin {bin_us} lost or reordered packets");
+        assert_eq!(
+            packets, trace.packets,
+            "bin {bin_us} lost or reordered packets"
+        );
     }
 }
 
@@ -116,7 +131,8 @@ fn oversized_record_in_the_middle_resyncs_when_length_is_honest() {
     // the reader skips exactly that record and keeps the rest.
     let trace = sample_trace();
     let frame: Vec<u8> = pcap_bytes(&trace);
-    let frame_len = u32::from_le_bytes([frame[24 + 8], frame[24 + 9], frame[24 + 10], frame[24 + 11]]);
+    let frame_len =
+        u32::from_le_bytes([frame[24 + 8], frame[24 + 9], frame[24 + 10], frame[24 + 11]]);
     // Build a file: record0 (good), oversized record, record1 (good).
     let mut buf = frame[..24].to_vec();
     let rec0 = &frame[24..24 + 16 + frame_len as usize];
@@ -132,7 +148,11 @@ fn oversized_record_in_the_middle_resyncs_when_length_is_honest() {
 
     let (parsed, skipped) = read_pcap(Cursor::new(&buf), trace.meta.clone()).unwrap();
     assert_eq!(skipped, 1, "oversized record not counted");
-    assert_eq!(parsed.packets, trace.packets[..2].to_vec(), "resync after skip failed");
+    assert_eq!(
+        parsed.packets,
+        trace.packets[..2].to_vec(),
+        "resync after skip failed"
+    );
 }
 
 #[test]
@@ -150,16 +170,25 @@ fn truncated_final_record_surfaces_as_io_error() {
             Err(e) => break e,
         }
     };
-    assert!(matches!(err, SourceError::Pcap(PcapError::Io(_))), "unexpected error {err}");
+    assert!(
+        matches!(err, SourceError::Pcap(PcapError::Io(_))),
+        "unexpected error {err}"
+    );
     // Everything before the damaged tail was delivered.
-    assert!(seen >= trace.packets.len() - 2, "lost {} packets", trace.packets.len() - seen);
+    assert!(
+        seen >= trace.packets.len() - 2,
+        "lost {} packets",
+        trace.packets.len() - seen
+    );
 }
 
 #[test]
 fn truncated_record_header_is_clean_eof() {
     let trace = sample_trace();
-    let frame_len =
-        { let b = pcap_bytes(&trace); u32::from_le_bytes([b[32], b[33], b[34], b[35]]) };
+    let frame_len = {
+        let b = pcap_bytes(&trace);
+        u32::from_le_bytes([b[32], b[33], b[34], b[35]])
+    };
     let mut buf = pcap_bytes(&trace);
     // Cut inside the *header* of the last record: like tcpdump, treat
     // a header-boundary EOF as end of file.
@@ -211,8 +240,9 @@ fn streaming_pipeline_runs_straight_off_a_pcap_stream() {
     let mut reader =
         StreamingPcapReader::new(Cursor::new(&buf), lt.trace.meta.clone(), DEFAULT_CHUNK_US)
             .unwrap();
-    let streamed =
-        StreamingPipeline::new(PipelineConfig::default()).run(&mut reader).unwrap();
+    let streamed = StreamingPipeline::new(PipelineConfig::default())
+        .run(&mut reader)
+        .unwrap();
     assert_eq!(streamed.communities.alarms, batch.communities.alarms);
     assert_eq!(streamed.decisions, batch.decisions);
 }

@@ -41,7 +41,11 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
                 },
                 // TCP flags are only meaningful (and only serialised)
                 // for TCP packets.
-                flags: if proto == 0 { TcpFlags(flags & 0x3f) } else { TcpFlags::empty() },
+                flags: if proto == 0 {
+                    TcpFlags(flags & 0x3f)
+                } else {
+                    TcpFlags::empty()
+                },
             }
         })
 }

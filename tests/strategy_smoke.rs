@@ -26,7 +26,10 @@ fn tiny_trace() -> mawilab::synth::LabeledTrace {
 fn every_strategy_yields_a_nonempty_labeled_report() {
     let lt = tiny_trace();
     for strategy in StrategyKind::ALL {
-        let config = PipelineConfig { strategy, ..PipelineConfig::default() };
+        let config = PipelineConfig {
+            strategy,
+            ..PipelineConfig::default()
+        };
         let report = MawilabPipeline::new(config).run(&lt.trace);
         assert!(
             report.alarm_count() > 0,
@@ -52,8 +55,11 @@ fn strategies_agree_on_alarms_but_may_differ_on_decisions() {
     let reports: Vec<_> = StrategyKind::ALL
         .iter()
         .map(|&strategy| {
-            MawilabPipeline::new(PipelineConfig { strategy, ..PipelineConfig::default() })
-                .run(&lt.trace)
+            MawilabPipeline::new(PipelineConfig {
+                strategy,
+                ..PipelineConfig::default()
+            })
+            .run(&lt.trace)
         })
         .collect();
     let first = &reports[0];

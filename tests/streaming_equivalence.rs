@@ -11,8 +11,7 @@
 use mawilab::core::{MawilabPipeline, PipelineConfig, StreamingPipeline};
 use mawilab::label::LabeledCommunity;
 use mawilab::model::{
-    Granularity, PacketChunk, PacketSource, SourceError, TraceChunker, TraceMeta,
-    DEFAULT_CHUNK_US,
+    Granularity, PacketChunk, PacketSource, SourceError, TraceChunker, TraceMeta, DEFAULT_CHUNK_US,
 };
 use mawilab::synth::{AnomalySpec, SynthConfig, TraceGenerator};
 
@@ -25,7 +24,11 @@ fn synth(seed: u64) -> mawilab::synth::LabeledTrace {
             duration_s: 12.0,
             spoofed: true,
         },
-        AnomalySpec::SasserWorm { infected: 3, scans: 900, rate_pps: 60.0 },
+        AnomalySpec::SasserWorm {
+            infected: 3,
+            scans: 900,
+            rate_pps: 60.0,
+        },
     ]))
     .generate()
 }
@@ -36,12 +39,24 @@ fn assert_labels_identical(streamed: &[LabeledCommunity], batch: &[LabeledCommun
     assert_eq!(streamed.len(), batch.len(), "community count differs");
     for (s, b) in streamed.iter().zip(batch) {
         assert_eq!(s.community, b.community);
-        assert_eq!(s.label, b.label, "taxonomy label of community {}", s.community);
-        assert_eq!(s.heuristic, b.heuristic, "heuristic of community {}", s.community);
+        assert_eq!(
+            s.label, b.label,
+            "taxonomy label of community {}",
+            s.community
+        );
+        assert_eq!(
+            s.heuristic, b.heuristic,
+            "heuristic of community {}",
+            s.community
+        );
         assert_eq!(s.window, b.window, "window of community {}", s.community);
         assert_eq!(s.alarms, b.alarms);
         assert_eq!(s.detectors, b.detectors);
-        assert_eq!(s.summary.rules, b.summary.rules, "rules of community {}", s.community);
+        assert_eq!(
+            s.summary.rules, b.summary.rules,
+            "rules of community {}",
+            s.community
+        );
         assert_eq!(s.summary.transactions, b.summary.transactions);
         assert!((s.summary.rule_degree - b.summary.rule_degree).abs() < 1e-12);
         assert!((s.summary.rule_support - b.summary.rule_support).abs() < 1e-12);
@@ -56,8 +71,9 @@ fn streaming_equals_batch_across_seeds_and_bin_widths() {
         let batch = MawilabPipeline::new(config.clone()).run(&lt.trace);
         for bin_us in [DEFAULT_CHUNK_US, 20_000_000] {
             let mut source = TraceChunker::new(lt.trace.clone(), bin_us);
-            let streamed =
-                StreamingPipeline::new(config.clone()).run(&mut source).unwrap();
+            let streamed = StreamingPipeline::new(config.clone())
+                .run(&mut source)
+                .unwrap();
             assert_eq!(
                 streamed.communities.alarms, batch.communities.alarms,
                 "alarms differ (seed {seed}, bin {bin_us})"
@@ -66,7 +82,10 @@ fn streaming_equals_batch_across_seeds_and_bin_widths() {
                 streamed.communities.traffic, batch.communities.traffic,
                 "traffic sets differ (seed {seed}, bin {bin_us})"
             );
-            assert_eq!(streamed.votes, batch.votes, "votes differ (seed {seed}, bin {bin_us})");
+            assert_eq!(
+                streamed.votes, batch.votes,
+                "votes differ (seed {seed}, bin {bin_us})"
+            );
             assert_eq!(
                 streamed.decisions, batch.decisions,
                 "decisions differ (seed {seed}, bin {bin_us})"
@@ -79,12 +98,22 @@ fn streaming_equals_batch_across_seeds_and_bin_widths() {
 #[test]
 fn streaming_equals_batch_at_every_granularity() {
     let lt = synth(77);
-    for granularity in [Granularity::Packet, Granularity::Uniflow, Granularity::Biflow] {
-        let config = PipelineConfig { granularity, ..Default::default() };
+    for granularity in [
+        Granularity::Packet,
+        Granularity::Uniflow,
+        Granularity::Biflow,
+    ] {
+        let config = PipelineConfig {
+            granularity,
+            ..Default::default()
+        };
         let batch = MawilabPipeline::new(config.clone()).run(&lt.trace);
         let mut source = TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US);
         let streamed = StreamingPipeline::new(config).run(&mut source).unwrap();
-        assert_eq!(streamed.decisions, batch.decisions, "decisions differ at {granularity}");
+        assert_eq!(
+            streamed.decisions, batch.decisions,
+            "decisions differ at {granularity}"
+        );
         assert_eq!(
             streamed.communities.traffic, batch.communities.traffic,
             "traffic differs at {granularity}"
@@ -106,7 +135,11 @@ struct CountingSource {
 
 impl CountingSource {
     fn new(inner: TraceChunker) -> Self {
-        CountingSource { inner, peak_live: 0, total: 0 }
+        CountingSource {
+            inner,
+            peak_live: 0,
+            total: 0,
+        }
     }
 }
 
@@ -139,9 +172,14 @@ impl PacketSource for CountingSource {
 fn peak_live_packet_memory_is_bounded_by_one_chunk() {
     let lt = synth(11);
     let total = lt.trace.len();
-    assert!(total > 10_000, "trace too small to make the bound meaningful: {total}");
+    assert!(
+        total > 10_000,
+        "trace too small to make the bound meaningful: {total}"
+    );
     let mut source = CountingSource::new(TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US));
-    let report = StreamingPipeline::new(PipelineConfig::default()).run(&mut source).unwrap();
+    let report = StreamingPipeline::new(PipelineConfig::default())
+        .run(&mut source)
+        .unwrap();
 
     // Both passes drained everything…
     assert_eq!(source.total, 2 * total as u64);
@@ -156,15 +194,18 @@ fn peak_live_packet_memory_is_bounded_by_one_chunk() {
     );
     // The 60 s trace cut into 5 s bins: a genuinely multi-chunk
     // stream, not one big chunk.
-    assert!(report.stats.chunks >= 10, "only {} chunks", report.stats.chunks);
+    assert!(
+        report.stats.chunks >= 10,
+        "only {} chunks",
+        report.stats.chunks
+    );
 }
 
 #[test]
 fn custom_detector_set_streams_too() {
     use mawilab::detectors::{Detector, KlDetector, Tuning};
     let lt = synth(5);
-    let detectors: Vec<Box<dyn Detector>> =
-        vec![Box::new(KlDetector::new(Tuning::Sensitive))];
+    let detectors: Vec<Box<dyn Detector>> = vec![Box::new(KlDetector::new(Tuning::Sensitive))];
     let config = PipelineConfig::default();
     let batch = MawilabPipeline::new(config.clone())
         .with_detectors(vec![Box::new(KlDetector::new(Tuning::Sensitive))])

@@ -1,0 +1,57 @@
+//! Thread-count invariance of the full pipeline.
+//!
+//! Every parallel stage (detector fan-out, sharded graph build,
+//! Louvain proposal scans) is built on `mawilab-exec`, whose contract
+//! is order-preserving determinism — so `MAWILAB_THREADS=1` and any
+//! larger setting must label a trace byte-identically.
+//!
+//! Kept as the single `#[test]` of this integration binary: it
+//! mutates the process-wide `MAWILAB_THREADS` variable, and a sibling
+//! test running concurrently in the same process would race on it.
+
+use mawilab::core::{MawilabPipeline, PipelineConfig, StreamingPipeline};
+use mawilab::label::MawilabLabel;
+use mawilab::model::{TraceChunker, DEFAULT_CHUNK_US};
+use mawilab::synth::{SynthConfig, TraceGenerator};
+
+/// Decisions, labels, graph shape and member lists of one batch +
+/// one streaming run.
+fn run_once(
+    lt: &mawilab::synth::LabeledTrace,
+) -> (Vec<bool>, Vec<MawilabLabel>, usize, Vec<Vec<usize>>) {
+    let config = PipelineConfig::default();
+    let report = MawilabPipeline::new(config.clone()).run(&lt.trace);
+
+    let mut source = TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US);
+    let streamed = StreamingPipeline::new(config).run(&mut source).unwrap();
+    assert_eq!(
+        streamed.decisions, report.decisions,
+        "batch/streaming diverged"
+    );
+
+    let decisions = report.decisions.iter().map(|d| d.accepted).collect();
+    let labels = report.labeled.communities.iter().map(|c| c.label).collect();
+    let members = (0..report.community_count())
+        .map(|c| report.communities.members(c).to_vec())
+        .collect();
+    (
+        decisions,
+        labels,
+        report.communities.graph.edge_count(),
+        members,
+    )
+}
+
+#[test]
+fn pipeline_is_identical_at_every_thread_count() {
+    let lt = TraceGenerator::new(SynthConfig::default().with_seed(99)).generate();
+
+    std::env::set_var("MAWILAB_THREADS", "1");
+    let single = run_once(&lt);
+    for threads in ["2", "4", "13"] {
+        std::env::set_var("MAWILAB_THREADS", threads);
+        let multi = run_once(&lt);
+        assert_eq!(single, multi, "output changed at MAWILAB_THREADS={threads}");
+    }
+    std::env::remove_var("MAWILAB_THREADS");
+}

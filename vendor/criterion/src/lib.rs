@@ -33,11 +33,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -178,7 +182,10 @@ impl BenchmarkGroup<'_> {
         let per_iter = median.as_secs_f64();
         let rate = self.throughput.map(|t| match t {
             Throughput::Elements(n) => format!("  thrpt: {:.3} Melem/s", n as f64 / per_iter / 1e6),
-            Throughput::Bytes(n) => format!("  thrpt: {:.3} MiB/s", n as f64 / per_iter / (1 << 20) as f64),
+            Throughput::Bytes(n) => format!(
+                "  thrpt: {:.3} MiB/s",
+                n as f64 / per_iter / (1 << 20) as f64
+            ),
         });
         println!(
             "{}/{:<28} time: {:>12}{}",
@@ -213,7 +220,9 @@ impl Default for Criterion {
         // cargo passes `--bench` to bench targets under `cargo bench`;
         // under `cargo test` the flag is absent and we only smoke-run.
         let measure = std::env::args().any(|a| a == "--bench");
-        Criterion { mode: if measure { Mode::Measure } else { Mode::Smoke } }
+        Criterion {
+            mode: if measure { Mode::Measure } else { Mode::Smoke },
+        }
     }
 }
 

@@ -15,14 +15,20 @@ pub struct SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { min: r.start, max: r.end - 1 }
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
         assert!(r.start() <= r.end(), "empty size range");
-        SizeRange { min: *r.start(), max: *r.end() }
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
     }
 }
 
@@ -50,5 +56,8 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 
 /// `prop::collection::vec(element, 0..50)`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }

@@ -23,12 +23,14 @@ pub use strategy::{Just, Strategy};
 pub use test_runner::{ProptestConfig, TestCaseError, TestRunner};
 
 pub mod prelude {
+    /// `prop::collection::vec(..)`-style paths.
+    pub use crate as prop;
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
-    /// `prop::collection::vec(..)`-style paths.
-    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Fails the current property case (without panicking the process

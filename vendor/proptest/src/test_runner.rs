@@ -35,13 +35,19 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
     }
 }
 
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases, ..Default::default() }
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
     }
 }
 
@@ -56,7 +62,9 @@ pub struct TestRng {
 
 impl TestRng {
     fn new(seed: u64) -> Self {
-        TestRng { state: seed ^ 0x5DEE_CE66_D1CE_4E5B }
+        TestRng {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -82,10 +90,14 @@ pub struct TestRunner {
 
 impl TestRunner {
     pub fn new(config: ProptestConfig, name: &'static str) -> Self {
-        let seed = name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3));
-        TestRunner { config, name, rng: TestRng::new(seed) }
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        });
+        TestRunner {
+            config,
+            name,
+            rng: TestRng::new(seed),
+        }
     }
 
     /// Runs `test` against `config.cases` generated values, panicking

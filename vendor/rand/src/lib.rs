@@ -146,7 +146,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = StdRng::seed_from_u64(1);
         let mut b = StdRng::seed_from_u64(2);
-        let same = (0..32).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..32)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert!(same < 4);
     }
 
