@@ -1,0 +1,470 @@
+//! The archive-scale longitudinal benchmark behind the `archive` bin.
+//!
+//! Streams a curated day sample spanning the whole simulated
+//! 2001–2009 archive — all three link eras and both worm epochs —
+//! through [`run_days_streaming`], reduces every day to a
+//! [`DaySummary`] plus a throughput record, and writes
+//! `results/BENCH_archive.json` with the longitudinal stability
+//! metrics ([`mawilab_eval::longitudinal`]) next to the per-day
+//! performance trajectory. This is the repo's month-scale answer to
+//! the operational question the paper's Figs. 7–8 raise: do the
+//! labels stay put while the archive changes under the pipeline?
+//!
+//! The logic lives in the library (not the bin) so the smoke test and
+//! CI can run a tiny-scale pass in-process and assert the schema.
+
+use crate::harness::{peak_rss_kb, run_days_streaming, StreamingDayContext};
+use mawilab_core::{PipelineConfig, StrategyKind};
+use mawilab_eval::ground_truth::DEFAULT_MIN_COVERAGE;
+use mawilab_eval::{stability_report, DaySummary, GroundTruthMatcher, WormStatus};
+use mawilab_label::MawilabLabel;
+use mawilab_model::{TraceDate, DEFAULT_CHUNK_US};
+use mawilab_synth::AnomalyKind;
+use std::collections::HashSet;
+
+/// Consecutive sampled days farther apart than this are epoch jumps
+/// (era/outbreak boundaries), not day-over-day stability pairs, and
+/// stay out of the churn/drift aggregates.
+pub const MAX_STABILITY_GAP_DAYS: i64 = 7;
+
+/// Worm epochs the benchmark tracks: name, anomaly kind, and real
+/// release date (the epoch onset used for sampling context).
+const WORMS: [(&str, AnomalyKind); 2] = [
+    ("blaster", AnomalyKind::BlasterWorm),
+    ("sasser", AnomalyKind::SasserWorm),
+];
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct ArchiveBenchArgs {
+    /// Traffic scale multiplier.
+    pub scale: f64,
+    /// Ingest chunk width, µs.
+    pub chunk_us: u64,
+    /// Output directory for `BENCH_archive.json`.
+    pub out_dir: String,
+    /// The sampled days, date-ordered.
+    pub days: Vec<TraceDate>,
+}
+
+impl Default for ArchiveBenchArgs {
+    fn default() -> Self {
+        ArchiveBenchArgs {
+            scale: 1.0,
+            chunk_us: DEFAULT_CHUNK_US,
+            out_dir: "results".to_string(),
+            days: default_archive_days(),
+        }
+    }
+}
+
+/// The curated archive sample: adjacent-day pairs in every regime the
+/// simulator models — quiet 18 Mbps CAR baseline, the Blaster onset
+/// (released 2003-08-11), the inter-epoch residual, the Sasser onset
+/// (released 2004-04-30), the long residual tail, and both post-
+/// upgrade eras (100 Mbps from 2006-07, 150 Mbps from 2007-06).
+pub fn default_archive_days() -> Vec<TraceDate> {
+    vec![
+        // 18 Mbps era, pre-Blaster baseline.
+        TraceDate::new(2003, 8, 1),
+        TraceDate::new(2003, 8, 2),
+        // Blaster outbreak onset.
+        TraceDate::new(2003, 8, 12),
+        TraceDate::new(2003, 8, 13),
+        // Blaster residual, pre-Sasser.
+        TraceDate::new(2004, 4, 25),
+        // Sasser outbreak onset.
+        TraceDate::new(2004, 5, 10),
+        TraceDate::new(2004, 5, 11),
+        // Residual tail of both epochs.
+        TraceDate::new(2005, 6, 1),
+        TraceDate::new(2005, 6, 2),
+        // 100 Mbps era.
+        TraceDate::new(2006, 8, 1),
+        TraceDate::new(2006, 8, 2),
+        // 150 Mbps era.
+        TraceDate::new(2008, 3, 1),
+        TraceDate::new(2008, 3, 2),
+    ]
+}
+
+/// The tiny CI/smoke sample: three adjacent Sasser-onset days (worm
+/// path exercised) at whatever scale the caller picks.
+pub fn smoke_archive_days() -> Vec<TraceDate> {
+    vec![
+        TraceDate::new(2004, 5, 10),
+        TraceDate::new(2004, 5, 11),
+        TraceDate::new(2004, 5, 12),
+    ]
+}
+
+/// One day's reduction: the stability summary plus the throughput
+/// record.
+struct DayRecord {
+    summary: DaySummary,
+    packets: u64,
+    chunks: usize,
+    peak_chunk_packets: usize,
+    items: usize,
+    alarms: usize,
+    communities: usize,
+    anomalous: usize,
+    wall_s: f64,
+    pps: f64,
+    stage_s: [f64; 6],
+}
+
+fn reduce_day(ctx: &StreamingDayContext<'_>) -> DayRecord {
+    let report = ctx.report;
+
+    // Every strategy's verdict on the day's vote table — the flips
+    // between them day over day are a headline stability metric.
+    let strategies: Vec<(&'static str, Vec<mawilab_combiner::Decision>)> = StrategyKind::ALL
+        .iter()
+        .map(|&k| (k.name(), k.build().classify(&report.votes)))
+        .collect();
+
+    // Worm detection status against ground truth: which injected worm
+    // epochs are covered by a community labeled anomalous today.
+    let matcher = GroundTruthMatcher::from_item_ids(ctx.item_ids, ctx.truth, DEFAULT_MIN_COVERAGE);
+    let caught: HashSet<u32> = report
+        .labeled
+        .communities
+        .iter()
+        .filter(|lc| lc.label == MawilabLabel::Anomalous)
+        .flat_map(|lc| matcher.detected_by(&report.communities.community_traffic(lc.community)))
+        .collect();
+    let worms = WORMS
+        .iter()
+        .filter_map(|&(name, kind)| {
+            let ids: Vec<u32> = ctx
+                .truth
+                .anomalies()
+                .iter()
+                .filter(|a| a.kind == kind)
+                .map(|a| a.id)
+                .collect();
+            (!ids.is_empty()).then(|| WormStatus {
+                worm: name,
+                labeled_anomalous: ids.iter().any(|id| caught.contains(id)),
+            })
+        })
+        .collect();
+
+    let summary = DaySummary::new(ctx.date, &report.labeled.communities, &strategies, worms);
+    let t = &report.timings;
+    let wall_s = ctx.wall.as_secs_f64();
+    DayRecord {
+        packets: report.stats.packets,
+        chunks: report.stats.chunks,
+        peak_chunk_packets: report.stats.peak_chunk_packets,
+        items: report.stats.items,
+        alarms: report.alarm_count(),
+        communities: report.community_count(),
+        anomalous: report.labeled.count(MawilabLabel::Anomalous),
+        wall_s,
+        pps: report.stats.packets as f64 / wall_s.max(1e-9),
+        stage_s: [
+            t.detect.as_secs_f64(),
+            t.extract.as_secs_f64(),
+            t.graph.as_secs_f64(),
+            t.louvain.as_secs_f64(),
+            t.combine.as_secs_f64(),
+            t.label.as_secs_f64(),
+        ],
+        summary,
+    }
+}
+
+fn f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        // Belt and braces: the metrics are built to be finite; a
+        // non-finite value must not silently corrupt the JSON.
+        "null".to_string()
+    }
+}
+
+/// Escapes free-form text (error messages carry OS-supplied strings)
+/// for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs the benchmark and returns the JSON document it wrote to
+/// `<out_dir>/BENCH_archive.json`.
+pub fn run_archive_bench(args: &ArchiveBenchArgs) -> String {
+    eprintln!(
+        "archive longitudinal benchmark: {} days, scale {} …",
+        args.days.len(),
+        args.scale
+    );
+    let outcomes = run_days_streaming(
+        &args.days,
+        args.scale,
+        args.chunk_us,
+        PipelineConfig::default(),
+        reduce_day,
+    );
+    let mut records: Vec<DayRecord> = Vec::new();
+    let mut failed: Vec<String> = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(r) => records.push(r),
+            Err(failure) => {
+                eprintln!("  skipping failed day: {failure}");
+                failed.push(format!(
+                    "    {{\"date\": \"{}\", \"error\": \"{}\"}}",
+                    failure.date,
+                    json_escape(&failure.error.to_string())
+                ));
+            }
+        }
+    }
+
+    let summaries: Vec<DaySummary> = records.iter().map(|r| r.summary.clone()).collect();
+    let stability = stability_report(&summaries, MAX_STABILITY_GAP_DAYS);
+
+    let day_rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let worms: Vec<String> = r
+                .summary
+                .worms
+                .iter()
+                .map(|w| {
+                    format!(
+                        "{{\"worm\": \"{}\", \"labeled_anomalous\": {}}}",
+                        w.worm, w.labeled_anomalous
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"date\": \"{}\", \"packets\": {}, \"chunks\": {}, \
+                 \"peak_chunk_packets\": {}, \"items\": {}, \"alarms\": {}, \
+                 \"communities\": {}, \"anomalous\": {}, \"identities\": {}, \
+                 \"wall_s\": {}, \"packets_per_s\": {}, \"detect_s\": {}, \
+                 \"extract_s\": {}, \"graph_s\": {}, \"louvain_s\": {}, \
+                 \"combine_s\": {}, \"label_s\": {}, \"worms\": [{}]}}",
+                r.summary.date,
+                r.packets,
+                r.chunks,
+                r.peak_chunk_packets,
+                r.items,
+                r.alarms,
+                r.communities,
+                r.anomalous,
+                r.summary.labels.len(),
+                f(r.wall_s),
+                f(r.pps),
+                f(r.stage_s[0]),
+                f(r.stage_s[1]),
+                f(r.stage_s[2]),
+                f(r.stage_s[3]),
+                f(r.stage_s[4]),
+                f(r.stage_s[5]),
+                worms.join(", "),
+            )
+        })
+        .collect();
+
+    let pair_rows: Vec<String> = stability
+        .pairs
+        .iter()
+        .map(|p| {
+            let strategies: Vec<String> = p
+                .strategies
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"strategy\": \"{}\", \"matched\": {}, \"flips\": {}, \
+                         \"flip_rate\": {}}}",
+                        s.strategy,
+                        s.matched,
+                        s.flips,
+                        f(s.flip_rate())
+                    )
+                })
+                .collect();
+            format!(
+                "      {{\"from\": \"{}\", \"to\": \"{}\", \"gap_days\": {}, \
+                 \"matched\": {}, \"label_flips\": {}, \"churn\": {}, \
+                 \"jaccard_anomalous\": {}, \"jaccard_drift\": {}, \
+                 \"strategies\": [{}]}}",
+                p.from,
+                p.to,
+                p.gap_days,
+                p.matched,
+                p.label_flips,
+                f(p.churn()),
+                f(p.jaccard_anomalous),
+                f(p.jaccard_drift()),
+                strategies.join(", "),
+            )
+        })
+        .collect();
+
+    let flip_rows: Vec<String> = stability
+        .strategy_flip_rates
+        .iter()
+        .map(|(name, rate)| format!("{{\"strategy\": \"{name}\", \"flip_rate\": {}}}", f(*rate)))
+        .collect();
+
+    let opt_date = |d: Option<TraceDate>| d.map_or("null".to_string(), |d| format!("\"{d}\""));
+    let outbreak_rows: Vec<String> = stability
+        .outbreaks
+        .iter()
+        .map(|o| {
+            format!(
+                "    {{\"worm\": \"{}\", \"onset\": {}, \"first_labeled\": {}, \
+                 \"response_days\": {}, \"residual_days\": {}, \
+                 \"residual_stable_days\": {}, \"residual_stability\": {}}}",
+                o.worm,
+                opt_date(o.onset),
+                opt_date(o.first_labeled),
+                o.response_days
+                    .map_or("null".to_string(), |d| d.to_string()),
+                o.residual_days,
+                o.residual_stable_days,
+                f(o.residual_stability()),
+            )
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"generated_by\": \"cargo run --release -p mawilab-bench --bin archive\",\n  \
+         \"scale\": {},\n  \"chunk_us\": {},\n  \"sampled_days\": {},\n  \
+         \"max_stability_gap_days\": {},\n  \
+         \"days\": [\n{}\n  ],\n  \
+         \"failed_days\": [{}],\n  \
+         \"stability\": {{\n    \"label_churn\": {},\n    \"jaccard_drift\": {},\n    \
+         \"strategy_flip_rates\": [{}],\n    \"adjacent_pairs\": [\n{}\n    ]\n  }},\n  \
+         \"outbreaks\": [\n{}\n  ],\n  \
+         \"peak_rss_kb\": {}\n}}\n",
+        args.scale,
+        args.chunk_us,
+        records.len(),
+        MAX_STABILITY_GAP_DAYS,
+        day_rows.join(",\n"),
+        if failed.is_empty() {
+            String::new()
+        } else {
+            format!("\n{}\n  ", failed.join(",\n"))
+        },
+        f(stability.label_churn),
+        f(stability.jaccard_drift),
+        flip_rows.join(", "),
+        pair_rows.join(",\n"),
+        outbreak_rows.join(",\n"),
+        peak_rss_kb().unwrap_or(0),
+    );
+
+    std::fs::create_dir_all(&args.out_dir).expect("creating out dir");
+    let path = format!("{}/BENCH_archive.json", args.out_dir);
+    std::fs::write(&path, &json).expect("writing BENCH_archive.json");
+    eprintln!("wrote {path}");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mawilab_model::LinkEra;
+
+    #[test]
+    fn default_sample_spans_eras_and_epochs() {
+        let days = default_archive_days();
+        assert!(days.len() >= 12);
+        assert!(days.windows(2).all(|w| w[0] < w[1]), "date-ordered");
+        for era in [
+            LinkEra::Car18Mbps,
+            LinkEra::Full100Mbps,
+            LinkEra::Full150Mbps,
+        ] {
+            assert!(
+                days.iter().any(|&d| LinkEra::for_date(d) == era),
+                "era {era:?} not sampled"
+            );
+        }
+        // Both outbreak onsets have an adjacent pair.
+        assert!(days.contains(&TraceDate::new(2003, 8, 12)));
+        assert!(days.contains(&TraceDate::new(2004, 5, 10)));
+    }
+
+    #[test]
+    fn json_escape_handles_hostile_error_text() {
+        assert_eq!(
+            json_escape("a \"quoted\" \\path\nline2\ttab\u{1}"),
+            "a \\\"quoted\\\" \\\\path\\nline2\\ttab\\u0001"
+        );
+        assert_eq!(json_escape("plain message"), "plain message");
+    }
+
+    /// The tiny-scale end-to-end smoke: runs the real benchmark on
+    /// three Sasser-onset days and asserts the JSON schema and that
+    /// every stability metric is a finite number.
+    #[test]
+    fn smoke_run_produces_schema_with_finite_metrics() {
+        let dir = std::env::temp_dir().join("mawilab-archive-smoke");
+        let args = ArchiveBenchArgs {
+            scale: 0.25,
+            days: smoke_archive_days(),
+            out_dir: dir.to_str().unwrap().to_string(),
+            ..Default::default()
+        };
+        let json = run_archive_bench(&args);
+        assert_eq!(
+            json,
+            std::fs::read_to_string(dir.join("BENCH_archive.json")).unwrap()
+        );
+        for key in [
+            "\"days\"",
+            "\"stability\"",
+            "\"label_churn\"",
+            "\"jaccard_drift\"",
+            "\"strategy_flip_rates\"",
+            "\"adjacent_pairs\"",
+            "\"outbreaks\"",
+            "\"peak_rss_kb\"",
+            "\"packets_per_s\"",
+            "\"detect_s\"",
+            "\"worms\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        // All five strategies appear in the flip table.
+        for name in ["average", "minimum", "maximum", "SCANN", "majority"] {
+            assert!(
+                json.contains(&format!("\"strategy\": \"{name}\"")),
+                "strategy {name} missing"
+            );
+        }
+        // Three adjacent days → two stability pairs.
+        assert_eq!(json.matches("\"gap_days\"").count(), 2);
+        // The Sasser epoch is present in the outbreak table.
+        assert!(json.contains("\"worm\": \"sasser\""));
+        // Extract the headline churn value and check it parses.
+        let churn = json
+            .split("\"label_churn\": ")
+            .nth(1)
+            .and_then(|s| s.split(&[',', '\n'][..]).next())
+            .unwrap()
+            .parse::<f64>()
+            .expect("label_churn is a number");
+        assert!((0.0..=1.0).contains(&churn));
+    }
+}

@@ -1,0 +1,50 @@
+//! Archive-scale longitudinal benchmark: month-scale label stability
+//! over the streaming pipeline.
+//!
+//! Streams a curated 2001–2009 day sample (all three link eras, both
+//! worm epochs) through `run_days_streaming` and writes
+//! `results/BENCH_archive.json` with label churn, per-strategy
+//! decision flip rates, anomalous-set Jaccard drift, worm outbreak
+//! response, and the per-day throughput trajectory.
+//!
+//! ```sh
+//! cargo run --release -p mawilab-bench --bin archive [-- --scale 1.0 --out results]
+//! cargo run --release -p mawilab-bench --bin archive -- --smoke   # tiny CI pass
+//! ```
+
+use mawilab_bench::archive::{run_archive_bench, smoke_archive_days, ArchiveBenchArgs};
+
+fn main() {
+    let mut args = ArchiveBenchArgs::default();
+    let mut smoke = false;
+    let mut scale_set = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => {
+                args.scale = it.next().and_then(|v| v.parse().ok()).expect("bad --scale");
+                scale_set = true;
+            }
+            "--chunk-us" => {
+                args.chunk_us = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("bad --chunk-us")
+            }
+            "--out" => args.out_dir = it.next().expect("bad --out"),
+            "--smoke" => smoke = true,
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    if smoke {
+        // Seconds-scale CI pass: three onset days, at low volume
+        // unless the caller picked a scale explicitly (flag order is
+        // irrelevant).
+        args.days = smoke_archive_days();
+        if !scale_set {
+            args.scale = 0.25;
+        }
+    }
+    let json = run_archive_bench(&args);
+    println!("{json}");
+}

@@ -168,7 +168,7 @@ fn main() {
     // Multi-day streaming sweep through the archive harness.
     eprintln!("multi-day streaming sweep …");
     let days = first_days_of_month(2004, 6, 4);
-    let sweep = run_days_streaming(
+    let sweep: Vec<String> = run_days_streaming(
         &days,
         flags.scale.min(0.5),
         DEFAULT_CHUNK_US,
@@ -187,7 +187,10 @@ fn main() {
                     .count(mawilab_label::MawilabLabel::Anomalous),
             )
         },
-    );
+    )
+    .into_iter()
+    .map(|day| day.expect("synthetic streaming day failed"))
+    .collect();
 
     let json = format!(
         "{{\n  \"generated_by\": \"cargo run --release -p mawilab-bench --bin streaming\",\n  \

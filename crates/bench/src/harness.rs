@@ -12,8 +12,9 @@ use mawilab_core::{
     StreamingReport,
 };
 use mawilab_detectors::TraceView;
-use mawilab_model::{FlowTable, TraceChunker, TraceDate};
+use mawilab_model::{FlowTable, ItemIndex, SourceError, TraceChunker, TraceDate};
 use mawilab_synth::{ArchiveConfig, ArchiveSimulator, GroundTruth, LabeledTrace};
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
@@ -96,40 +97,75 @@ pub struct StreamingDayContext<'a> {
     /// Ground truth of the generated day (the packets themselves are
     /// gone — they streamed through).
     pub truth: &'a GroundTruth,
+    /// Traffic-unit id of every packet (stream order), at the
+    /// pipeline's granularity — the bridge between `truth.tags()`
+    /// (per packet) and the report's community traffic sets (per
+    /// unit). Feed it to `GroundTruthMatcher::from_item_ids`.
+    pub item_ids: &'a [u32],
     /// Full streaming pipeline output, including ingest stats.
     pub report: &'a StreamingReport,
     /// Wall-clock of the whole streaming run for this day.
     pub wall: Duration,
 }
 
+/// A day the streaming harness could not complete.
+#[derive(Debug)]
+pub struct DayFailure {
+    /// The day whose run failed.
+    pub date: TraceDate,
+    /// The source error that aborted it.
+    pub error: SourceError,
+}
+
+impl fmt::Display for DayFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "day {}: {}", self.date, self.error)
+    }
+}
+
+impl std::error::Error for DayFailure {}
+
 /// Runs the **streaming** pipeline over every day, in parallel,
-/// returning per-day results in day order — the archive-scale
+/// returning one entry per day, in day order — the archive-scale
 /// evaluation path where no day is ever materialised inside the
 /// pipeline. `chunk_us` is the ingest bin width.
+///
+/// A day whose source errors (pcap corruption, replay divergence, …)
+/// yields `Err(DayFailure)` instead of poisoning the whole run: a
+/// month-scale benchmark reports the bad day and keeps the month.
 pub fn run_days_streaming<T, F>(
     days: &[TraceDate],
     scale: f64,
     chunk_us: u64,
     pipeline_config: PipelineConfig,
     reduce: F,
-) -> Vec<T>
+) -> Vec<Result<T, DayFailure>>
 where
     T: Send,
     F: Fn(&StreamingDayContext<'_>) -> T + Sync,
 {
     schedule_days(days, scale, |date, lt| {
         let truth = lt.truth;
+        // Packet → traffic-unit map for ground-truth evaluation,
+        // computed in stream order before the trace is consumed (the
+        // incremental ItemIndex assigns exactly the ids pass 2 will).
+        let mut item_ids = Vec::with_capacity(lt.trace.len());
+        ItemIndex::new(pipeline_config.granularity).ids_of(&lt.trace.packets, &mut item_ids);
         let mut source = TraceChunker::new(lt.trace, chunk_us);
         let pipeline = StreamingPipeline::new(pipeline_config.clone());
         let t0 = std::time::Instant::now();
-        let report = pipeline.run(&mut source).expect("streaming run failed");
+        let report = match pipeline.run(&mut source) {
+            Ok(report) => report,
+            Err(error) => return Err(DayFailure { date, error }),
+        };
         let wall = t0.elapsed();
-        reduce(&StreamingDayContext {
+        Ok(reduce(&StreamingDayContext {
             date,
             truth: &truth,
+            item_ids: &item_ids,
             report: &report,
             wall,
-        })
+        }))
     })
 }
 
@@ -174,7 +210,7 @@ mod tests {
         let batch = run_days(&days, 0.3, PipelineConfig::default(), |ctx| {
             (ctx.report.alarm_count(), ctx.report.decisions.clone())
         });
-        let streamed = run_days_streaming(
+        let streamed: Vec<_> = run_days_streaming(
             &days,
             0.3,
             mawilab_model::DEFAULT_CHUNK_US,
@@ -182,9 +218,25 @@ mod tests {
             |ctx| {
                 assert!(ctx.report.stats.chunks > 1);
                 assert!((ctx.report.stats.peak_chunk_packets as u64) < ctx.report.stats.packets);
+                assert_eq!(
+                    ctx.item_ids.len() as u64,
+                    ctx.report.stats.packets,
+                    "one item id per streamed packet"
+                );
+                assert_eq!(
+                    ctx.item_ids
+                        .iter()
+                        .collect::<std::collections::HashSet<_>>()
+                        .len(),
+                    ctx.report.stats.items,
+                    "context ids and pipeline pass 2 agree on the unit universe"
+                );
                 (ctx.report.alarm_count(), ctx.report.decisions.clone())
             },
-        );
+        )
+        .into_iter()
+        .map(|day| day.expect("synthetic day cannot fail"))
+        .collect();
         assert_eq!(batch, streamed);
     }
 }

@@ -11,12 +11,17 @@
 //!   (`--years`, `--days`, `--scale`, `--out`, `--panel`);
 //! * [`harness`] — the archive→pipeline day runner with thread-pool
 //!   parallelism across days;
+//! * [`archive`] — the longitudinal label-stability benchmark behind
+//!   the `archive` bin (`results/BENCH_archive.json`);
 //! * [`out`] — aligned-table printing and CSV emission under
 //!   `results/`.
 
+pub mod archive;
 pub mod cli;
 pub mod harness;
 pub mod out;
 
 pub use cli::Args;
-pub use harness::{peak_rss_kb, run_days, run_days_streaming, DayContext, StreamingDayContext};
+pub use harness::{
+    peak_rss_kb, run_days, run_days_streaming, DayContext, DayFailure, StreamingDayContext,
+};

@@ -7,10 +7,13 @@
 //!
 //! 1. **Detection pass** — every configuration's
 //!    [`IncrementalDetector`] observes each chunk (in parallel across
-//!    configurations via scoped threads, as in the batch pipeline)
-//!    and reports its alarms at end of stream. Detector state is
-//!    chunk-boundary invariant, so the alarms are identical to the
-//!    batch pipeline's.
+//!    configurations through the shared `mawilab-exec` fan-out, so
+//!    `MAWILAB_THREADS` governs this pass like every other stage, and
+//!    day-level harness fan-out does not multiply detector threads)
+//!    and reports its alarms at end of stream. The chunk is lent to
+//!    all workers by reference — never copied out of the source's
+//!    buffer. Detector state is chunk-boundary invariant, so the
+//!    alarms are identical to the batch pipeline's.
 //! 2. **Extraction pass** — the source is rewound and drained again:
 //!    an [`ItemIndex`] reassigns the exact traffic-unit ids a batch
 //!    `FlowTable` would, the [`StreamingExtractor`] accumulates
@@ -37,21 +40,27 @@
 
 use crate::pipeline::{LabeledReport, PipelineConfig, PipelineTimings};
 use mawilab_combiner::{Decision, VoteTable};
-use mawilab_detectors::Alarm;
-use mawilab_detectors::{standard_configurations, ChunkView, Detector, IncrementalDetector};
+use mawilab_detectors::{
+    finish_all, observe_all, standard_configurations, ChunkView, Detector, IncrementalDetector,
+};
 use mawilab_label::{label_communities_streaming, CommunityEvidence};
-use mawilab_model::{ItemIndex, PacketChunk, PacketSource, SourceError};
+use mawilab_model::{ItemIndex, PacketSource, SourceError};
 use mawilab_similarity::{AlarmCommunities, StreamingExtractor};
-use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 /// Ingest statistics of one streaming run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StreamStats {
-    /// Chunks drained per pass (both passes see the same stream).
+    /// Chunks drained on the detection pass.
     pub chunks: usize,
-    /// Total packets streamed per pass.
+    /// Total packets streamed on the detection pass.
     pub packets: u64,
+    /// Chunks drained on the extraction pass. A completed run has
+    /// `pass2_chunks == chunks` — a mismatch aborts the run with
+    /// [`SourceError::ReplayDiverged`] before any label is produced.
+    pub pass2_chunks: usize,
+    /// Packets streamed on the extraction pass (must equal `packets`).
+    pub pass2_packets: u64,
     /// Largest number of packets alive at once — the size of the
     /// biggest single chunk. This is the constant-memory bound.
     pub peak_chunk_packets: usize,
@@ -88,6 +97,15 @@ impl StreamingReport {
         self.communities.community_count()
     }
 }
+
+/// Chunks below this packet count are observed inline rather than
+/// fanned out: `observe_all` spins up a scoped-thread round per call,
+/// and for near-empty chunks (narrow `--chunk-us` bins, quiet
+/// periods) the spawn/join barrier would dwarf the detector work
+/// itself. The cutover is by chunk size only — never by thread count
+/// — so output stays identical at any `MAWILAB_THREADS` setting
+/// (detectors are independent; only the schedule changes).
+const FANOUT_MIN_CHUNK_PACKETS: usize = 1024;
 
 /// The end-to-end streaming MAWILab pipeline.
 pub struct StreamingPipeline {
@@ -126,64 +144,34 @@ impl StreamingPipeline {
         let meta = source.meta().clone();
         let mut stats = StreamStats::default();
 
-        // Pass 1: incremental detection, parallel across configs.
-        // One long-lived worker thread per configuration for the
-        // whole drain (spawning per chunk would put thread creation
-        // in the ingest hot loop); chunks are shared via `Arc` over
-        // bounded rendezvous channels, so backpressure keeps at most
-        // a couple of chunks alive regardless of stream length.
+        // Pass 1: incremental detection, parallel across configs via
+        // the shared `mawilab-exec` fan-out (`observe_all`). The lent
+        // chunk is shared read-only by every configuration worker for
+        // the duration of one `observe_all` round — no per-chunk deep
+        // copy, no `Arc`, and under a day-level outer fan-out the
+        // exec nesting policy runs this pass inline instead of
+        // stacking twelve extra threads per in-flight day.
         let t0 = Instant::now();
         let mut incs: Vec<Box<dyn IncrementalDetector>> =
             self.detectors.iter().map(|d| d.incremental()).collect();
         for inc in &mut incs {
             inc.begin(&meta);
         }
-        let meta_ref = &meta;
-        let (alarms, pass1_err) = std::thread::scope(|s| {
-            let mut senders: Vec<mpsc::SyncSender<Arc<PacketChunk>>> = Vec::new();
-            let mut handles = Vec::new();
-            for mut inc in incs {
-                let (tx, rx) = mpsc::sync_channel::<Arc<PacketChunk>>(1);
-                senders.push(tx);
-                handles.push(s.spawn(move || {
-                    while let Ok(chunk) = rx.recv() {
-                        inc.observe(&ChunkView::of_chunk(meta_ref, &chunk));
-                    }
-                    inc.finish()
-                }));
-            }
-            let mut err = None;
-            loop {
-                match source.next_chunk() {
-                    Ok(Some(chunk)) => {
-                        stats.chunks += 1;
-                        stats.packets += chunk.packets.len() as u64;
-                        stats.peak_chunk_packets =
-                            stats.peak_chunk_packets.max(chunk.packets.len());
-                        let shared = Arc::new(chunk.clone());
-                        for tx in &senders {
-                            // A send error means the worker panicked;
-                            // the join below surfaces that panic.
-                            let _ = tx.send(Arc::clone(&shared));
-                        }
-                    }
-                    Ok(None) => break,
-                    Err(e) => {
-                        err = Some(e);
-                        break;
-                    }
+        while let Some(chunk) = source.next_chunk()? {
+            stats.chunks += 1;
+            stats.packets += chunk.packets.len() as u64;
+            stats.peak_chunk_packets = stats.peak_chunk_packets.max(chunk.packets.len());
+            let view = ChunkView::of_chunk(&meta, chunk);
+            if chunk.packets.len() < FANOUT_MIN_CHUNK_PACKETS {
+                for inc in &mut incs {
+                    inc.observe(&view);
                 }
+            } else {
+                observe_all(&mut incs, &view);
             }
-            drop(senders); // close channels: workers finish()
-            let mut groups: Vec<Vec<Alarm>> = Vec::with_capacity(handles.len());
-            for h in handles {
-                groups.push(h.join().expect("detector worker panicked"));
-            }
-            (groups.concat(), err)
-        });
-        if let Some(e) = pass1_err {
-            return Err(e);
         }
+        let alarms = finish_all(&mut incs);
+        drop(incs);
         let detect = t0.elapsed();
 
         // Pass 2: traffic extraction + labeling evidence.
@@ -195,6 +183,8 @@ impl StreamingPipeline {
             let mut extractor = StreamingExtractor::new(&alarms);
             let mut ids: Vec<u32> = Vec::new();
             while let Some(chunk) = source.next_chunk()? {
+                stats.pass2_chunks += 1;
+                stats.pass2_packets += chunk.packets.len() as u64;
                 index.ids_of(&chunk.packets, &mut ids);
                 let matched = extractor.observe(chunk.window, &chunk.packets, &ids);
                 evidence.observe(&chunk.packets, &ids, matched);
@@ -202,6 +192,18 @@ impl StreamingPipeline {
             extractor.into_traffic()
         };
         stats.items = index.item_count();
+        // The alarms came from pass 1, the traffic ids from pass 2: if
+        // the rewound source replayed a different stream, the two no
+        // longer describe the same packets and every downstream label
+        // would be silently wrong. Fail loudly instead.
+        if stats.pass2_chunks != stats.chunks || stats.pass2_packets != stats.packets {
+            return Err(SourceError::ReplayDiverged {
+                pass1_chunks: stats.chunks,
+                pass1_packets: stats.packets,
+                pass2_chunks: stats.pass2_chunks,
+                pass2_packets: stats.pass2_packets,
+            });
+        }
         let extract = t1.elapsed();
 
         // Steps 2–4 on the accumulated state: unchanged batch code.
@@ -272,6 +274,70 @@ mod tests {
         assert_eq!(report.stats.packets, lt.trace.len() as u64);
         assert!(report.stats.chunks > 1, "expected a multi-chunk stream");
         assert!(report.stats.peak_chunk_packets < lt.trace.len());
+        assert_eq!(report.stats.pass2_chunks, report.stats.chunks);
+        assert_eq!(report.stats.pass2_packets, report.stats.packets);
+    }
+
+    /// A source that drops its trailing chunks after the rewind —
+    /// the silent-divergence failure the pipeline must reject.
+    struct TruncatingReplay {
+        inner: TraceChunker,
+        pass: usize,
+        served: usize,
+        pass2_limit: usize,
+    }
+
+    impl mawilab_model::PacketSource for TruncatingReplay {
+        fn meta(&self) -> &mawilab_model::TraceMeta {
+            self.inner.meta()
+        }
+
+        fn bin_us(&self) -> u64 {
+            self.inner.bin_us()
+        }
+
+        fn next_chunk(
+            &mut self,
+        ) -> Result<Option<&mawilab_model::PacketChunk>, mawilab_model::SourceError> {
+            if self.pass > 0 && self.served >= self.pass2_limit {
+                return Ok(None);
+            }
+            self.served += 1;
+            self.inner.next_chunk()
+        }
+
+        fn rewind(&mut self) -> Result<(), mawilab_model::SourceError> {
+            self.pass += 1;
+            self.served = 0;
+            self.inner.rewind()
+        }
+    }
+
+    #[test]
+    fn diverging_replay_is_an_error_not_wrong_labels() {
+        let lt = small_trace();
+        let mut source = TruncatingReplay {
+            inner: TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US),
+            pass: 0,
+            served: 0,
+            pass2_limit: 3,
+        };
+        let err = StreamingPipeline::new(PipelineConfig::default())
+            .run(&mut source)
+            .expect_err("truncated replay must fail");
+        match err {
+            mawilab_model::SourceError::ReplayDiverged {
+                pass1_chunks,
+                pass2_chunks,
+                pass1_packets,
+                pass2_packets,
+            } => {
+                assert!(pass1_chunks > pass2_chunks);
+                assert_eq!(pass2_chunks, 3);
+                assert!(pass1_packets > pass2_packets);
+            }
+            other => panic!("expected ReplayDiverged, got {other}"),
+        }
     }
 
     #[test]

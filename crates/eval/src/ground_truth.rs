@@ -43,17 +43,43 @@ impl GroundTruthMatcher {
         granularity: Granularity,
         min_coverage: f64,
     ) -> Self {
+        Self::build(
+            |i| match granularity {
+                Granularity::Packet => i as u32,
+                Granularity::Uniflow => view.flows.uniflow_of(i),
+                Granularity::Biflow => view.flows.biflow_of(i),
+            },
+            truth,
+            min_coverage,
+        )
+    }
+
+    /// Indexes the truth from a precomputed packet-index → traffic-id
+    /// map — the **streaming** path, where no `TraceView` or
+    /// `FlowTable` exists. `item_ids[i]` must be the id the pipeline's
+    /// `ItemIndex` assigned to packet `i` (stream order equals trace
+    /// order), so the matcher speaks the same id space as the
+    /// streaming report's communities.
+    pub fn from_item_ids(item_ids: &[u32], truth: &GroundTruth, min_coverage: f64) -> Self {
+        assert_eq!(
+            item_ids.len(),
+            truth.tags().len(),
+            "item map and truth tags must cover the same packets"
+        );
+        Self::build(|i| item_ids[i], truth, min_coverage)
+    }
+
+    fn build(item_of: impl Fn(usize) -> u32, truth: &GroundTruth, min_coverage: f64) -> Self {
         let mut item_tags: HashMap<u32, HashMap<u32, u32>> = HashMap::new();
         let mut anomaly_sizes: HashMap<u32, u32> = HashMap::new();
         for (i, tag) in truth.tags().iter().enumerate() {
             let Some(id) = *tag else { continue };
             *anomaly_sizes.entry(id).or_insert(0) += 1;
-            let item = match granularity {
-                Granularity::Packet => i as u32,
-                Granularity::Uniflow => view.flows.uniflow_of(i),
-                Granularity::Biflow => view.flows.biflow_of(i),
-            };
-            *item_tags.entry(item).or_default().entry(id).or_insert(0) += 1;
+            *item_tags
+                .entry(item_of(i))
+                .or_default()
+                .entry(id)
+                .or_insert(0) += 1;
         }
         GroundTruthMatcher {
             item_tags,
@@ -261,6 +287,23 @@ mod tests {
         for d in DetectorKind::ALL {
             assert!(score_detector(&m, &report.communities, d).is_subset(&union));
         }
+    }
+
+    #[test]
+    fn item_id_matcher_equals_view_matcher() {
+        // The streaming constructor, fed the ids an ItemIndex assigns
+        // in stream order, indexes exactly what the batch constructor
+        // indexes from the flow table.
+        let (lt, flows) = run();
+        let view = TraceView::new(&lt.trace, &flows);
+        let from_view = GroundTruthMatcher::new(&view, &lt.truth, Granularity::Uniflow);
+        let mut ids = Vec::new();
+        mawilab_model::ItemIndex::new(Granularity::Uniflow).ids_of(&lt.trace.packets, &mut ids);
+        let from_ids = GroundTruthMatcher::from_item_ids(&ids, &lt.truth, DEFAULT_MIN_COVERAGE);
+        assert_eq!(from_view.anomaly_ids(), from_ids.anomaly_ids());
+        assert_eq!(from_view.attack_ids(), from_ids.attack_ids());
+        let all: Vec<u32> = (0..flows.uniflow_count() as u32).collect();
+        assert_eq!(from_view.detected_by(&all), from_ids.detected_by(&all));
     }
 
     #[test]

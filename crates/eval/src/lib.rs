@@ -16,15 +16,24 @@
 //!   "twice as many anomalies as the most accurate detector" check.
 //!   (The real MAWI archive has no ground truth — this module is the
 //!   evaluation the original authors could not run.)
+//! * [`longitudinal`] — month-scale label stability over sequences of
+//!   archive days: label churn, per-strategy decision flip rates,
+//!   anomalous-set Jaccard drift, and worm-outbreak response — the
+//!   operational view of the continuously running MAWILab service.
 
 pub mod condorcet;
 pub mod dists;
 pub mod gaincost;
 pub mod ground_truth;
+pub mod longitudinal;
 pub mod ratios;
 
 pub use condorcet::majority_accuracy;
 pub use dists::{cdf_points, pdf_histogram};
 pub use gaincost::{gain_cost, GainCost};
 pub use ground_truth::{GroundTruthMatcher, StrategyScore};
+pub use longitudinal::{
+    adjacent_pairs, outbreak_response, stability_report, AdjacentPair, AnomalyIdentity, DaySummary,
+    OutbreakResponse, RuleScope, StabilityReport, StrategyFlips, WormStatus,
+};
 pub use ratios::{attack_ratio_by_class, detector_attack_ratio, AttackRatios};

@@ -19,8 +19,65 @@
 //! long-lived pool — workers are `std::thread::scope` threads, which
 //! keeps the helpers dependency-free and lets them borrow from the
 //! caller's stack.
+//!
+//! ## One fan-out level (the shared-pool policy)
+//!
+//! Helpers called from *inside* an exec worker run **inline** on that
+//! worker. The outermost fan-out therefore owns the whole thread
+//! budget: a day-level driver that maps whole pipelines over N days
+//! uses `thread_count()` workers total, not `thread_count()` workers
+//! each running another `thread_count()` detector/graph workers —
+//! nesting never multiplies into `threads²` live threads. Because
+//! every helper is deterministic at any worker count, inlining a
+//! nested stage cannot change its output, only its schedule.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// True on threads spawned by these helpers: nested fan-outs from
+    /// such a thread run inline instead of spawning another level.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Marks the current thread as an exec worker for its lifetime;
+/// restores the previous state on drop (the inline path reuses the
+/// caller's thread, which may itself already be a worker).
+struct WorkerGuard {
+    was: bool,
+}
+
+impl WorkerGuard {
+    fn enter() -> Self {
+        let was = IN_WORKER.with(|f| f.replace(true));
+        WorkerGuard { was }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let was = self.was;
+        IN_WORKER.with(|f| f.set(was));
+    }
+}
+
+/// True when the calling thread is one of these helpers' workers — a
+/// fan-out started here would run inline (see the module docs on the
+/// one-fan-out-level policy).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// Worker count for a fan-out over `n_items` under `cap`: the global
+/// [`thread_count`] policy at the top level, always 1 (inline) inside
+/// an existing worker.
+fn fanout_width(n_items: usize, cap: usize) -> usize {
+    if in_worker() {
+        1
+    } else {
+        thread_count().min(cap).min(n_items)
+    }
+}
 
 /// Number of worker threads the fan-out helpers use: the
 /// `MAWILAB_THREADS` override when set to a positive integer,
@@ -74,7 +131,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = thread_count().min(cap).min(items.len());
+    let workers = fanout_width(items.len(), cap);
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -83,6 +140,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
+                    let _guard = WorkerGuard::enter();
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -124,7 +182,7 @@ where
     R: Send,
     F: Fn(&mut T) -> R + Sync,
 {
-    let workers = thread_count().min(items.len());
+    let workers = fanout_width(items.len(), usize::MAX);
     if workers <= 1 {
         return items.iter_mut().map(f).collect();
     }
@@ -133,7 +191,12 @@ where
     let parts: Vec<Vec<R>> = std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks_mut(chunk)
-            .map(|part| s.spawn(move || part.iter_mut().map(f).collect::<Vec<R>>()))
+            .map(|part| {
+                s.spawn(move || {
+                    let _guard = WorkerGuard::enter();
+                    part.iter_mut().map(f).collect::<Vec<R>>()
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -154,7 +217,7 @@ where
     T: Send,
     F: Fn(&mut T) + Sync,
 {
-    let workers = thread_count().min(items.len());
+    let workers = fanout_width(items.len(), usize::MAX);
     if workers <= 1 {
         for item in items {
             f(item);
@@ -166,6 +229,7 @@ where
     std::thread::scope(|s| {
         for part in items.chunks_mut(chunk) {
             s.spawn(move || {
+                let _guard = WorkerGuard::enter();
                 for item in part {
                     f(item);
                 }
@@ -213,6 +277,47 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn nested_fanout_runs_inline() {
+        // From inside a worker context, every helper must stay on the
+        // calling thread — one fan-out level, no threads² nesting.
+        let _guard = WorkerGuard::enter();
+        let me = std::thread::current().id();
+        let items: Vec<u32> = (0..64).collect();
+        let ids = par_map(&items, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == me));
+        let mut muts: Vec<u32> = (0..64).collect();
+        let ids = par_map_mut(&mut muts, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == me));
+        assert!(in_worker());
+    }
+
+    #[test]
+    fn worker_guard_restores_state() {
+        assert!(!in_worker());
+        {
+            let _outer = WorkerGuard::enter();
+            assert!(in_worker());
+            {
+                let _inner = WorkerGuard::enter();
+                assert!(in_worker());
+            }
+            assert!(in_worker(), "inner guard must restore, not clear");
+        }
+        assert!(!in_worker());
+    }
+
+    #[test]
+    fn nested_results_are_still_correct() {
+        let outer: Vec<usize> = (0..9).collect();
+        let got = par_map(&outer, |&i| {
+            let inner: Vec<usize> = (0..100).collect();
+            par_map(&inner, |&j| i * j).iter().sum::<usize>()
+        });
+        let want: Vec<usize> = (0..9).map(|i| i * 4950).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub use evidence::CommunityEvidence;
 pub use heuristics::{classify_packets, HeuristicCategory, HeuristicLabel, TrafficProfile};
 pub use summary::{summarize_community, CommunitySummary};
 pub use taxonomy::{
-    label_communities, label_communities_streaming, LabeledCommunity, MawilabLabel,
+    label_communities, label_communities_streaming, label_of, LabeledCommunity, MawilabLabel,
 };

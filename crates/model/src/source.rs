@@ -72,6 +72,21 @@ pub enum SourceError {
     Pcap(PcapError),
     /// The source cannot rewind for a second pass.
     RewindUnsupported(&'static str),
+    /// A rewound source did not replay the same stream: the second
+    /// pass saw a different chunk or packet count than the first.
+    /// Two-pass consumers must fail here — with diverging streams the
+    /// extraction pass would silently pair pass-2 traffic with pass-1
+    /// alarms and produce wrong labels.
+    ReplayDiverged {
+        /// Chunks drained on the first pass.
+        pass1_chunks: usize,
+        /// Packets drained on the first pass.
+        pass1_packets: u64,
+        /// Chunks drained after the rewind.
+        pass2_chunks: usize,
+        /// Packets drained after the rewind.
+        pass2_packets: u64,
+    },
 }
 
 impl fmt::Display for SourceError {
@@ -81,6 +96,17 @@ impl fmt::Display for SourceError {
             SourceError::RewindUnsupported(what) => {
                 write!(f, "source `{what}` does not support rewinding")
             }
+            SourceError::ReplayDiverged {
+                pass1_chunks,
+                pass1_packets,
+                pass2_chunks,
+                pass2_packets,
+            } => write!(
+                f,
+                "rewound source replayed a different stream: \
+                 pass 1 saw {pass1_packets} packets in {pass1_chunks} chunks, \
+                 pass 2 saw {pass2_packets} packets in {pass2_chunks} chunks"
+            ),
         }
     }
 }

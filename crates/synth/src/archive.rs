@@ -106,19 +106,6 @@ impl ArchiveSimulator {
         TraceGenerator::new(self.config_for(date)).generate()
     }
 
-    /// Worm epoch intensity: 0 before release, a hot outbreak phase,
-    /// then a slowly decaying residual (worms kept scanning the
-    /// Internet for years).
-    fn worm_intensity(release: f64, hot_until: f64, fy: f64) -> f64 {
-        if fy < release {
-            0.0
-        } else if fy < hot_until {
-            3.0
-        } else {
-            (1.2 * (-0.8 * (fy - hot_until)).exp()).max(0.25)
-        }
-    }
-
     fn daily_anomalies(&self, date: TraceDate, rng: &mut StdRng) -> Vec<AnomalySpec> {
         let fy = date.fractional_year();
         let dur = self.cfg.duration_s as f64;
@@ -177,7 +164,7 @@ impl ArchiveSimulator {
             });
         }
         // Blaster: released 2003-08-11; hot until early 2004.
-        let blaster = Self::worm_intensity(2003.6, 2004.1, fy);
+        let blaster = worm_intensity(2003.6, 2004.1, fy);
         for _ in 0..Poisson::new(blaster).sample(rng).min(5) {
             specs.push(AnomalySpec::BlasterWorm {
                 infected: host(rng),
@@ -186,7 +173,7 @@ impl ArchiveSimulator {
             });
         }
         // Sasser: released 2004-04-30; hot until end of 2004.
-        let sasser = Self::worm_intensity(2004.33, 2004.95, fy);
+        let sasser = worm_intensity(2004.33, 2004.95, fy);
         for _ in 0..Poisson::new(sasser).sample(rng).min(5) {
             specs.push(AnomalySpec::SasserWorm {
                 infected: host(rng),
@@ -215,6 +202,22 @@ impl ArchiveSimulator {
             });
         }
         specs
+    }
+}
+
+/// Worm epoch intensity at fractional year `fy`: 0 before `release`,
+/// a hot outbreak phase (rate 3) until `hot_until`, then a slowly
+/// decaying residual floored at 0.25 — worms kept scanning the
+/// Internet for years (paper Fig. 8(b)). Public so the longitudinal
+/// benchmark can reason about epoch boundaries and tests can pin the
+/// shape.
+pub fn worm_intensity(release: f64, hot_until: f64, fy: f64) -> f64 {
+    if fy < release {
+        0.0
+    } else if fy < hot_until {
+        3.0
+    } else {
+        (1.2 * (-0.8 * (fy - hot_until)).exp()).max(0.25)
     }
 }
 
@@ -317,6 +320,65 @@ mod tests {
             sasser_days > 20,
             "only {sasser_days} Sasser instances in Jun 2004"
         );
+    }
+
+    #[test]
+    fn worm_intensity_shape_is_zero_hot_then_decaying() {
+        // Zero strictly before release.
+        assert_eq!(worm_intensity(2003.6, 2004.1, 2001.0), 0.0);
+        assert_eq!(worm_intensity(2003.6, 2004.1, 2003.599), 0.0);
+        // Hot phase is flat at 3.
+        assert_eq!(worm_intensity(2003.6, 2004.1, 2003.6), 3.0);
+        assert_eq!(worm_intensity(2003.6, 2004.1, 2004.0), 3.0);
+        // Residual: monotonically decaying below the hot rate, never
+        // below the 0.25 floor.
+        let tail: Vec<f64> = [2004.1, 2004.5, 2005.0, 2006.0, 2009.0]
+            .iter()
+            .map(|&fy| worm_intensity(2003.6, 2004.1, fy))
+            .collect();
+        assert!(tail[0] < 3.0);
+        assert!(tail.windows(2).all(|w| w[0] >= w[1]), "{tail:?}");
+        assert!(tail.iter().all(|&v| v >= 0.25), "{tail:?}");
+        assert_eq!(worm_intensity(2003.6, 2004.1, 2030.0), 0.25);
+    }
+
+    #[test]
+    fn subset_regeneration_equals_full_sweep() {
+        // Any day regenerated alone must be bit-identical to the same
+        // day produced during a multi-day sweep — per-day seeds
+        // derive only from (base_seed, date), never from generation
+        // order. This is what lets the longitudinal benchmark sample
+        // sparse day subsets of the archive.
+        let sweep_sim = ArchiveSimulator::new(ArchiveConfig {
+            scale: 0.3,
+            ..Default::default()
+        });
+        let days = [
+            TraceDate::new(2003, 8, 12),
+            TraceDate::new(2004, 5, 10),
+            TraceDate::new(2006, 8, 1),
+        ];
+        let sweep: Vec<_> = days.iter().map(|&d| sweep_sim.generate(d)).collect();
+        for (i, &day) in days.iter().enumerate() {
+            let alone = ArchiveSimulator::new(ArchiveConfig {
+                scale: 0.3,
+                ..Default::default()
+            })
+            .generate(day);
+            assert_eq!(
+                alone.trace.packets, sweep[i].trace.packets,
+                "packets diverged for {day}"
+            );
+            assert_eq!(
+                alone.truth.tags(),
+                sweep[i].truth.tags(),
+                "truth tags diverged for {day}"
+            );
+            assert_eq!(
+                alone.truth.anomalies().len(),
+                sweep[i].truth.anomalies().len()
+            );
+        }
     }
 
     #[test]

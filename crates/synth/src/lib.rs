@@ -34,7 +34,7 @@ pub mod config;
 pub mod truth;
 
 pub use anomalies::{AnomalyKind, AnomalySpec};
-pub use archive::{ArchiveConfig, ArchiveSimulator};
+pub use archive::{worm_intensity, ArchiveConfig, ArchiveSimulator};
 pub use background::HostModel;
 pub use config::SynthConfig;
 pub use truth::{AnomalyRecord, GroundTruth, LabeledTrace};
