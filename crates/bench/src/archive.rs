@@ -1,25 +1,31 @@
 //! The archive-scale longitudinal benchmark behind the `archive` bin.
 //!
-//! Streams a curated day sample spanning the whole simulated
-//! 2001–2009 archive — all three link eras and both worm epochs —
-//! through [`run_days_streaming`], reduces every day to a
-//! [`DaySummary`] plus a throughput record, and writes
-//! `results/BENCH_archive.json` with the longitudinal stability
-//! metrics ([`mawilab_eval::longitudinal`]) next to the per-day
-//! performance trajectory. This is the repo's month-scale answer to
-//! the operational question the paper's Figs. 7–8 raise: do the
-//! labels stay put while the archive changes under the pipeline?
+//! Streams a day sample of the simulated 2001–2009 archive — the
+//! curated 13-day default, or a **month-scale consecutive sweep**
+//! (`--days N` / `--months`) spanning a link-era boundary — through
+//! [`run_days_streaming`], reduces every day to a [`DaySummary`] plus
+//! a throughput record, and writes `results/BENCH_archive.json` with
+//! the longitudinal stability metrics ([`mawilab_eval::longitudinal`]:
+//! churn, drift, monthly trajectory, era transitions, outbreak
+//! response) next to the per-day performance trajectory and a
+//! generation-throughput comparison of the sharded synth engine
+//! against its sequential oracle. This is the repo's month-scale
+//! answer to the operational question the paper's Figs. 7–8 raise: do
+//! the labels stay put while the archive changes under the pipeline?
 //!
-//! The logic lives in the library (not the bin) so the smoke test and
-//! CI can run a tiny-scale pass in-process and assert the schema.
+//! The logic lives in the library (not the bin) so the smoke tests,
+//! the thread-determinism suite and CI can run tiny-scale passes
+//! in-process and assert the schema.
 
-use crate::harness::{peak_rss_kb, run_days_streaming, StreamingDayContext};
+use crate::harness::{
+    peak_rss_kb, run_days_streaming, run_days_streaming_with, DayFailure, StreamingDayContext,
+};
 use mawilab_core::{PipelineConfig, StrategyKind};
 use mawilab_eval::ground_truth::DEFAULT_MIN_COVERAGE;
-use mawilab_eval::{stability_report, DaySummary, GroundTruthMatcher, WormStatus};
+use mawilab_eval::{stability_report, DaySummary, GroundTruthMatcher, StabilityReport, WormStatus};
 use mawilab_label::MawilabLabel;
-use mawilab_model::{TraceDate, DEFAULT_CHUNK_US};
-use mawilab_synth::AnomalyKind;
+use mawilab_model::{LinkEra, PacketSource, Trace, TraceDate, DEFAULT_CHUNK_US};
+use mawilab_synth::{AnomalyKind, ArchiveConfig, ArchiveSimulator, TraceGenerator};
 use std::collections::HashSet;
 
 /// Consecutive sampled days farther apart than this are epoch jumps
@@ -98,23 +104,62 @@ pub fn smoke_archive_days() -> Vec<TraceDate> {
     ]
 }
 
-/// One day's reduction: the stability summary plus the throughput
-/// record.
-struct DayRecord {
-    summary: DaySummary,
-    packets: u64,
-    chunks: usize,
-    peak_chunk_packets: usize,
-    items: usize,
-    alarms: usize,
-    communities: usize,
-    anomalous: usize,
-    wall_s: f64,
-    pps: f64,
-    stage_s: [f64; 6],
+/// Default start of a consecutive (`--days N`) sweep, chosen so even a
+/// short smoke sweep crosses the 2006-07-01 CAR→100 Mbps era
+/// boundary.
+pub fn default_sweep_start() -> TraceDate {
+    TraceDate::new(2006, 6, 28)
 }
 
-fn reduce_day(ctx: &StreamingDayContext<'_>) -> DayRecord {
+/// `n` consecutive calendar days from `start` — the month-scale sweep
+/// grid ([`default_month_days`] spans June and July 2006, crossing
+/// the link-era boundary mid-sweep).
+pub fn month_sweep_days(start: TraceDate, n: usize) -> Vec<TraceDate> {
+    start.consecutive(n)
+}
+
+/// The default `--months` sweep: 61 consecutive days over June–July
+/// 2006 — two full months through the 18 Mbps → 100 Mbps upgrade.
+pub fn default_month_days() -> Vec<TraceDate> {
+    month_sweep_days(TraceDate::new(2006, 6, 1), 61)
+}
+
+/// One day's reduction: the stability summary plus the throughput
+/// record.
+#[derive(Debug, Clone)]
+pub struct ArchiveDayRecord {
+    /// The stability-relevant reduction of the day.
+    pub summary: DaySummary,
+    /// Packets streamed.
+    pub packets: u64,
+    /// Chunks streamed (pass 1).
+    pub chunks: usize,
+    /// Largest single chunk.
+    pub peak_chunk_packets: usize,
+    /// Traffic units seen.
+    pub items: usize,
+    /// Alarms raised.
+    pub alarms: usize,
+    /// Communities found.
+    pub communities: usize,
+    /// Communities labeled anomalous.
+    pub anomalous: usize,
+    /// Wall-clock of the streaming pipeline run, seconds.
+    pub wall_s: f64,
+    /// Pipeline throughput, packets/second.
+    pub pps: f64,
+    /// Wall-clock of producing the day ahead of the pipeline passes
+    /// (sharded generation + the ground-truth pre-pass), seconds. For
+    /// the generation-only engine comparison see [`GenThroughput`].
+    pub gen_s: f64,
+    /// Day-production throughput over `gen_s`, packets/second.
+    pub gen_pps: f64,
+    /// Per-stage pipeline seconds: detect, extract, graph, louvain,
+    /// combine, label.
+    pub stage_s: [f64; 6],
+}
+
+fn reduce_day(ctx: &StreamingDayContext<'_>) -> ArchiveDayRecord {
     let report = ctx.report;
 
     // Every strategy's verdict on the day's vote table — the flips
@@ -154,7 +199,8 @@ fn reduce_day(ctx: &StreamingDayContext<'_>) -> DayRecord {
     let summary = DaySummary::new(ctx.date, &report.labeled.communities, &strategies, worms);
     let t = &report.timings;
     let wall_s = ctx.wall.as_secs_f64();
-    DayRecord {
+    let gen_s = ctx.gen_wall.as_secs_f64();
+    ArchiveDayRecord {
         packets: report.stats.packets,
         chunks: report.stats.chunks,
         peak_chunk_packets: report.stats.peak_chunk_packets,
@@ -164,6 +210,8 @@ fn reduce_day(ctx: &StreamingDayContext<'_>) -> DayRecord {
         anomalous: report.labeled.count(MawilabLabel::Anomalous),
         wall_s,
         pps: report.stats.packets as f64 / wall_s.max(1e-9),
+        gen_s,
+        gen_pps: report.stats.packets as f64 / gen_s.max(1e-9),
         stage_s: [
             t.detect.as_secs_f64(),
             t.extract.as_secs_f64(),
@@ -173,6 +221,141 @@ fn reduce_day(ctx: &StreamingDayContext<'_>) -> DayRecord {
             t.label.as_secs_f64(),
         ],
         summary,
+    }
+}
+
+/// Everything a benchmark run measured, before JSON formatting — the
+/// deterministic part the thread-determinism suite compares across
+/// `MAWILAB_THREADS` settings (wall-clock fields aside, every field
+/// here is thread-count invariant).
+#[derive(Debug, Clone)]
+pub struct ArchiveOutcome {
+    /// Per-day records, in day order, failed days skipped.
+    pub records: Vec<ArchiveDayRecord>,
+    /// Days the streaming harness could not complete, with the error.
+    pub failed: Vec<(TraceDate, String)>,
+    /// The longitudinal stability report over the surviving days.
+    pub stability: StabilityReport,
+}
+
+/// Reduces per-day outcomes (successes + skipped failures) to an
+/// [`ArchiveOutcome`] with the stability report over the survivors.
+fn assemble_outcome(outcomes: Vec<Result<ArchiveDayRecord, DayFailure>>) -> ArchiveOutcome {
+    let mut records: Vec<ArchiveDayRecord> = Vec::new();
+    let mut failed: Vec<(TraceDate, String)> = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(r) => records.push(r),
+            Err(DayFailure { date, error }) => {
+                eprintln!("  skipping failed day {date}: {error}");
+                failed.push((date, error.to_string()));
+            }
+        }
+    }
+    let summaries: Vec<DaySummary> = records.iter().map(|r| r.summary.clone()).collect();
+    let stability = stability_report(&summaries, MAX_STABILITY_GAP_DAYS);
+    ArchiveOutcome {
+        records,
+        failed,
+        stability,
+    }
+}
+
+/// Runs the sweep chunk-natively — each day's `SynthSource` emits
+/// `PacketChunk`s straight out of the sharded generator into the
+/// streaming pipeline, no day ever materialised — and reduces it to
+/// an [`ArchiveOutcome`].
+pub fn collect_archive(args: &ArchiveBenchArgs) -> ArchiveOutcome {
+    assemble_outcome(run_days_streaming(
+        &args.days,
+        args.scale,
+        args.chunk_us,
+        PipelineConfig::default(),
+        reduce_day,
+    ))
+}
+
+/// [`collect_archive`] through the materialising source-factory seam
+/// instead of the chunk-native path — for failure injection
+/// (`crates/bench/tests/day_failure.rs` wraps one day's source in one
+/// that errors and asserts the month survives it). The factory alone
+/// decides the chunk bin width; `args.chunk_us` only drives the
+/// chunk-native path (and the JSON header), so a factory should bin
+/// at `args.chunk_us` if it wants the report to describe it.
+pub fn collect_archive_with<S, M>(args: &ArchiveBenchArgs, make: M) -> ArchiveOutcome
+where
+    S: PacketSource,
+    M: Fn(TraceDate, Trace) -> S + Sync,
+{
+    assemble_outcome(run_days_streaming_with(
+        &args.days,
+        args.scale,
+        PipelineConfig::default(),
+        make,
+        reduce_day,
+    ))
+}
+
+/// Generation-throughput comparison of one archive day: the sequential
+/// oracle against the sharded engine at increasing worker caps
+/// (`generate_capped` sweeps effective workers without touching the
+/// process-wide `MAWILAB_THREADS`; the global policy still applies on
+/// top, so a `MAWILAB_THREADS=1` run reports ≈1.0× speedups by
+/// design). Wall times are best-of-`reps`.
+#[derive(Debug, Clone)]
+pub struct GenThroughput {
+    /// The measured day.
+    pub date: TraceDate,
+    /// Packets the day generates.
+    pub packets: usize,
+    /// Sequential-oracle wall, seconds.
+    pub sequential_s: f64,
+    /// `(worker cap, wall seconds)` of the sharded engine.
+    pub sharded: Vec<(usize, f64)>,
+}
+
+impl GenThroughput {
+    /// Speedup of the sharded engine at `cap` workers over the
+    /// sequential oracle.
+    pub fn speedup(&self, cap: usize) -> Option<f64> {
+        self.sharded
+            .iter()
+            .find(|&&(c, _)| c == cap)
+            .map(|&(_, s)| self.sequential_s / s.max(1e-12))
+    }
+}
+
+/// Measures [`GenThroughput`] for one representative day of the sweep
+/// at the benchmark scale.
+pub fn generation_throughput(date: TraceDate, scale: f64, reps: usize) -> GenThroughput {
+    let sim = ArchiveSimulator::new(ArchiveConfig {
+        scale,
+        ..Default::default()
+    });
+    let generator = TraceGenerator::new(sim.config_for(date));
+    let reps = reps.max(1);
+    const CAPS: [usize; 3] = [1, 2, 4];
+    // Interleaved rounds (sequential, then each cap, per round) with
+    // one untimed warmup: allocator/cache drift between measurements
+    // then biases every engine equally instead of whichever ran last.
+    let mut packets = generator.generate_sequential().trace.len();
+    let mut sequential_s = f64::INFINITY;
+    let mut sharded_s = [f64::INFINITY; CAPS.len()];
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        packets = generator.generate_sequential().trace.len();
+        sequential_s = sequential_s.min(t0.elapsed().as_secs_f64());
+        for (i, &cap) in CAPS.iter().enumerate() {
+            let t0 = std::time::Instant::now();
+            generator.generate_capped(cap);
+            sharded_s[i] = sharded_s[i].min(t0.elapsed().as_secs_f64());
+        }
+    }
+    GenThroughput {
+        date,
+        packets,
+        sequential_s,
+        sharded: CAPS.iter().copied().zip(sharded_s).collect(),
     }
 }
 
@@ -204,40 +387,34 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Runs the benchmark and returns the JSON document it wrote to
-/// `<out_dir>/BENCH_archive.json`.
-pub fn run_archive_bench(args: &ArchiveBenchArgs) -> String {
-    eprintln!(
-        "archive longitudinal benchmark: {} days, scale {} …",
-        args.days.len(),
-        args.scale
-    );
-    let outcomes = run_days_streaming(
-        &args.days,
-        args.scale,
-        args.chunk_us,
-        PipelineConfig::default(),
-        reduce_day,
-    );
-    let mut records: Vec<DayRecord> = Vec::new();
-    let mut failed: Vec<String> = Vec::new();
-    for outcome in outcomes {
-        match outcome {
-            Ok(r) => records.push(r),
-            Err(failure) => {
-                eprintln!("  skipping failed day: {failure}");
-                failed.push(format!(
-                    "    {{\"date\": \"{}\", \"error\": \"{}\"}}",
-                    failure.date,
-                    json_escape(&failure.error.to_string())
-                ));
-            }
-        }
-    }
+/// Link-era boundaries crossed by consecutive days of a sample.
+pub fn era_boundaries_crossed(days: &[TraceDate]) -> usize {
+    days.windows(2)
+        .filter(|w| LinkEra::for_date(w[0]) != LinkEra::for_date(w[1]))
+        .count()
+}
 
-    let summaries: Vec<DaySummary> = records.iter().map(|r| r.summary.clone()).collect();
-    let stability = stability_report(&summaries, MAX_STABILITY_GAP_DAYS);
+/// Era boundaries actually *evaluated* by an outcome: computed over
+/// the surviving day records, not the requested sample — if the
+/// boundary-straddling day itself failed, the crossing was not
+/// measured and must not be reported (the CI month-smoke asserts on
+/// this field).
+fn era_boundaries_evaluated(outcome: &ArchiveOutcome) -> usize {
+    let dates: Vec<TraceDate> = outcome.records.iter().map(|r| r.summary.date).collect();
+    era_boundaries_crossed(&dates)
+}
 
+/// Formats the benchmark JSON document.
+fn format_archive_json(
+    args: &ArchiveBenchArgs,
+    outcome: &ArchiveOutcome,
+    gen: &GenThroughput,
+) -> String {
+    let ArchiveOutcome {
+        records,
+        failed,
+        stability,
+    } = outcome;
     let day_rows: Vec<String> = records
         .iter()
         .map(|r| {
@@ -256,7 +433,8 @@ pub fn run_archive_bench(args: &ArchiveBenchArgs) -> String {
                 "    {{\"date\": \"{}\", \"packets\": {}, \"chunks\": {}, \
                  \"peak_chunk_packets\": {}, \"items\": {}, \"alarms\": {}, \
                  \"communities\": {}, \"anomalous\": {}, \"identities\": {}, \
-                 \"wall_s\": {}, \"packets_per_s\": {}, \"detect_s\": {}, \
+                 \"wall_s\": {}, \"packets_per_s\": {}, \"gen_s\": {}, \
+                 \"gen_packets_per_s\": {}, \"detect_s\": {}, \
                  \"extract_s\": {}, \"graph_s\": {}, \"louvain_s\": {}, \
                  \"combine_s\": {}, \"label_s\": {}, \"worms\": [{}]}}",
                 r.summary.date,
@@ -270,6 +448,8 @@ pub fn run_archive_bench(args: &ArchiveBenchArgs) -> String {
                 r.summary.labels.len(),
                 f(r.wall_s),
                 f(r.pps),
+                f(r.gen_s),
+                f(r.gen_pps),
                 f(r.stage_s[0]),
                 f(r.stage_s[1]),
                 f(r.stage_s[2]),
@@ -277,6 +457,17 @@ pub fn run_archive_bench(args: &ArchiveBenchArgs) -> String {
                 f(r.stage_s[4]),
                 f(r.stage_s[5]),
                 worms.join(", "),
+            )
+        })
+        .collect();
+
+    let failed_rows: Vec<String> = failed
+        .iter()
+        .map(|(date, error)| {
+            format!(
+                "    {{\"date\": \"{}\", \"error\": \"{}\"}}",
+                date,
+                json_escape(error)
             )
         })
         .collect();
@@ -323,6 +514,44 @@ pub fn run_archive_bench(args: &ArchiveBenchArgs) -> String {
         .map(|(name, rate)| format!("{{\"strategy\": \"{name}\", \"flip_rate\": {}}}", f(*rate)))
         .collect();
 
+    let monthly_rows: Vec<String> = stability
+        .monthly
+        .iter()
+        .map(|m| {
+            format!(
+                "      {{\"year\": {}, \"month\": {}, \"pairs\": {}, \"matched\": {}, \
+                 \"flips\": {}, \"churn\": {}, \"jaccard_drift\": {}}}",
+                m.year,
+                m.month,
+                m.pairs,
+                m.matched,
+                m.flips,
+                f(m.churn()),
+                f(m.jaccard_drift()),
+            )
+        })
+        .collect();
+
+    let transition_rows: Vec<String> = stability
+        .era_transitions
+        .iter()
+        .map(|t| {
+            format!(
+                "      {{\"from\": \"{}\", \"to\": \"{}\", \"from_era\": \"{:?}\", \
+                 \"to_era\": \"{:?}\", \"matched\": {}, \"label_flips\": {}, \
+                 \"churn\": {}, \"jaccard_drift\": {}}}",
+                t.from,
+                t.to,
+                t.from_era,
+                t.to_era,
+                t.matched,
+                t.label_flips,
+                f(t.churn()),
+                f(t.jaccard_drift),
+            )
+        })
+        .collect();
+
     let opt_date = |d: Option<TraceDate>| d.map_or("null".to_string(), |d| format!("\"{d}\""));
     let outbreak_rows: Vec<String> = stability
         .outbreaks
@@ -344,33 +573,84 @@ pub fn run_archive_bench(args: &ArchiveBenchArgs) -> String {
         })
         .collect();
 
-    let json = format!(
+    let gen_rows: Vec<String> = gen
+        .sharded
+        .iter()
+        .map(|&(cap, wall_s)| {
+            format!(
+                "      {{\"workers_cap\": {}, \"wall_s\": {}, \"speedup\": {}}}",
+                cap,
+                f(wall_s),
+                f(gen.sequential_s / wall_s.max(1e-12)),
+            )
+        })
+        .collect();
+
+    format!(
         "{{\n  \"generated_by\": \"cargo run --release -p mawilab-bench --bin archive\",\n  \
          \"scale\": {},\n  \"chunk_us\": {},\n  \"sampled_days\": {},\n  \
+         \"first_day\": {},\n  \"last_day\": {},\n  \
+         \"era_boundaries_crossed\": {},\n  \
          \"max_stability_gap_days\": {},\n  \
          \"days\": [\n{}\n  ],\n  \
          \"failed_days\": [{}],\n  \
          \"stability\": {{\n    \"label_churn\": {},\n    \"jaccard_drift\": {},\n    \
-         \"strategy_flip_rates\": [{}],\n    \"adjacent_pairs\": [\n{}\n    ]\n  }},\n  \
+         \"strategy_flip_rates\": [{}],\n    \
+         \"monthly\": [\n{}\n    ],\n    \
+         \"era_transitions\": [\n{}\n    ],\n    \
+         \"adjacent_pairs\": [\n{}\n    ]\n  }},\n  \
          \"outbreaks\": [\n{}\n  ],\n  \
+         \"generation\": {{\n    \"date\": \"{}\", \"packets\": {}, \
+         \"sequential_s\": {},\n    \"sharded\": [\n{}\n    ]\n  }},\n  \
          \"peak_rss_kb\": {}\n}}\n",
         args.scale,
         args.chunk_us,
-        records.len(),
+        outcome.records.len(),
+        opt_date(outcome.records.first().map(|r| r.summary.date)),
+        opt_date(outcome.records.last().map(|r| r.summary.date)),
+        era_boundaries_evaluated(outcome),
         MAX_STABILITY_GAP_DAYS,
         day_rows.join(",\n"),
-        if failed.is_empty() {
+        if failed_rows.is_empty() {
             String::new()
         } else {
-            format!("\n{}\n  ", failed.join(",\n"))
+            format!("\n{}\n  ", failed_rows.join(",\n"))
         },
         f(stability.label_churn),
         f(stability.jaccard_drift),
         flip_rows.join(", "),
+        monthly_rows.join(",\n"),
+        transition_rows.join(",\n"),
         pair_rows.join(",\n"),
         outbreak_rows.join(",\n"),
+        gen.date,
+        gen.packets,
+        f(gen.sequential_s),
+        gen_rows.join(",\n"),
         peak_rss_kb().unwrap_or(0),
+    )
+}
+
+/// Runs the benchmark and returns the JSON document it wrote to
+/// `<out_dir>/BENCH_archive.json`.
+pub fn run_archive_bench(args: &ArchiveBenchArgs) -> String {
+    eprintln!(
+        "archive longitudinal benchmark: {} days, scale {} …",
+        args.days.len(),
+        args.scale
     );
+    let outcome = collect_archive(args);
+    // Generation throughput on the sweep's last day — the
+    // highest-volume regime of a chronological sweep (eras only ever
+    // upgrade), which is what month-scale generation cost is
+    // dominated by.
+    let gen_day = args
+        .days
+        .last()
+        .copied()
+        .unwrap_or_else(default_sweep_start);
+    let gen = generation_throughput(gen_day, args.scale, 9);
+    let json = format_archive_json(args, &outcome, &gen);
 
     std::fs::create_dir_all(&args.out_dir).expect("creating out dir");
     let path = format!("{}/BENCH_archive.json", args.out_dir);
@@ -382,7 +662,6 @@ pub fn run_archive_bench(args: &ArchiveBenchArgs) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mawilab_model::LinkEra;
 
     #[test]
     fn default_sample_spans_eras_and_epochs() {
@@ -405,12 +684,60 @@ mod tests {
     }
 
     #[test]
+    fn month_sweep_is_consecutive_and_crosses_the_upgrade() {
+        let days = default_month_days();
+        assert!(days.len() >= 60, "month sweep must span 60+ days");
+        assert!(days
+            .windows(2)
+            .all(|w| w[1].days_since_epoch() - w[0].days_since_epoch() == 1));
+        assert_eq!(era_boundaries_crossed(&days), 1);
+        // Short smoke sweeps from the default start cross it too.
+        let smoke = month_sweep_days(default_sweep_start(), 6);
+        assert_eq!(era_boundaries_crossed(&smoke), 1);
+        assert_eq!(era_boundaries_crossed(&smoke_archive_days()), 0);
+    }
+
+    #[test]
     fn json_escape_handles_hostile_error_text() {
         assert_eq!(
             json_escape("a \"quoted\" \\path\nline2\ttab\u{1}"),
             "a \\\"quoted\\\" \\\\path\\nline2\\ttab\\u0001"
         );
         assert_eq!(json_escape("plain message"), "plain message");
+    }
+
+    #[test]
+    fn failed_days_render_into_the_json() {
+        let outcome = ArchiveOutcome {
+            records: Vec::new(),
+            failed: vec![(
+                TraceDate::new(2006, 7, 1),
+                "day 2006-07-01: source \"x\" broke\nbadly".to_string(),
+            )],
+            stability: stability_report(&[], MAX_STABILITY_GAP_DAYS),
+        };
+        let gen = GenThroughput {
+            date: TraceDate::new(2006, 7, 1),
+            packets: 0,
+            sequential_s: 1.0,
+            sharded: vec![(1, 1.0)],
+        };
+        let json = format_archive_json(&ArchiveBenchArgs::default(), &outcome, &gen);
+        assert!(json.contains("\"failed_days\": [\n"));
+        assert!(json.contains("{\"date\": \"2006-07-01\", \"error\": \"day 2006-07-01: source \\\"x\\\" broke\\nbadly\"}"));
+        assert!(json.contains("\"sampled_days\": 0"));
+        assert!(json.contains("\"first_day\": null"));
+    }
+
+    #[test]
+    fn generation_throughput_measures_both_engines() {
+        let gen = generation_throughput(TraceDate::new(2004, 5, 10), 0.2, 1);
+        assert!(gen.packets > 1_000);
+        assert!(gen.sequential_s > 0.0);
+        assert_eq!(gen.sharded.len(), 3);
+        assert!(gen.sharded.iter().all(|&(_, s)| s > 0.0));
+        assert!(gen.speedup(2).unwrap() > 0.0);
+        assert!(gen.speedup(3).is_none());
     }
 
     /// The tiny-scale end-to-end smoke: runs the real benchmark on
@@ -436,8 +763,15 @@ mod tests {
             "\"label_churn\"",
             "\"jaccard_drift\"",
             "\"strategy_flip_rates\"",
+            "\"monthly\"",
+            "\"era_transitions\"",
+            "\"era_boundaries_crossed\"",
             "\"adjacent_pairs\"",
             "\"outbreaks\"",
+            "\"generation\"",
+            "\"sequential_s\"",
+            "\"workers_cap\"",
+            "\"gen_s\"",
             "\"peak_rss_kb\"",
             "\"packets_per_s\"",
             "\"detect_s\"",
@@ -466,5 +800,31 @@ mod tests {
             .parse::<f64>()
             .expect("label_churn is a number");
         assert!((0.0..=1.0).contains(&churn));
+    }
+
+    /// A seconds-scale consecutive sweep through the era boundary —
+    /// the in-process twin of the CI `month-smoke` job.
+    #[test]
+    fn month_smoke_crosses_an_era_boundary() {
+        let dir = std::env::temp_dir().join("mawilab-month-smoke");
+        let args = ArchiveBenchArgs {
+            scale: 0.25,
+            days: month_sweep_days(default_sweep_start(), 6),
+            out_dir: dir.to_str().unwrap().to_string(),
+            ..Default::default()
+        };
+        let json = run_archive_bench(&args);
+        assert!(json.contains("\"era_boundaries_crossed\": 1"));
+        // Six consecutive days → five 1-day pairs, of which the
+        // era-boundary crossing is itemised as a transition and the
+        // other four enter the day-over-day aggregates.
+        assert_eq!(json.matches("\"gap_days\": 1").count(), 4);
+        // The era transition is itemised.
+        assert!(json.contains("\"from_era\": \"Car18Mbps\""));
+        assert!(json.contains("\"to_era\": \"Full100Mbps\""));
+        // Monthly trajectory spans June and July 2006.
+        assert!(json.contains("\"year\": 2006, \"month\": 6"));
+        assert!(json.contains("\"year\": 2006, \"month\": 7"));
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
     }
 }

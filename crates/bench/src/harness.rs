@@ -12,8 +12,8 @@ use mawilab_core::{
     StreamingReport,
 };
 use mawilab_detectors::TraceView;
-use mawilab_model::{FlowTable, ItemIndex, SourceError, TraceChunker, TraceDate};
-use mawilab_synth::{ArchiveConfig, ArchiveSimulator, GroundTruth, LabeledTrace};
+use mawilab_model::{FlowTable, ItemIndex, PacketSource, SourceError, TraceDate};
+use mawilab_synth::{ArchiveConfig, ArchiveSimulator, GroundTruth, LabeledTrace, TraceGenerator};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
@@ -33,15 +33,16 @@ pub struct DayContext<'a> {
     pub per_strategy: &'a [(StrategyKind, Vec<Decision>)],
 }
 
-/// The shared day scheduler: generates each archive day, hands it to
-/// `per_day` on the workspace fan-out helper ([`mawilab_exec::par_map`],
-/// honoring `MAWILAB_THREADS`), and returns the results in day order
-/// regardless of scheduling. Both the batch and the streaming harness
-/// entry points are thin wrappers over this.
+/// The shared day scheduler: hands each archive day (and the shared
+/// simulator) to `per_day` on the workspace fan-out helper
+/// ([`mawilab_exec::par_map`], honoring `MAWILAB_THREADS`), and
+/// returns the results in day order regardless of scheduling. Both
+/// the batch and the streaming harness entry points are thin wrappers
+/// over this.
 fn schedule_days<T, F>(days: &[TraceDate], scale: f64, per_day: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(TraceDate, LabeledTrace) -> T + Sync,
+    F: Fn(TraceDate, &ArchiveSimulator) -> T + Sync,
 {
     let sim = ArchiveSimulator::new(ArchiveConfig {
         scale,
@@ -50,9 +51,11 @@ where
     let done = AtomicUsize::new(0);
     // Cap the outer day fan-out: each day runs a whole pipeline that
     // fans out internally, so an uncapped outer map would square the
-    // worker count on big machines.
+    // worker count on big machines. With multiple days in flight the
+    // sharded generator's inner fan-out runs inline (one-fan-out-level
+    // policy); with a single day it owns the thread budget.
     mawilab_exec::par_map_capped(days, 16, |&date| {
-        let value = per_day(date, sim.generate(date));
+        let value = per_day(date, &sim);
         let d = done.fetch_add(1, Ordering::Relaxed) + 1;
         if d.is_multiple_of(25) || d == days.len() {
             eprintln!("  [{d}/{} days]", days.len());
@@ -73,7 +76,8 @@ where
     T: Send,
     F: Fn(&DayContext<'_>) -> T + Sync,
 {
-    schedule_days(days, scale, |date, lt| {
+    schedule_days(days, scale, |date, sim| {
+        let lt = sim.generate(date);
         let flows = FlowTable::build(&lt.trace.packets);
         let view = TraceView::new(&lt.trace, &flows);
         let pipeline = MawilabPipeline::new(pipeline_config.clone());
@@ -106,6 +110,14 @@ pub struct StreamingDayContext<'a> {
     pub report: &'a StreamingReport,
     /// Wall-clock of the whole streaming run for this day.
     pub wall: Duration,
+    /// Wall-clock of producing the day ahead of the pipeline passes:
+    /// on the chunk-native path this is the truth pre-pass (sharded
+    /// generation *plus* per-packet unit-id/tag collection), on the
+    /// materialised seam it is batch generation alone. The per-day
+    /// generation trajectory of a month-scale sweep; for a
+    /// generation-only engine comparison see the benchmark's
+    /// `generation` block (`generation_throughput`).
+    pub gen_wall: Duration,
 }
 
 /// A day the streaming harness could not complete.
@@ -127,8 +139,19 @@ impl std::error::Error for DayFailure {}
 
 /// Runs the **streaming** pipeline over every day, in parallel,
 /// returning one entry per day, in day order — the archive-scale
-/// evaluation path where no day is ever materialised inside the
-/// pipeline. `chunk_us` is the ingest bin width.
+/// evaluation path where no day is ever materialised: each day's
+/// [`SynthSource`] emits `PacketChunk`s straight out of the sharded
+/// generator. `chunk_us` is the ingest bin width.
+///
+/// Ground truth and the packet→unit map are collected on a streaming
+/// pre-pass over the same source (tags and ids accumulate chunk by
+/// chunk; the incremental [`ItemIndex`] assigns exactly the ids
+/// pass 2 will), then the source rewinds — replay is exact because
+/// the generator's RNG streams are counter-derived. A generative
+/// source regenerates on every drain, so each day pays generation
+/// three times (pre-pass + the pipeline's two passes) — the price of
+/// O(chunk) memory, same as re-reading a pcap from disk per pass;
+/// `gen_wall` times the pre-pass, the other two land in `wall`.
 ///
 /// A day whose source errors (pcap corruption, replay divergence, …)
 /// yields `Err(DayFailure)` instead of poisoning the whole run: a
@@ -144,14 +167,30 @@ where
     T: Send,
     F: Fn(&StreamingDayContext<'_>) -> T + Sync,
 {
-    schedule_days(days, scale, |date, lt| {
-        let truth = lt.truth;
-        // Packet → traffic-unit map for ground-truth evaluation,
-        // computed in stream order before the trace is consumed (the
-        // incremental ItemIndex assigns exactly the ids pass 2 will).
-        let mut item_ids = Vec::with_capacity(lt.trace.len());
-        ItemIndex::new(pipeline_config.granularity).ids_of(&lt.trace.packets, &mut item_ids);
-        let mut source = TraceChunker::new(lt.trace, chunk_us);
+    schedule_days(days, scale, |date, sim| {
+        let generator = TraceGenerator::new(sim.config_for(date));
+        let t0 = std::time::Instant::now();
+        let mut source = generator.stream(chunk_us);
+        // Streaming pre-pass: per-packet truth tags and traffic-unit
+        // ids in stream order, one chunk live at a time.
+        let mut item_index = ItemIndex::new(pipeline_config.granularity);
+        let mut item_ids = Vec::new();
+        let mut tags = Vec::new();
+        loop {
+            match source.next_chunk() {
+                Ok(Some(chunk)) => {
+                    item_ids.extend(chunk.packets.iter().map(|p| item_index.id_of(p)));
+                    tags.extend_from_slice(source.chunk_tags());
+                }
+                Ok(None) => break,
+                Err(error) => return Err(DayFailure { date, error }),
+            }
+        }
+        let truth = GroundTruth::new(tags, source.records().to_vec());
+        let gen_wall = t0.elapsed();
+        if let Err(error) = source.rewind() {
+            return Err(DayFailure { date, error });
+        }
         let pipeline = StreamingPipeline::new(pipeline_config.clone());
         let t0 = std::time::Instant::now();
         let report = match pipeline.run(&mut source) {
@@ -165,6 +204,55 @@ where
             item_ids: &item_ids,
             report: &report,
             wall,
+            gen_wall,
+        }))
+    })
+}
+
+/// [`run_days_streaming`] with an explicit source factory: the day is
+/// materialised once and `make` wraps its trace in the
+/// [`mawilab_model::PacketSource`] the pipeline will drain. The
+/// failure-injection seam — tests wrap a day's source in one that
+/// errors mid-stream and assert the sweep reports the [`DayFailure`]
+/// and keeps the surviving days.
+pub fn run_days_streaming_with<S, M, T, F>(
+    days: &[TraceDate],
+    scale: f64,
+    pipeline_config: PipelineConfig,
+    make: M,
+    reduce: F,
+) -> Vec<Result<T, DayFailure>>
+where
+    S: mawilab_model::PacketSource,
+    M: Fn(TraceDate, mawilab_model::Trace) -> S + Sync,
+    T: Send,
+    F: Fn(&StreamingDayContext<'_>) -> T + Sync,
+{
+    schedule_days(days, scale, |date, sim| {
+        let t0 = std::time::Instant::now();
+        let lt = sim.generate(date);
+        let gen_wall = t0.elapsed();
+        let truth = lt.truth;
+        // Packet → traffic-unit map for ground-truth evaluation,
+        // computed in stream order before the trace is consumed (the
+        // incremental ItemIndex assigns exactly the ids pass 2 will).
+        let mut item_ids = Vec::with_capacity(lt.trace.len());
+        ItemIndex::new(pipeline_config.granularity).ids_of(&lt.trace.packets, &mut item_ids);
+        let mut source = make(date, lt.trace);
+        let pipeline = StreamingPipeline::new(pipeline_config.clone());
+        let t0 = std::time::Instant::now();
+        let report = match pipeline.run(&mut source) {
+            Ok(report) => report,
+            Err(error) => return Err(DayFailure { date, error }),
+        };
+        let wall = t0.elapsed();
+        Ok(reduce(&StreamingDayContext {
+            date,
+            truth: &truth,
+            item_ids: &item_ids,
+            report: &report,
+            wall,
+            gen_wall,
         }))
     })
 }

@@ -1,0 +1,118 @@
+//! Failure-path coverage for the month-scale streaming sweep.
+//!
+//! PR 4 made `run_days_streaming` survive a failing day instead of
+//! poisoning the month, but only the happy path was exercised. Here a
+//! day mid-sequence is made to fail (its source refuses the pass-2
+//! rewind) and the sweep must report it, skip it, and still compute
+//! longitudinal metrics over the surviving adjacent pairs.
+
+use mawilab_bench::archive::{
+    collect_archive_with, default_sweep_start, month_sweep_days, ArchiveBenchArgs,
+};
+use mawilab_bench::run_days_streaming_with;
+use mawilab_core::PipelineConfig;
+use mawilab_model::{
+    PacketChunk, PacketSource, SourceError, Trace, TraceChunker, TraceDate, TraceMeta,
+    DEFAULT_CHUNK_US,
+};
+
+/// A [`TraceChunker`] that (optionally) refuses to rewind — the
+/// two-pass streaming pipeline then fails the day with a
+/// `RewindUnsupported` source error mid-sweep.
+struct Injected {
+    inner: TraceChunker,
+    fail_rewind: bool,
+}
+
+impl PacketSource for Injected {
+    fn meta(&self) -> &TraceMeta {
+        self.inner.meta()
+    }
+    fn bin_us(&self) -> u64 {
+        self.inner.bin_us()
+    }
+    fn next_chunk(&mut self) -> Result<Option<&PacketChunk>, SourceError> {
+        self.inner.next_chunk()
+    }
+    fn rewind(&mut self) -> Result<(), SourceError> {
+        if self.fail_rewind {
+            return Err(SourceError::RewindUnsupported("injected failure"));
+        }
+        self.inner.rewind()
+    }
+}
+
+fn make_injected(bad_day: TraceDate) -> impl Fn(TraceDate, Trace) -> Injected + Sync {
+    move |date, trace| Injected {
+        inner: TraceChunker::new(trace, DEFAULT_CHUNK_US),
+        fail_rewind: date == bad_day,
+    }
+}
+
+#[test]
+fn failing_day_is_reported_skipped_and_survived() {
+    // Four consecutive days over the era boundary; the second fails.
+    let days = month_sweep_days(default_sweep_start(), 4);
+    let bad_day = days[1];
+    let args = ArchiveBenchArgs {
+        scale: 0.2,
+        days: days.clone(),
+        out_dir: std::env::temp_dir()
+            .join("mawilab-day-failure")
+            .to_str()
+            .unwrap()
+            .to_string(),
+        ..Default::default()
+    };
+    let outcome = collect_archive_with(&args, make_injected(bad_day));
+
+    // Reported …
+    assert_eq!(outcome.failed.len(), 1, "exactly one day fails");
+    assert_eq!(outcome.failed[0].0, bad_day);
+    assert!(
+        outcome.failed[0].1.contains("does not support rewinding"),
+        "error text: {}",
+        outcome.failed[0].1
+    );
+    // … skipped …
+    let surviving: Vec<TraceDate> = outcome.records.iter().map(|r| r.summary.date).collect();
+    assert_eq!(surviving, vec![days[0], days[2], days[3]]);
+    // … and the longitudinal metrics still cover the surviving
+    // adjacent pairs: (d0, d2) bridges the failure with a 2-day gap
+    // inside the old era; (d2, d3) crosses the era boundary and is
+    // itemised as a transition instead of pooled.
+    let pairs = &outcome.stability.pairs;
+    assert_eq!(pairs.len(), 1);
+    assert_eq!(
+        (pairs[0].from, pairs[0].to, pairs[0].gap_days),
+        (days[0], days[2], 2)
+    );
+    assert!(outcome.stability.label_churn.is_finite());
+    assert!(outcome.stability.jaccard_drift.is_finite());
+    assert!(
+        !outcome.stability.era_transitions.is_empty(),
+        "the surviving pairs still cross the era boundary"
+    );
+    // Monthly trajectory still materialises from the survivors.
+    assert!(!outcome.stability.monthly.is_empty());
+}
+
+#[test]
+fn harness_seam_reports_failures_in_day_order() {
+    // The low-level harness contract: one Result per day, in order.
+    let days = month_sweep_days(TraceDate::new(2005, 6, 1), 3);
+    let bad_day = days[2];
+    let outcomes = run_days_streaming_with(
+        &days,
+        0.2,
+        PipelineConfig::default(),
+        make_injected(bad_day),
+        |ctx| ctx.date,
+    );
+    assert_eq!(outcomes.len(), 3);
+    assert_eq!(*outcomes[0].as_ref().unwrap(), days[0]);
+    assert_eq!(*outcomes[1].as_ref().unwrap(), days[1]);
+    let failure = outcomes[2].as_ref().unwrap_err();
+    assert_eq!(failure.date, bad_day);
+    assert!(matches!(failure.error, SourceError::RewindUnsupported(_)));
+}

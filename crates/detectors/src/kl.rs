@@ -352,7 +352,7 @@ mod tests {
         // dst-address histogram hard (victim 0 is the Zipf rank-1
         // host whose distribution barely moves).
         SynthConfig::default()
-            .with_seed(404)
+            .with_seed(406)
             .with_anomalies(vec![AnomalySpec::SynFlood {
                 victim: 60,
                 dport: 80,

@@ -27,7 +27,7 @@
 
 use mawilab_combiner::Decision;
 use mawilab_label::{label_of, HeuristicLabel, LabeledCommunity, MawilabLabel};
-use mawilab_model::{TraceDate, TrafficRule};
+use mawilab_model::{LinkEra, TraceDate, TrafficRule};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Scope of a community's dominant association rule: which feature
@@ -423,13 +423,127 @@ pub fn outbreak_response(days: &[DaySummary]) -> Vec<OutbreakResponse> {
         .collect()
 }
 
+/// One calendar month's slice of the stability trajectory — the unit
+/// a month-scale (`--days`/`--months`) sweep is read at. Pairs are
+/// bucketed by the *later* day's month.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonthlyStability {
+    /// Calendar year of the bucket.
+    pub year: u16,
+    /// Calendar month 1–12.
+    pub month: u8,
+    /// Adjacent pairs landing in this month.
+    pub pairs: usize,
+    /// Total matched identities over those pairs.
+    pub matched: usize,
+    /// Total taxonomy-label flips over those pairs.
+    pub flips: usize,
+    /// Sum of per-pair Jaccard drift (divide by `pairs` for the mean).
+    pub drift_sum: f64,
+}
+
+impl MonthlyStability {
+    /// Pooled label churn of the month (0 when nothing matched).
+    pub fn churn(&self) -> f64 {
+        if self.matched == 0 {
+            0.0
+        } else {
+            self.flips as f64 / self.matched as f64
+        }
+    }
+
+    /// Mean Jaccard drift of the month (0 when no pairs).
+    pub fn jaccard_drift(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.drift_sum / self.pairs as f64
+        }
+    }
+}
+
+/// An adjacent pair whose days fall under different link eras — the
+/// label shock of a capacity upgrade, reported next to (never pooled
+/// into) the day-over-day stability aggregates.
+#[derive(Debug, Clone)]
+pub struct EraTransition {
+    /// Last day under the old era.
+    pub from: TraceDate,
+    /// First sampled day under the new era.
+    pub to: TraceDate,
+    /// Era before the boundary.
+    pub from_era: LinkEra,
+    /// Era after the boundary.
+    pub to_era: LinkEra,
+    /// Identities matched across the boundary.
+    pub matched: usize,
+    /// Matched identities whose taxonomy label flipped.
+    pub label_flips: usize,
+    /// Jaccard drift of the anomalous sets across the boundary.
+    pub jaccard_drift: f64,
+}
+
+impl EraTransition {
+    /// Label churn across the boundary.
+    pub fn churn(&self) -> f64 {
+        if self.matched == 0 {
+            0.0
+        } else {
+            self.label_flips as f64 / self.matched as f64
+        }
+    }
+}
+
+/// Buckets gap-filtered pairs by the later day's calendar month.
+fn monthly_stability(pairs: &[AdjacentPair]) -> Vec<MonthlyStability> {
+    let mut months: BTreeMap<(u16, u8), MonthlyStability> = BTreeMap::new();
+    for p in pairs {
+        let m = months
+            .entry((p.to.year, p.to.month))
+            .or_insert(MonthlyStability {
+                year: p.to.year,
+                month: p.to.month,
+                pairs: 0,
+                matched: 0,
+                flips: 0,
+                drift_sum: 0.0,
+            });
+        m.pairs += 1;
+        m.matched += p.matched;
+        m.flips += p.label_flips;
+        m.drift_sum += p.jaccard_drift();
+    }
+    months.into_values().collect()
+}
+
+/// Extracts the era-boundary crossings from an adjacent-pair sequence
+/// (all pairs, not only gap-filtered ones — a sparse sample may jump
+/// the boundary with a wide gap).
+pub fn era_transitions(pairs: &[AdjacentPair]) -> Vec<EraTransition> {
+    pairs
+        .iter()
+        .filter(|p| LinkEra::for_date(p.from) != LinkEra::for_date(p.to))
+        .map(|p| EraTransition {
+            from: p.from,
+            to: p.to,
+            from_era: LinkEra::for_date(p.from),
+            to_era: LinkEra::for_date(p.to),
+            matched: p.matched,
+            label_flips: p.label_flips,
+            jaccard_drift: p.jaccard_drift(),
+        })
+        .collect()
+}
+
 /// The full longitudinal report over a sampled day sequence.
 #[derive(Debug, Clone)]
 pub struct StabilityReport {
-    /// Adjacent-day comparisons that entered the aggregates (pairs
-    /// whose calendar gap is at most `max_gap_days`; wider gaps —
-    /// e.g. jumps across a link-upgrade boundary — measure epoch
-    /// change, not day-over-day stability).
+    /// Adjacent-day comparisons that entered the aggregates: pairs
+    /// whose calendar gap is at most `max_gap_days` *and* whose days
+    /// share a link era. Wider gaps and era-boundary crossings
+    /// measure epoch change, not day-over-day stability — crossings
+    /// are itemised in [`era_transitions`](Self::era_transitions)
+    /// instead.
     pub pairs: Vec<AdjacentPair>,
     /// Pooled label churn: total flips / total matches over `pairs`.
     pub label_churn: f64,
@@ -439,15 +553,27 @@ pub struct StabilityReport {
     pub strategy_flip_rates: Vec<(&'static str, f64)>,
     /// Outbreak response per worm epoch, over *all* sampled days.
     pub outbreaks: Vec<OutbreakResponse>,
+    /// Month-by-month trajectory of `pairs`.
+    pub monthly: Vec<MonthlyStability>,
+    /// Link-era boundary crossings (from *all* adjacent pairs,
+    /// gap-filtered or not).
+    pub era_transitions: Vec<EraTransition>,
 }
 
 /// Builds the longitudinal report. `days` must be date-ordered;
 /// consecutive pairs farther apart than `max_gap_days` are excluded
-/// from the churn/drift aggregates (pass `i64::MAX` to keep all).
+/// from the churn/drift aggregates (pass `i64::MAX` to keep all),
+/// and pairs crossing a link-era boundary are pulled out into
+/// `era_transitions` — the upgrade shock is reported next to, never
+/// pooled into, the day-over-day stability numbers.
 pub fn stability_report(days: &[DaySummary], max_gap_days: i64) -> StabilityReport {
-    let pairs: Vec<AdjacentPair> = adjacent_pairs(days)
+    let all_pairs = adjacent_pairs(days);
+    let transitions = era_transitions(&all_pairs);
+    let pairs: Vec<AdjacentPair> = all_pairs
         .into_iter()
-        .filter(|p| p.gap_days <= max_gap_days)
+        .filter(|p| {
+            p.gap_days <= max_gap_days && LinkEra::for_date(p.from) == LinkEra::for_date(p.to)
+        })
         .collect();
     let (mut matched, mut flips) = (0usize, 0usize);
     let mut drift_sum = 0.0;
@@ -478,6 +604,8 @@ pub fn stability_report(days: &[DaySummary], max_gap_days: i64) -> StabilityRepo
             .map(|(name, m, f)| (name, if m == 0 { 0.0 } else { f as f64 / m as f64 }))
             .collect(),
         outbreaks: outbreak_response(days),
+        monthly: monthly_stability(&pairs),
+        era_transitions: transitions,
         pairs,
     }
 }
@@ -742,8 +870,96 @@ mod tests {
         assert_eq!(rates["maximum"], 0.0);
         // Outbreaks still span all days.
         assert_eq!(report.outbreaks.len(), 1);
+        // Even with the gap filter off, the 2004→2006 jump crosses a
+        // link-era boundary and stays out of the pooled pairs (it is
+        // itemised as a transition instead).
         let all = stability_report(&days, i64::MAX);
-        assert_eq!(all.pairs.len(), 2);
+        assert_eq!(all.pairs.len(), 1);
+        assert_eq!(all.era_transitions.len(), 1);
+    }
+
+    #[test]
+    fn monthly_trajectory_buckets_by_calendar_month() {
+        // Three days at a month boundary (2005 — no link-era change):
+        // pair 1 lands in June, pair 2 in July (bucketed by the later
+        // day).
+        let day = |y: u16, m: u8, d: u8, label: MawilabLabel| {
+            DaySummary::new(
+                TraceDate::new(y, m, d),
+                &[community(
+                    0,
+                    HeuristicLabel::Sasser,
+                    label,
+                    Some(rule(true, false, Some(5554))),
+                )],
+                &[],
+                vec![],
+            )
+        };
+        let days = vec![
+            day(2005, 6, 29, MawilabLabel::Anomalous),
+            day(2005, 6, 30, MawilabLabel::Anomalous),
+            day(2005, 7, 1, MawilabLabel::Suspicious), // flip into July
+        ];
+        let report = stability_report(&days, 7);
+        assert_eq!(report.monthly.len(), 2);
+        let june = &report.monthly[0];
+        assert_eq!((june.year, june.month, june.pairs), (2005, 6, 1));
+        assert_eq!(june.churn(), 0.0);
+        let july = &report.monthly[1];
+        assert_eq!((july.year, july.month, july.pairs), (2005, 7, 1));
+        assert_eq!(july.churn(), 1.0, "the flip lands in July's bucket");
+        assert!(july.jaccard_drift() > 0.0);
+    }
+
+    #[test]
+    fn era_transitions_flag_boundary_pairs_only() {
+        let day = |y: u16, m: u8, d: u8| {
+            DaySummary::new(
+                TraceDate::new(y, m, d),
+                &[community(
+                    0,
+                    HeuristicLabel::Sasser,
+                    MawilabLabel::Anomalous,
+                    Some(rule(true, false, None)),
+                )],
+                &[],
+                vec![],
+            )
+        };
+        // 2006-06-30 → 2006-07-01 crosses CAR→100M; the others do not.
+        let days = vec![
+            day(2006, 6, 29),
+            day(2006, 6, 30),
+            day(2006, 7, 1),
+            day(2006, 7, 2),
+        ];
+        let report = stability_report(&days, 7);
+        assert_eq!(report.era_transitions.len(), 1);
+        let t = &report.era_transitions[0];
+        assert_eq!(t.from, TraceDate::new(2006, 6, 30));
+        assert_eq!(t.to, TraceDate::new(2006, 7, 1));
+        assert_eq!(t.from_era, LinkEra::Car18Mbps);
+        assert_eq!(t.to_era, LinkEra::Full100Mbps);
+        assert_eq!(t.matched, 1);
+        assert_eq!(t.churn(), 0.0);
+        // The boundary pair is itemised, never pooled: only the two
+        // within-era pairs enter the day-over-day aggregates.
+        assert_eq!(report.pairs.len(), 2);
+        assert!(report
+            .pairs
+            .iter()
+            .all(|p| LinkEra::for_date(p.from) == LinkEra::for_date(p.to)));
+        // Wide-gap epoch jumps are still reported as transitions even
+        // though they are excluded from the churn aggregates.
+        let sparse = vec![day(2006, 6, 1), day(2008, 6, 1)];
+        let sparse_report = stability_report(&sparse, 7);
+        assert!(sparse_report.pairs.is_empty());
+        assert_eq!(sparse_report.era_transitions.len(), 1);
+        assert_eq!(
+            sparse_report.era_transitions[0].to_era,
+            LinkEra::Full150Mbps
+        );
     }
 
     #[test]

@@ -36,5 +36,8 @@ pub use flow::{BiflowKey, FlowId, FlowKey, FlowTable, Granularity, ItemIndex};
 pub use packet::{Packet, Protocol, TcpFlags};
 pub use pcap::StreamingPcapReader;
 pub use rule::TrafficRule;
-pub use source::{PacketChunk, PacketSource, SourceError, TraceChunker, DEFAULT_CHUNK_US};
+pub use source::{
+    chunk_index, chunk_window, collect_packets, PacketChunk, PacketSource, SourceError,
+    TraceChunker, DEFAULT_CHUNK_US,
+};
 pub use trace::{LinkEra, TimeWindow, Trace, TraceDate, TraceMeta};

@@ -153,6 +153,20 @@ pub fn chunk_window(window_start_us: u64, bin_us: u64, k: u64) -> TimeWindow {
     TimeWindow::new(start, start + bin_us)
 }
 
+/// Drains a source from its current position, concatenating every
+/// remaining chunk into one packet vector. The equivalence oracle of
+/// the streaming test suites: `collect_packets(source)` must equal the
+/// batch-materialised trace for any chunk width.
+pub fn collect_packets<S: PacketSource + ?Sized>(
+    source: &mut S,
+) -> Result<Vec<Packet>, SourceError> {
+    let mut out = Vec::new();
+    while let Some(chunk) = source.next_chunk()? {
+        out.extend_from_slice(&chunk.packets);
+    }
+    Ok(out)
+}
+
 /// [`PacketSource`] over an in-memory [`Trace`].
 ///
 /// This is the adapter that lets batch-held traces (tests, the synth
@@ -316,6 +330,18 @@ mod tests {
         }
         // Pre-window folds to bin 0.
         assert_eq!(chunk_index(1_000, 500, 10), 0);
+    }
+
+    #[test]
+    fn collect_packets_reassembles_the_trace() {
+        let trace = trace_with_offsets(&[0, 1, 2_000_000, 2_500_000, 9_000_000]);
+        let want = trace.packets.clone();
+        let mut src = TraceChunker::new(trace, 1_000_000);
+        assert_eq!(collect_packets(&mut src).unwrap(), want);
+        // Drained source yields nothing more; after rewind, everything.
+        assert!(collect_packets(&mut src).unwrap().is_empty());
+        src.rewind().unwrap();
+        assert_eq!(collect_packets(&mut src).unwrap(), want);
     }
 
     #[test]

@@ -113,6 +113,35 @@ impl TraceDate {
     pub fn epoch_us(&self) -> u64 {
         (self.days_since_epoch() as u64) * 86_400 * 1_000_000
     }
+
+    /// Inverse of [`days_since_epoch`](Self::days_since_epoch)
+    /// (proleptic Gregorian, civil-days algorithm) — the date `days`
+    /// days after 1970-01-01. Enables calendar arithmetic for
+    /// consecutive-day archive sweeps.
+    pub fn from_days_since_epoch(days: i64) -> Self {
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let day = (doy - (153 * mp + 2) / 5 + 1) as u8;
+        let month = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8;
+        let year = (if month <= 2 { y + 1 } else { y }) as u16;
+        TraceDate { year, month, day }
+    }
+
+    /// The date `n` calendar days after this one.
+    pub fn plus_days(&self, n: i64) -> Self {
+        TraceDate::from_days_since_epoch(self.days_since_epoch() + n)
+    }
+
+    /// `n` consecutive calendar days starting at `self` — the shape of
+    /// a month-scale archive sweep.
+    pub fn consecutive(&self, n: usize) -> Vec<TraceDate> {
+        (0..n as i64).map(|d| self.plus_days(d)).collect()
+    }
 }
 
 impl fmt::Display for TraceDate {
@@ -284,6 +313,45 @@ mod tests {
         let feb = TraceDate::new(2004, 2, 28).days_since_epoch();
         let mar = TraceDate::new(2004, 3, 1).days_since_epoch();
         assert_eq!(mar - feb, 2);
+    }
+
+    #[test]
+    fn date_arithmetic_round_trips() {
+        // from_days_since_epoch inverts days_since_epoch across the
+        // whole archive span, including leap days and month ends.
+        for days in TraceDate::new(2001, 1, 1).days_since_epoch()
+            ..=TraceDate::new(2009, 12, 31).days_since_epoch()
+        {
+            let d = TraceDate::from_days_since_epoch(days);
+            assert_eq!(d.days_since_epoch(), days, "{d}");
+        }
+        assert_eq!(
+            TraceDate::new(2004, 2, 28).plus_days(1),
+            TraceDate::new(2004, 2, 29)
+        );
+        assert_eq!(
+            TraceDate::new(2006, 6, 30).plus_days(1),
+            TraceDate::new(2006, 7, 1)
+        );
+        assert_eq!(
+            TraceDate::new(2003, 12, 31).plus_days(1),
+            TraceDate::new(2004, 1, 1)
+        );
+    }
+
+    #[test]
+    fn consecutive_days_are_adjacent_and_ordered() {
+        let days = TraceDate::new(2006, 6, 28).consecutive(6);
+        assert_eq!(days.len(), 6);
+        assert!(days
+            .windows(2)
+            .all(|w| w[1].days_since_epoch() - w[0].days_since_epoch() == 1));
+        assert_eq!(days[3], TraceDate::new(2006, 7, 1));
+        // A 6-day window straddling 2006-07-01 crosses the CAR→100M
+        // era boundary.
+        assert!(days
+            .windows(2)
+            .any(|w| LinkEra::for_date(w[0]) != LinkEra::for_date(w[1])));
     }
 
     #[test]

@@ -7,6 +7,18 @@
 //! flow arrivals. Absolute realism is not the goal — *diversity and
 //! heavy tails* are, because they are what the four detectors' normal
 //! models must absorb (DESIGN.md §2).
+//!
+//! Generation is **bin-native**: a [`BackgroundModel`] holds the
+//! day-level parameters (app mix, distributions, the common-mode rate
+//! modulation), and [`BackgroundModel::generate_bin`] synthesises the
+//! flows *arriving* inside one generation bin from a caller-supplied
+//! RNG. Poisson arrivals are memoryless, so restarting the arrival
+//! clock at each bin boundary leaves the process statistically
+//! unchanged while removing every sequential RNG dependence between
+//! bins — the property the sharded generator (`crate::sharded`) is
+//! built on. Flows *started* in a bin may emit packets past its end
+//! (they are only clipped at the day window), so bin outputs are
+//! merged time-sorted by the caller.
 
 use crate::config::SynthConfig;
 use mawilab_model::{Packet, TcpFlags, TimeWindow};
@@ -100,6 +112,7 @@ impl HostModel {
 }
 
 /// An application profile of the background mix.
+#[derive(Debug, Clone)]
 struct App {
     weight: f64,
     proto_tcp: bool,
@@ -174,109 +187,153 @@ fn app_mix(p2p_share: f64) -> Vec<App> {
     ]
 }
 
-/// Generates background flows into `out` (tag 0 = background).
-pub fn generate_background(
-    cfg: &SynthConfig,
-    hosts: &HostModel,
-    window: TimeWindow,
-    rng: &mut StdRng,
-    out: &mut Vec<(Packet, u32)>,
-) {
-    let apps = app_mix(cfg.p2p_share.clamp(0.0, 0.9));
-    let total_weight: f64 = apps.iter().map(|a| a.weight).sum();
-    // Overhead ≈ 5 control packets per TCP flow.
-    let mean_flow_pkts: f64 = apps
-        .iter()
-        .map(|a| a.weight / total_weight * (a.mean_data_pkts + 4.0))
-        .sum();
-    let target_packets = cfg.background_pps * cfg.duration_s as f64;
-    let flow_rate = target_packets / mean_flow_pkts / cfg.duration_s as f64; // flows per second
-    let inter = Exponential::new(flow_rate.max(1e-6));
-    let data_size = LogNormal::new(6.2, 0.8); // ~500-byte median payloads
-    let p2p_pkts = Pareto::new(4.0, 1.3);
+/// Day-level background parameters, shared by every generation bin.
+///
+/// Everything here is a pure function of the config plus the two
+/// modulation phases (drawn once from the day stream), so bins can be
+/// generated in any order from independent RNG streams.
+#[derive(Debug, Clone)]
+pub struct BackgroundModel {
+    apps: Vec<App>,
+    total_weight: f64,
+    inter: Exponential,
+    data_size: LogNormal,
+    p2p_pkts: Pareto,
+    day_window: TimeWindow,
+    phases: (f64, f64),
+}
 
-    // Common-mode rate modulation: real backbone traffic breathes —
-    // all hosts' rates co-vary through load and routing dynamics.
-    // This common factor is what PCA-style detectors model as the
-    // "normal subspace"; without it every sketch bin would be an
-    // independent Poisson stream and no low-dimensional normal
-    // behaviour would exist to learn.
-    let dur = (window.len_us() as f64).max(1.0);
-    let (p1, p2) = (rng.random::<f64>(), rng.random::<f64>());
-    let modulation = move |ts: f64| -> f64 {
-        let x = (ts - window.start_us as f64) / dur;
-        1.0 + 0.30 * (2.0 * std::f64::consts::PI * (2.3 * x + p1)).sin()
-            + 0.18 * (2.0 * std::f64::consts::PI * (7.1 * x + p2)).sin()
-    };
-    let mod_max = 1.48;
+/// Peak of the common-mode modulation factor (the thinning bound).
+const MOD_MAX: f64 = 1.48;
 
-    let mut t = window.start_us as f64;
-    let end = window.end_us as f64;
-    while t < end {
-        // Thinned Poisson process: candidate arrivals at the peak rate,
-        // kept with probability m(t)/m_max.
-        t += inter.sample(rng) / mod_max * 1e6;
-        if t >= end {
-            break;
+impl BackgroundModel {
+    /// Builds the day model. `phases` are the two common-mode
+    /// modulation phases, drawn from the day-level RNG stream.
+    pub fn new(cfg: &SynthConfig, day_window: TimeWindow, phases: (f64, f64)) -> Self {
+        let apps = app_mix(cfg.p2p_share.clamp(0.0, 0.9));
+        let total_weight: f64 = apps.iter().map(|a| a.weight).sum();
+        // Overhead ≈ 5 control packets per TCP flow.
+        let mean_flow_pkts: f64 = apps
+            .iter()
+            .map(|a| a.weight / total_weight * (a.mean_data_pkts + 4.0))
+            .sum();
+        let target_packets = cfg.background_pps * cfg.duration_s as f64;
+        let flow_rate = target_packets / mean_flow_pkts / cfg.duration_s as f64; // flows/s
+        BackgroundModel {
+            apps,
+            total_weight,
+            inter: Exponential::new(flow_rate.max(1e-6)),
+            data_size: LogNormal::new(6.2, 0.8), // ~500-byte median payloads
+            p2p_pkts: Pareto::new(4.0, 1.3),
+            day_window,
+            phases,
         }
-        if rng.random::<f64>() > modulation(t) / mod_max {
-            continue;
-        }
-        // Pick an app by weight.
-        let mut pick = rng.random::<f64>() * total_weight;
-        let mut app = &apps[apps.len() - 1];
-        for a in &apps {
-            if pick < a.weight {
-                app = a;
+    }
+
+    /// Common-mode rate modulation: real backbone traffic breathes —
+    /// all hosts' rates co-vary through load and routing dynamics.
+    /// This common factor is what PCA-style detectors model as the
+    /// "normal subspace"; without it every sketch bin would be an
+    /// independent Poisson stream and no low-dimensional normal
+    /// behaviour would exist to learn.
+    fn modulation(&self, ts: f64) -> f64 {
+        let dur = (self.day_window.len_us() as f64).max(1.0);
+        let x = (ts - self.day_window.start_us as f64) / dur;
+        1.0 + 0.30 * (2.0 * std::f64::consts::PI * (2.3 * x + self.phases.0)).sin()
+            + 0.18 * (2.0 * std::f64::consts::PI * (7.1 * x + self.phases.1)).sin()
+    }
+
+    /// Generates the background flows *arriving* inside `bin` into
+    /// `out` (tag 0 = background), from `rng` alone. Flow packets may
+    /// extend past the bin (clipped only at the day window end); the
+    /// caller merges bin outputs time-sorted.
+    pub fn generate_bin(
+        &self,
+        hosts: &HostModel,
+        bin: TimeWindow,
+        rng: &mut StdRng,
+        out: &mut Vec<(Packet, u32)>,
+    ) {
+        let day_end = self.day_window.end_us;
+        let mut t = bin.start_us as f64;
+        let end = bin.end_us.min(day_end) as f64;
+        while t < end {
+            // Thinned Poisson process: candidate arrivals at the peak
+            // rate, kept with probability m(t)/m_max. Exponential
+            // inter-arrivals are memoryless, so restarting the clock
+            // at the bin start leaves the day-level process unchanged.
+            t += self.inter.sample(rng) / MOD_MAX * 1e6;
+            if t >= end {
                 break;
             }
-            pick -= a.weight;
-        }
-        // Endpoints: clients and servers on either side of the link.
-        let internal_client = rng.random::<f64>() < 0.5;
-        let (client, server) = if internal_client {
-            (hosts.internal(rng), hosts.external(rng))
-        } else {
-            (hosts.external(rng), hosts.internal(rng))
-        };
-        let cport: u16 = rng.random_range(1025..=65000);
+            if rng.random::<f64>() > self.modulation(t) / MOD_MAX {
+                continue;
+            }
+            // Pick an app by weight.
+            let mut pick = rng.random::<f64>() * self.total_weight;
+            let mut app = &self.apps[self.apps.len() - 1];
+            for a in &self.apps {
+                if pick < a.weight {
+                    app = a;
+                    break;
+                }
+                pick -= a.weight;
+            }
+            // Endpoints: clients and servers on either side of the link.
+            let internal_client = rng.random::<f64>() < 0.5;
+            let (client, server) = if internal_client {
+                (hosts.internal(rng), hosts.external(rng))
+            } else {
+                (hosts.external(rng), hosts.internal(rng))
+            };
+            let cport: u16 = rng.random_range(1025..=65000);
 
-        if app.server_port == 0 && !app.proto_tcp {
-            // ICMP echo pair.
-            emit_icmp_pair(t as u64, client, server, rng, out);
-        } else if app.server_port == 0 {
-            // p2p: both ports ephemeral, Pareto-tailed packet count.
-            let sport: u16 = rng.random_range(1025..=65000);
-            let n = (p2p_pkts.sample(rng) as usize).clamp(2, 3_000);
-            emit_tcp_flow(
-                t as u64, end as u64, client, cport, server, sport, n, &data_size, rng, out,
-            );
-        } else if app.proto_tcp {
-            let n = sample_flow_len(app.mean_data_pkts, rng);
-            emit_tcp_flow(
-                t as u64,
-                end as u64,
-                client,
-                cport,
-                server,
-                app.server_port,
-                n,
-                &data_size,
-                rng,
-                out,
-            );
-        } else {
-            // UDP request/response (DNS, NTP).
-            emit_udp_exchange(
-                t as u64,
-                end as u64,
-                client,
-                cport,
-                server,
-                app.server_port,
-                rng,
-                out,
-            );
+            if app.server_port == 0 && !app.proto_tcp {
+                // ICMP echo pair.
+                emit_icmp_pair(t as u64, day_end, client, server, rng, out);
+            } else if app.server_port == 0 {
+                // p2p: both ports ephemeral, Pareto-tailed packet count.
+                let sport: u16 = rng.random_range(1025..=65000);
+                let n = (self.p2p_pkts.sample(rng) as usize).clamp(2, 3_000);
+                emit_tcp_flow(
+                    t as u64,
+                    day_end,
+                    client,
+                    cport,
+                    server,
+                    sport,
+                    n,
+                    &self.data_size,
+                    rng,
+                    out,
+                );
+            } else if app.proto_tcp {
+                let n = sample_flow_len(app.mean_data_pkts, rng);
+                emit_tcp_flow(
+                    t as u64,
+                    day_end,
+                    client,
+                    cport,
+                    server,
+                    app.server_port,
+                    n,
+                    &self.data_size,
+                    rng,
+                    out,
+                );
+            } else {
+                // UDP request/response (DNS, NTP).
+                emit_udp_exchange(
+                    t as u64,
+                    day_end,
+                    client,
+                    cport,
+                    server,
+                    app.server_port,
+                    rng,
+                    out,
+                );
+            }
         }
     }
 }
@@ -387,14 +444,19 @@ fn emit_udp_exchange(
 
 fn emit_icmp_pair(
     t0: u64,
+    end_us: u64,
     a: Ipv4Addr,
     b: Ipv4Addr,
     rng: &mut StdRng,
     out: &mut Vec<(Packet, u32)>,
 ) {
-    out.push((Packet::icmp(t0, a, b, 8, 0, 84), 0));
+    if t0 < end_us {
+        out.push((Packet::icmp(t0, a, b, 8, 0, 84), 0));
+    }
     let t1 = t0 + rng.random_range(20_000..200_000u64);
-    out.push((Packet::icmp(t1, b, a, 0, 0, 84), 0));
+    if t1 < end_us {
+        out.push((Packet::icmp(t1, b, a, 0, 0, 84), 0));
+    }
 }
 
 #[cfg(test)]
@@ -408,6 +470,26 @@ mod tests {
         let hosts = HostModel::new(&cfg, &mut rng);
         let window = TimeWindow::new(0, cfg.duration_s as u64 * 1_000_000);
         (cfg, hosts, window, rng)
+    }
+
+    /// Generates a whole day through the bin-native API: one model,
+    /// 1-second bins, each from the shared test rng (sequencing is
+    /// irrelevant to these statistical assertions).
+    fn generate_background(
+        cfg: &SynthConfig,
+        hosts: &HostModel,
+        window: TimeWindow,
+        rng: &mut StdRng,
+        out: &mut Vec<(Packet, u32)>,
+    ) {
+        let phases = (rng.random::<f64>(), rng.random::<f64>());
+        let model = BackgroundModel::new(cfg, window, phases);
+        let mut start = window.start_us;
+        while start < window.end_us {
+            let end = (start + 1_000_000).min(window.end_us);
+            model.generate_bin(hosts, TimeWindow::new(start, end), rng, out);
+            start = end;
+        }
     }
 
     #[test]

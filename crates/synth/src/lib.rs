@@ -31,19 +31,28 @@ pub mod anomalies;
 pub mod archive;
 pub mod background;
 pub mod config;
+pub mod sharded;
 pub mod truth;
 
 pub use anomalies::{AnomalyKind, AnomalySpec};
 pub use archive::{worm_intensity, ArchiveConfig, ArchiveSimulator};
-pub use background::HostModel;
+pub use background::{BackgroundModel, HostModel};
 pub use config::SynthConfig;
+pub use sharded::{SynthSource, GEN_BIN_US};
 pub use truth::{AnomalyRecord, GroundTruth, LabeledTrace};
 
-use mawilab_model::{Trace, TraceChunker, TraceMeta};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mawilab_model::TraceChunker;
 
 /// End-to-end trace generator: background + anomalies + ground truth.
+///
+/// Generation is sharded (`crate::sharded`): every anomaly and every
+/// [`GEN_BIN_US`]-wide background bin draws from its own
+/// counter-derived RNG stream, so the units generate independently —
+/// fanned out across threads by [`generate`](Self::generate), bin by
+/// bin without materialising the day by [`stream`](Self::stream).
+/// [`generate_sequential`](Self::generate_sequential) is the retained
+/// in-order reference; all paths are byte-identical to it at any
+/// `MAWILAB_THREADS` (`tests/synth_equivalence.rs`).
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     config: SynthConfig,
@@ -55,62 +64,47 @@ impl TraceGenerator {
         TraceGenerator { config }
     }
 
-    /// Generates the trace and its ground truth. Deterministic in the
-    /// config (seed included).
+    /// Generates the trace and its ground truth through the sharded
+    /// engine (anomalies + background bins fanned out through
+    /// `mawilab-exec`, honoring `MAWILAB_THREADS`). Deterministic in
+    /// the config (seed included) and thread-count invariant.
     pub fn generate(&self) -> LabeledTrace {
-        let cfg = &self.config;
-        let meta = TraceMeta {
-            date: cfg.date,
-            duration_s: cfg.duration_s,
-            era: mawilab_model::LinkEra::for_date(cfg.date),
-            samplepoint: cfg.samplepoint.clone(),
-        };
-        let window = meta.window();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let hosts = HostModel::new(cfg, &mut rng);
-
-        let mut tagged: Vec<(mawilab_model::Packet, u32)> = Vec::new();
-        background::generate_background(cfg, &hosts, window, &mut rng, &mut tagged);
-
-        let mut records = Vec::new();
-        for (i, spec) in cfg.anomalies.iter().enumerate() {
-            let id = (i + 1) as u32; // 0 = background
-            let record = spec.build(id, window, &hosts, &mut rng, &mut tagged);
-            records.push(record);
-        }
-
-        // Sort packets and tags together by time.
-        tagged.sort_by_key(|(p, _)| p.ts_us);
-        let mut packets = Vec::with_capacity(tagged.len());
-        let mut tags = Vec::with_capacity(tagged.len());
-        for (p, t) in tagged {
-            packets.push(p);
-            tags.push(if t == 0 { None } else { Some(t) });
-        }
-        // Recount per-anomaly packets after generation (builders report
-        // their own counts; verify against tags in debug builds).
-        debug_assert_eq!(
-            tags.iter().filter(|t| t.is_some()).count(),
-            records.iter().map(|r| r.packet_count).sum::<usize>(),
-        );
-
-        LabeledTrace {
-            trace: Trace::new(meta, packets),
-            truth: GroundTruth::new(tags, records),
-        }
+        sharded::generate_sharded(&self.config, usize::MAX)
     }
 
-    /// Generates the trace and wraps it as a chunked
-    /// [`mawilab_model::PacketSource`], so benches and tests can
-    /// exercise the streaming pipeline without temp files. The ground
-    /// truth is dropped; use [`stream_labeled`](Self::stream_labeled)
-    /// to keep it.
-    pub fn stream(&self, bin_us: u64) -> TraceChunker {
-        TraceChunker::new(self.generate().trace, bin_us)
+    /// [`generate`](Self::generate) with an explicit worker cap on the
+    /// fan-outs (`1` = fully in-line). Lets benchmarks sweep effective
+    /// worker counts without mutating the process-wide
+    /// `MAWILAB_THREADS`; the output is identical at every cap.
+    pub fn generate_capped(&self, cap: usize) -> LabeledTrace {
+        sharded::generate_sharded(&self.config, cap)
     }
 
-    /// Like [`stream`](Self::stream), but also returns the ground
-    /// truth for precision/recall scoring of the streamed labels.
+    /// The sequential reference generator: every unit generated
+    /// strictly in canonical order on the calling thread, merged by
+    /// one global stable sort. Kept as the equivalence oracle for the
+    /// sharded engine (mirroring `build_graph_sequential` in the
+    /// similarity crate) and as the baseline of the generation
+    /// throughput benchmark.
+    pub fn generate_sequential(&self) -> LabeledTrace {
+        sharded::generate_sequential(&self.config)
+    }
+
+    /// Streams the trace chunk-natively: a [`SynthSource`] generates
+    /// background bins lazily and emits time-binned
+    /// [`mawilab_model::PacketChunk`]s directly, so the day is never
+    /// materialised. The chunk concatenation is byte-identical to
+    /// [`generate`](Self::generate) at any `bin_us`. Ground-truth
+    /// records are available via [`SynthSource::records`]; per-chunk
+    /// tags via [`SynthSource::chunk_tags`].
+    pub fn stream(&self, bin_us: u64) -> SynthSource {
+        SynthSource::new(&self.config, bin_us)
+    }
+
+    /// Like [`stream`](Self::stream), but materialises the day once to
+    /// return its full ground truth next to a rewindable chunk source
+    /// — for consumers that need per-packet truth up front (e.g.
+    /// precision/recall scoring of streamed labels).
     pub fn stream_labeled(&self, bin_us: u64) -> (TraceChunker, GroundTruth) {
         let lt = self.generate();
         (TraceChunker::new(lt.trace, bin_us), lt.truth)
@@ -129,6 +123,36 @@ mod tests {
         let b = TraceGenerator::new(cfg).generate();
         assert_eq!(a.trace.packets, b.trace.packets);
         assert_eq!(a.truth.tags(), b.truth.tags());
+    }
+
+    #[test]
+    fn sharded_engine_matches_sequential_oracle() {
+        // The full sweep (seeds × bin widths × thread counts) lives in
+        // tests/synth_equivalence.rs; this is the fast in-crate guard.
+        let generator = TraceGenerator::new(SynthConfig::default().with_seed(41));
+        let sharded = generator.generate();
+        let oracle = generator.generate_sequential();
+        assert_eq!(sharded.trace.packets, oracle.trace.packets);
+        assert_eq!(sharded.truth.tags(), oracle.truth.tags());
+        for cap in [1, 2, 5] {
+            let capped = generator.generate_capped(cap);
+            assert_eq!(capped.trace.packets, oracle.trace.packets, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn stream_concatenation_matches_generate() {
+        use mawilab_model::{collect_packets, PacketSource};
+        let generator = TraceGenerator::new(SynthConfig::default().with_seed(23));
+        let batch = generator.generate();
+        let mut source = generator.stream(2_500_000);
+        assert_eq!(collect_packets(&mut source).unwrap(), batch.trace.packets);
+        // Rewind replays the identical stream, and the streamed ground
+        // truth equals the batch truth.
+        source.rewind().unwrap();
+        let truth = source.drain_truth().unwrap();
+        assert_eq!(truth.tags(), batch.truth.tags());
+        assert_eq!(truth.anomalies().len(), batch.truth.anomalies().len());
     }
 
     #[test]

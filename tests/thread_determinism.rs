@@ -1,18 +1,26 @@
-//! Thread-count invariance of the full pipeline.
+//! Thread-count invariance of the full pipeline and the archive sweep.
 //!
 //! Every parallel stage (detector fan-out, sharded graph build,
-//! Louvain proposal scans) is built on `mawilab-exec`, whose contract
-//! is order-preserving determinism — so `MAWILAB_THREADS=1` and any
-//! larger setting must label a trace byte-identically.
+//! Louvain proposal scans, sharded trace generation, harness day
+//! fan-out) is built on `mawilab-exec`, whose contract is
+//! order-preserving determinism — so `MAWILAB_THREADS=1` and any
+//! larger setting must label a trace byte-identically, and a whole
+//! month-scale archive sweep must reduce to identical metrics.
 //!
-//! Kept as the single `#[test]` of this integration binary: it
-//! mutates the process-wide `MAWILAB_THREADS` variable, and a sibling
-//! test running concurrently in the same process would race on it.
+//! Tests in this binary share `ENV_LOCK`: they mutate the
+//! process-wide `MAWILAB_THREADS` variable, and siblings running
+//! concurrently would race on it.
 
 use mawilab::core::{MawilabPipeline, PipelineConfig, StreamingPipeline};
 use mawilab::label::MawilabLabel;
 use mawilab::model::{TraceChunker, DEFAULT_CHUNK_US};
 use mawilab::synth::{SynthConfig, TraceGenerator};
+use mawilab_bench::archive::{
+    collect_archive, default_sweep_start, month_sweep_days, ArchiveBenchArgs, ArchiveOutcome,
+};
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// Decisions, labels, graph shape and member lists of one batch +
 /// one streaming run.
@@ -44,6 +52,7 @@ fn run_once(
 
 #[test]
 fn pipeline_is_identical_at_every_thread_count() {
+    let _lock = ENV_LOCK.lock().unwrap();
     let lt = TraceGenerator::new(SynthConfig::default().with_seed(99)).generate();
 
     std::env::set_var("MAWILAB_THREADS", "1");
@@ -54,4 +63,59 @@ fn pipeline_is_identical_at_every_thread_count() {
         assert_eq!(single, multi, "output changed at MAWILAB_THREADS={threads}");
     }
     std::env::remove_var("MAWILAB_THREADS");
+}
+
+/// Everything thread-count invariant in an [`ArchiveOutcome`]: the
+/// per-day reductions minus their wall-clock fields, plus the whole
+/// stability report (which holds no timing data).
+fn deterministic_view(outcome: &ArchiveOutcome) -> String {
+    let days: Vec<String> = outcome
+        .records
+        .iter()
+        .map(|r| {
+            format!(
+                "{} packets={} chunks={} peak={} items={} alarms={} communities={} \
+                 anomalous={} summary={:?}",
+                r.summary.date,
+                r.packets,
+                r.chunks,
+                r.peak_chunk_packets,
+                r.items,
+                r.alarms,
+                r.communities,
+                r.anomalous,
+                r.summary,
+            )
+        })
+        .collect();
+    format!(
+        "days:{}\nfailed:{:?}\nstability:{:?}",
+        days.join("\n"),
+        outcome.failed,
+        outcome.stability
+    )
+}
+
+#[test]
+fn archive_sweep_is_identical_at_thread_counts_one_and_four() {
+    let _lock = ENV_LOCK.lock().unwrap();
+    // The month-smoke sweep: six consecutive days through the
+    // 2006-07-01 era boundary, tiny scale.
+    let args = ArchiveBenchArgs {
+        scale: 0.2,
+        days: month_sweep_days(default_sweep_start(), 6),
+        ..Default::default()
+    };
+
+    std::env::set_var("MAWILAB_THREADS", "1");
+    let single = deterministic_view(&collect_archive(&args));
+    std::env::set_var("MAWILAB_THREADS", "4");
+    let multi = deterministic_view(&collect_archive(&args));
+    std::env::remove_var("MAWILAB_THREADS");
+
+    assert!(single.contains("2006-07-01"), "sweep crossed the boundary");
+    assert_eq!(
+        single, multi,
+        "archive sweep metrics changed with MAWILAB_THREADS"
+    );
 }
