@@ -18,13 +18,14 @@
 //! in-process and assert the schema.
 
 use crate::harness::{
-    peak_rss_kb, run_days_streaming, run_days_streaming_with, DayFailure, StreamingDayContext,
+    peak_rss_kb, run_days_streaming, run_days_streaming_two_pass, run_days_streaming_wrapped,
+    DayFailure, SourceWrap, StreamingDayContext,
 };
 use mawilab_core::{PipelineConfig, StrategyKind};
 use mawilab_eval::ground_truth::DEFAULT_MIN_COVERAGE;
 use mawilab_eval::{stability_report, DaySummary, GroundTruthMatcher, StabilityReport, WormStatus};
 use mawilab_label::MawilabLabel;
-use mawilab_model::{LinkEra, PacketSource, Trace, TraceDate, DEFAULT_CHUNK_US};
+use mawilab_model::{LinkEra, TraceDate, DEFAULT_CHUNK_US};
 use mawilab_synth::{AnomalyKind, ArchiveConfig, ArchiveSimulator, TraceGenerator};
 use std::collections::HashSet;
 
@@ -130,10 +131,13 @@ pub fn default_month_days() -> Vec<TraceDate> {
 pub struct ArchiveDayRecord {
     /// The stability-relevant reduction of the day.
     pub summary: DaySummary,
-    /// Packets streamed.
+    /// Packets of the stream (first drain's view).
     pub packets: u64,
-    /// Chunks streamed (pass 1).
+    /// Chunks of the stream (first drain's view).
     pub chunks: usize,
+    /// Times the source was drained: 1 on the single-pass path, 2 on
+    /// the two-pass oracle.
+    pub passes: usize,
     /// Largest single chunk.
     pub peak_chunk_packets: usize,
     /// Traffic units seen.
@@ -148,9 +152,11 @@ pub struct ArchiveDayRecord {
     pub wall_s: f64,
     /// Pipeline throughput, packets/second.
     pub pps: f64,
-    /// Wall-clock of producing the day ahead of the pipeline passes
-    /// (sharded generation + the ground-truth pre-pass), seconds. For
-    /// the generation-only engine comparison see [`GenThroughput`].
+    /// Wall-clock of producing the day ahead of the pipeline's drain,
+    /// seconds (single-pass: the generator's day plan only — packets
+    /// generate lazily inside the drain; two-pass oracle: the whole
+    /// truth pre-pass). For the generation-only engine comparison see
+    /// [`GenThroughput`].
     pub gen_s: f64,
     /// Day-production throughput over `gen_s`, packets/second.
     pub gen_pps: f64,
@@ -201,17 +207,18 @@ fn reduce_day(ctx: &StreamingDayContext<'_>) -> ArchiveDayRecord {
     let wall_s = ctx.wall.as_secs_f64();
     let gen_s = ctx.gen_wall.as_secs_f64();
     ArchiveDayRecord {
-        packets: report.stats.packets,
-        chunks: report.stats.chunks,
+        packets: report.stats.packets(),
+        chunks: report.stats.chunks(),
+        passes: report.stats.passes(),
         peak_chunk_packets: report.stats.peak_chunk_packets,
         items: report.stats.items,
         alarms: report.alarm_count(),
         communities: report.community_count(),
         anomalous: report.labeled.count(MawilabLabel::Anomalous),
         wall_s,
-        pps: report.stats.packets as f64 / wall_s.max(1e-9),
+        pps: report.stats.packets() as f64 / wall_s.max(1e-9),
         gen_s,
-        gen_pps: report.stats.packets as f64 / gen_s.max(1e-9),
+        gen_pps: report.stats.packets() as f64 / gen_s.max(1e-9),
         stage_s: [
             t.detect.as_secs_f64(),
             t.extract.as_secs_f64(),
@@ -261,10 +268,11 @@ fn assemble_outcome(outcomes: Vec<Result<ArchiveDayRecord, DayFailure>>) -> Arch
     }
 }
 
-/// Runs the sweep chunk-natively — each day's `SynthSource` emits
-/// `PacketChunk`s straight out of the sharded generator into the
-/// streaming pipeline, no day ever materialised — and reduces it to
-/// an [`ArchiveOutcome`].
+/// Runs the sweep chunk-natively and single-pass — each day's
+/// `SynthSource` emits `PacketChunk`s straight out of the sharded
+/// generator into the online pipeline's one drain, no day ever
+/// materialised or replayed — and reduces it to an
+/// [`ArchiveOutcome`].
 pub fn collect_archive(args: &ArchiveBenchArgs) -> ArchiveOutcome {
     assemble_outcome(run_days_streaming(
         &args.days,
@@ -275,25 +283,72 @@ pub fn collect_archive(args: &ArchiveBenchArgs) -> ArchiveOutcome {
     ))
 }
 
-/// [`collect_archive`] through the materialising source-factory seam
-/// instead of the chunk-native path — for failure injection
+/// [`collect_archive`] with a [`SourceWrap`] applied to each day's
+/// sealed source — the failure-injection seam
 /// (`crates/bench/tests/day_failure.rs` wraps one day's source in one
-/// that errors and asserts the month survives it). The factory alone
-/// decides the chunk bin width; `args.chunk_us` only drives the
-/// chunk-native path (and the JSON header), so a factory should bin
-/// at `args.chunk_us` if it wants the report to describe it.
-pub fn collect_archive_with<S, M>(args: &ArchiveBenchArgs, make: M) -> ArchiveOutcome
-where
-    S: PacketSource,
-    M: Fn(TraceDate, Trace) -> S + Sync,
-{
-    assemble_outcome(run_days_streaming_with(
+/// that errors mid-drain and asserts the month survives it) and the
+/// hook CI uses to seal the whole sweep behind rewind-refusing
+/// wrappers.
+pub fn collect_archive_wrapped(args: &ArchiveBenchArgs, wrap: &dyn SourceWrap) -> ArchiveOutcome {
+    assemble_outcome(run_days_streaming_wrapped(
         &args.days,
         args.scale,
+        args.chunk_us,
         PipelineConfig::default(),
-        make,
+        wrap,
         reduce_day,
     ))
+}
+
+/// [`collect_archive`] through the legacy two-pass oracle
+/// ([`run_days_streaming_two_pass`]): same sweep, same reductions,
+/// but the source is drained twice through the rewind-based pipeline.
+/// Oracle-verification runs byte-compare its [`deterministic_view`]
+/// against the single-pass sweep's.
+pub fn collect_archive_two_pass(args: &ArchiveBenchArgs) -> ArchiveOutcome {
+    assemble_outcome(run_days_streaming_two_pass(
+        &args.days,
+        args.scale,
+        args.chunk_us,
+        PipelineConfig::default(),
+        reduce_day,
+    ))
+}
+
+/// Everything thread-count- and ingest-mode-invariant in an
+/// [`ArchiveOutcome`]: the per-day reductions minus their wall-clock
+/// and drain-count fields, plus the whole stability report (which
+/// holds no timing data). Two sweeps over the same days must render
+/// identical views whatever `MAWILAB_THREADS` was and whichever
+/// ingest path (single-pass or two-pass oracle) ran them — the
+/// comparison key of the thread-determinism suite and the
+/// `--verify-oracle` mode.
+pub fn deterministic_view(outcome: &ArchiveOutcome) -> String {
+    let days: Vec<String> = outcome
+        .records
+        .iter()
+        .map(|r| {
+            format!(
+                "{} packets={} chunks={} peak={} items={} alarms={} communities={} \
+                 anomalous={} summary={:?}",
+                r.summary.date,
+                r.packets,
+                r.chunks,
+                r.peak_chunk_packets,
+                r.items,
+                r.alarms,
+                r.communities,
+                r.anomalous,
+                r.summary,
+            )
+        })
+        .collect();
+    format!(
+        "days:{}\nfailed:{:?}\nstability:{:?}",
+        days.join("\n"),
+        outcome.failed,
+        outcome.stability
+    )
 }
 
 /// Generation-throughput comparison of one archive day: the sequential
@@ -431,6 +486,7 @@ fn format_archive_json(
                 .collect();
             format!(
                 "    {{\"date\": \"{}\", \"packets\": {}, \"chunks\": {}, \
+                 \"ingest_passes\": {}, \
                  \"peak_chunk_packets\": {}, \"items\": {}, \"alarms\": {}, \
                  \"communities\": {}, \"anomalous\": {}, \"identities\": {}, \
                  \"wall_s\": {}, \"packets_per_s\": {}, \"gen_s\": {}, \
@@ -440,6 +496,7 @@ fn format_archive_json(
                 r.summary.date,
                 r.packets,
                 r.chunks,
+                r.passes,
                 r.peak_chunk_packets,
                 r.items,
                 r.alarms,
@@ -773,6 +830,7 @@ mod tests {
             "\"workers_cap\"",
             "\"gen_s\"",
             "\"peak_rss_kb\"",
+            "\"ingest_passes\"",
             "\"packets_per_s\"",
             "\"detect_s\"",
             "\"worms\"",
@@ -780,6 +838,9 @@ mod tests {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
         assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        // The default sweep runs single-pass: every day drains once.
+        assert!(json.contains("\"ingest_passes\": 1"));
+        assert!(!json.contains("\"ingest_passes\": 2"));
         // All five strategies appear in the flip table.
         for name in ["average", "minimum", "maximum", "SCANN", "majority"] {
             assert!(

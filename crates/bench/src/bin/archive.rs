@@ -11,17 +11,25 @@
 //! comparison of the sharded synth engine against its sequential
 //! oracle.
 //!
+//! The sweep runs **single-pass**: each day's source streams once
+//! through the online pipeline, sealed behind a rewind-refusing
+//! wrapper. `--verify-oracle` additionally reruns the sweep through
+//! the legacy two-pass pipeline and asserts the deterministic
+//! reductions are byte-identical — the in-process equivalence check
+//! CI's `online-smoke` job leans on.
+//!
 //! ```sh
 //! cargo run --release -p mawilab-bench --bin archive [-- --scale 1.0 --out results]
 //! cargo run --release -p mawilab-bench --bin archive -- --months   # 61-day sweep
 //! cargo run --release -p mawilab-bench --bin archive -- --days 30 --from 2006-06-15
 //! cargo run --release -p mawilab-bench --bin archive -- --smoke           # tiny CI pass
 //! cargo run --release -p mawilab-bench --bin archive -- --smoke --days 6  # month-smoke
+//! cargo run --release -p mawilab-bench --bin archive -- --smoke --verify-oracle
 //! ```
 
 use mawilab_bench::archive::{
-    default_month_days, default_sweep_start, month_sweep_days, run_archive_bench,
-    smoke_archive_days, ArchiveBenchArgs,
+    collect_archive, collect_archive_two_pass, default_month_days, default_sweep_start,
+    deterministic_view, month_sweep_days, run_archive_bench, smoke_archive_days, ArchiveBenchArgs,
 };
 use mawilab_model::TraceDate;
 
@@ -52,6 +60,7 @@ fn main() {
     let mut scale_set = false;
     let mut sweep_days: Option<usize> = None;
     let mut months = false;
+    let mut verify_oracle = false;
     let mut from: Option<TraceDate> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -73,6 +82,7 @@ fn main() {
             "--months" => months = true,
             "--from" => from = Some(parse_date(&it.next().expect("bad --from"))),
             "--smoke" => smoke = true,
+            "--verify-oracle" => verify_oracle = true,
             other => eprintln!("ignoring unknown flag {other}"),
         }
     }
@@ -100,6 +110,33 @@ fn main() {
         // Seconds-scale CI pass at low volume unless the caller picked
         // a scale explicitly.
         args.scale = 0.25;
+    }
+    if verify_oracle {
+        // Run the same sweep through both ingest paths and compare
+        // the thread- and mode-invariant reductions byte for byte.
+        eprintln!("verify-oracle: single-pass sweep …");
+        let single = collect_archive(&args);
+        assert!(
+            single.failed.is_empty(),
+            "single-pass sweep had failed days: {:?}",
+            single.failed
+        );
+        eprintln!("verify-oracle: two-pass oracle sweep …");
+        let oracle = collect_archive_two_pass(&args);
+        assert!(
+            oracle.failed.is_empty(),
+            "oracle sweep had failed days: {:?}",
+            oracle.failed
+        );
+        assert_eq!(
+            deterministic_view(&single),
+            deterministic_view(&oracle),
+            "single-pass and two-pass sweeps diverged"
+        );
+        eprintln!(
+            "verify-oracle: single-pass == two-pass over {} days ✓",
+            single.records.len()
+        );
     }
     let json = run_archive_bench(&args);
     println!("{json}");

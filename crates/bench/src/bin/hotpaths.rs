@@ -16,12 +16,20 @@
 //! pre-refactor commit (recorded in the JSON) on the same container;
 //! re-measure by checking that commit out.
 //!
+//! `--scaling` runs the worker-scaling study instead: the parallel
+//! stages (sharded graph build, CSR Louvain, the single-pass online
+//! pipeline end to end) at worker counts 1→N, reporting per-stage
+//! speedup and parallel efficiency (`t1 / (k · tk)`) into
+//! `results/BENCH_scaling.json`.
+//!
 //! ```sh
 //! cargo run --release -p mawilab-bench --bin hotpaths [-- --out results]
+//! cargo run --release -p mawilab-bench --bin hotpaths -- --scaling [--max-workers 8]
 //! ```
 
-use mawilab_core::{MawilabPipeline, PipelineConfig};
+use mawilab_core::{MawilabPipeline, OnlinePipeline, PipelineConfig};
 use mawilab_graph::{louvain, Graph};
+use mawilab_model::{TraceChunker, DEFAULT_CHUNK_US};
 use mawilab_similarity::SimilarityEstimator;
 use mawilab_synth::{SynthConfig, TraceGenerator};
 use std::hint::black_box;
@@ -102,14 +110,113 @@ fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     r
 }
 
+/// One stage of the `--scaling` study: a name and a closure timed at
+/// each worker count.
+struct ScalingStage<'a> {
+    name: &'static str,
+    iters: usize,
+    run: Box<dyn FnMut() + 'a>,
+}
+
+/// Worker-scaling study: every parallel stage at 1→`max_workers`
+/// workers, with per-stage speedup (`t1/tk`) and parallel efficiency
+/// (`t1 / (k · tk)`). Efficiency is the honest number — a stage whose
+/// speedup plateaus shows efficiency collapsing as k grows.
+fn run_scaling(out_dir: &str, max_workers: usize) {
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers: Vec<usize> = (0..)
+        .map(|i| 1usize << i)
+        .take_while(|&k| k <= max_workers)
+        .collect();
+    let est = SimilarityEstimator::default();
+    let sets = alarm_sets(1000);
+    let g = similarity_like(2000);
+    let lt = TraceGenerator::new(SynthConfig::default().with_seed(77)).generate();
+    let online = OnlinePipeline::new(PipelineConfig::default());
+
+    let stages: Vec<ScalingStage> = vec![
+        ScalingStage {
+            name: "similarity_graph",
+            iters: 30,
+            run: Box::new(|| drop(black_box(est.build_graph(black_box(&sets))))),
+        },
+        ScalingStage {
+            name: "louvain",
+            iters: 30,
+            run: Box::new(|| drop(black_box(louvain(black_box(&g), 1.0)))),
+        },
+        ScalingStage {
+            name: "online_pipeline",
+            iters: 3,
+            run: Box::new(|| {
+                let mut source = TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US);
+                drop(black_box(online.run(&mut source).expect("online run")));
+            }),
+        },
+    ];
+
+    let mut rows: Vec<String> = Vec::new();
+    for mut stage in stages {
+        let mut t1_us = 0.0f64;
+        let cells: Vec<String> = workers
+            .iter()
+            .map(|&k| {
+                let us = with_threads(k, || median_us(stage.iters, &mut stage.run));
+                if k == 1 {
+                    t1_us = us;
+                }
+                let speedup = t1_us / us.max(1e-9);
+                let efficiency = speedup / k as f64;
+                eprintln!(
+                    "{}/{k}: {us:.0}us speedup {speedup:.2} efficiency {efficiency:.2}",
+                    stage.name
+                );
+                format!(
+                    "      {{\"workers\": {k}, \"median_us\": {us:.1}, \
+                     \"speedup\": {speedup:.3}, \"efficiency\": {efficiency:.3}}}"
+                )
+            })
+            .collect();
+        rows.push(format!(
+            "    {{\"stage\": \"{}\", \"points\": [\n{}\n    ]}}",
+            stage.name,
+            cells.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"generated_by\": \"cargo run --release -p mawilab-bench --bin hotpaths -- --scaling\",\n  \
+         \"hardware_threads\": {hardware},\n  \
+         \"note\": \"workers sweep via MAWILAB_THREADS; efficiency = t1/(k*tk); counts above \
+         hardware_threads only add fan-out overhead\",\n  \
+         \"stages\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    std::fs::create_dir_all(out_dir).expect("creating out dir");
+    let path = format!("{out_dir}/BENCH_scaling.json");
+    std::fs::write(&path, &json).expect("writing BENCH_scaling.json");
+    println!("{json}");
+    eprintln!("wrote {path}");
+}
+
 fn main() {
-    let out_dir = std::env::args()
-        .skip(1)
-        .collect::<Vec<_>>()
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = argv
         .windows(2)
         .find(|w| w[0] == "--out")
         .map(|w| w[1].clone())
         .unwrap_or_else(|| "results".into());
+    if argv.iter().any(|a| a == "--scaling") {
+        let max_workers = argv
+            .windows(2)
+            .find(|w| w[0] == "--max-workers")
+            .and_then(|w| w[1].parse().ok())
+            .unwrap_or(8);
+        run_scaling(&out_dir, max_workers);
+        return;
+    }
     let hardware = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

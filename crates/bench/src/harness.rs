@@ -8,11 +8,15 @@
 
 use mawilab_combiner::Decision;
 use mawilab_core::{
-    MawilabPipeline, PipelineConfig, PipelineReport, StrategyKind, StreamingPipeline,
-    StreamingReport,
+    MawilabPipeline, OnlinePipeline, PipelineConfig, PipelineReport, StrategyKind,
+    StreamingPipeline, StreamingReport,
 };
 use mawilab_detectors::TraceView;
-use mawilab_model::{FlowTable, ItemIndex, PacketSource, SourceError, TraceDate};
+use mawilab_label::LabeledWindow;
+use mawilab_model::{
+    FlowTable, ItemIndex, NoRewindSource, PacketSource, SourceError, StreamTruthCollector,
+    TapSource, TraceDate,
+};
 use mawilab_synth::{ArchiveConfig, ArchiveSimulator, GroundTruth, LabeledTrace, TraceGenerator};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -108,15 +112,19 @@ pub struct StreamingDayContext<'a> {
     pub item_ids: &'a [u32],
     /// Full streaming pipeline output, including ingest stats.
     pub report: &'a StreamingReport,
+    /// The per-horizon label feed of the single-pass run, in window
+    /// order. Empty on the two-pass oracle path, which labels the
+    /// whole day at once.
+    pub windows: &'a [LabeledWindow],
     /// Wall-clock of the whole streaming run for this day.
     pub wall: Duration,
-    /// Wall-clock of producing the day ahead of the pipeline passes:
-    /// on the chunk-native path this is the truth pre-pass (sharded
-    /// generation *plus* per-packet unit-id/tag collection), on the
-    /// materialised seam it is batch generation alone. The per-day
-    /// generation trajectory of a month-scale sweep; for a
-    /// generation-only engine comparison see the benchmark's
-    /// `generation` block (`generation_throughput`).
+    /// Wall-clock of producing the day ahead of the pipeline's drain:
+    /// on the single-pass path only the generator's day plan (the
+    /// packets themselves are generated lazily *inside* the drain, so
+    /// they land in `wall`); on the two-pass oracle path the whole
+    /// truth pre-pass (sharded generation plus per-packet unit-id/tag
+    /// collection). For a generation-only engine comparison see the
+    /// benchmark's `generation` block (`generation_throughput`).
     pub gen_wall: Duration,
 }
 
@@ -137,26 +145,123 @@ impl fmt::Display for DayFailure {
 
 impl std::error::Error for DayFailure {}
 
-/// Runs the **streaming** pipeline over every day, in parallel,
-/// returning one entry per day, in day order — the archive-scale
-/// evaluation path where no day is ever materialised: each day's
-/// [`SynthSource`] emits `PacketChunk`s straight out of the sharded
-/// generator. `chunk_us` is the ingest bin width.
+/// Hook for wrapping each day's packet source before the pipeline
+/// drains it — the failure-injection seam (tests wrap one day's
+/// source in one that errors mid-drain and assert the sweep reports
+/// the [`DayFailure`] and keeps the surviving days), also usable for
+/// instrumentation (counting chunks, throttling, recording).
+pub trait SourceWrap: Sync {
+    /// Wraps one day's source. The default identity is [`NoWrap`].
+    fn wrap<'a>(
+        &self,
+        date: TraceDate,
+        inner: Box<dyn PacketSource + 'a>,
+    ) -> Box<dyn PacketSource + 'a>;
+}
+
+/// The identity [`SourceWrap`]: every day's source passes through
+/// untouched.
+pub struct NoWrap;
+
+impl SourceWrap for NoWrap {
+    fn wrap<'a>(
+        &self,
+        _date: TraceDate,
+        inner: Box<dyn PacketSource + 'a>,
+    ) -> Box<dyn PacketSource + 'a> {
+        inner
+    }
+}
+
+/// Runs the **single-pass** streaming pipeline over every day, in
+/// parallel, returning one entry per day, in day order — the
+/// archive-scale evaluation path where no day is ever materialised
+/// *or replayed*: each day's [`SynthSource`] emits `PacketChunk`s
+/// straight out of the sharded generator, and the one drain feeds
+/// detection, extraction evidence **and** ground-truth collection at
+/// once. `chunk_us` is the ingest bin width.
 ///
-/// Ground truth and the packet→unit map are collected on a streaming
-/// pre-pass over the same source (tags and ids accumulate chunk by
-/// chunk; the incremental [`ItemIndex`] assigns exactly the ids
-/// pass 2 will), then the source rewinds — replay is exact because
-/// the generator's RNG streams are counter-derived. A generative
-/// source regenerates on every drain, so each day pays generation
-/// three times (pre-pass + the pipeline's two passes) — the price of
-/// O(chunk) memory, same as re-reading a pcap from disk per pass;
-/// `gen_wall` times the pre-pass, the other two land in `wall`.
+/// Per-packet truth tags stream out of the generator through a
+/// [`TapSource`]/[`StreamTruthCollector`] pair riding the pipeline's
+/// own drain (the collector's incremental [`ItemIndex`] assigns
+/// exactly the unit ids the pipeline's extraction does), so each day
+/// pays generation exactly **once**. The source is additionally
+/// sealed behind a [`NoRewindSource`]: any rewind attempt is a
+/// [`DayFailure`], not a silent replay — the single-pass guarantee
+/// is enforced per day, not just asserted in tests.
 ///
-/// A day whose source errors (pcap corruption, replay divergence, …)
+/// A day whose source errors (pcap corruption, a refused rewind, …)
 /// yields `Err(DayFailure)` instead of poisoning the whole run: a
 /// month-scale benchmark reports the bad day and keeps the month.
 pub fn run_days_streaming<T, F>(
+    days: &[TraceDate],
+    scale: f64,
+    chunk_us: u64,
+    pipeline_config: PipelineConfig,
+    reduce: F,
+) -> Vec<Result<T, DayFailure>>
+where
+    T: Send,
+    F: Fn(&StreamingDayContext<'_>) -> T + Sync,
+{
+    run_days_streaming_wrapped(days, scale, chunk_us, pipeline_config, &NoWrap, reduce)
+}
+
+/// [`run_days_streaming`] with an explicit [`SourceWrap`] applied to
+/// each day's sealed source before the pipeline drains it.
+pub fn run_days_streaming_wrapped<T, F>(
+    days: &[TraceDate],
+    scale: f64,
+    chunk_us: u64,
+    pipeline_config: PipelineConfig,
+    wrap: &dyn SourceWrap,
+    reduce: F,
+) -> Vec<Result<T, DayFailure>>
+where
+    T: Send,
+    F: Fn(&StreamingDayContext<'_>) -> T + Sync,
+{
+    schedule_days(days, scale, |date, sim| {
+        let generator = TraceGenerator::new(sim.config_for(date));
+        let t0 = std::time::Instant::now();
+        let source = generator.stream(chunk_us);
+        let records = source.records().to_vec();
+        let gen_wall = t0.elapsed();
+        let mut collector = StreamTruthCollector::new(pipeline_config.granularity);
+        let pipeline = OnlinePipeline::new(pipeline_config.clone());
+        let t0 = std::time::Instant::now();
+        let online = {
+            let tap = TapSource::new(source, &mut collector);
+            let mut sealed = wrap.wrap(date, Box::new(NoRewindSource::new(tap)));
+            match pipeline.run(&mut *sealed) {
+                Ok(online) => online,
+                Err(error) => return Err(DayFailure { date, error }),
+            }
+        };
+        let wall = t0.elapsed();
+        let (item_ids, tags) = collector.into_parts();
+        let truth = GroundTruth::new(tags, records);
+        Ok(reduce(&StreamingDayContext {
+            date,
+            truth: &truth,
+            item_ids: &item_ids,
+            report: &online.report,
+            windows: &online.windows,
+            wall,
+            gen_wall,
+        }))
+    })
+}
+
+/// The **two-pass oracle** form of [`run_days_streaming`]: the same
+/// sweep through the legacy [`StreamingPipeline`] (truth pre-pass,
+/// rewind, detection pass, rewind, extraction pass). Kept as the
+/// independently-built path to the same labels — equivalence suites
+/// byte-compare its output against the single-pass run — and for
+/// profiling the replay cost the single-pass path eliminates. Its
+/// contexts carry no [`LabeledWindow`]s (`windows` is empty): the
+/// oracle labels the day all at once.
+pub fn run_days_streaming_two_pass<T, F>(
     days: &[TraceDate],
     scale: f64,
     chunk_us: u64,
@@ -203,54 +308,7 @@ where
             truth: &truth,
             item_ids: &item_ids,
             report: &report,
-            wall,
-            gen_wall,
-        }))
-    })
-}
-
-/// [`run_days_streaming`] with an explicit source factory: the day is
-/// materialised once and `make` wraps its trace in the
-/// [`mawilab_model::PacketSource`] the pipeline will drain. The
-/// failure-injection seam — tests wrap a day's source in one that
-/// errors mid-stream and assert the sweep reports the [`DayFailure`]
-/// and keeps the surviving days.
-pub fn run_days_streaming_with<S, M, T, F>(
-    days: &[TraceDate],
-    scale: f64,
-    pipeline_config: PipelineConfig,
-    make: M,
-    reduce: F,
-) -> Vec<Result<T, DayFailure>>
-where
-    S: mawilab_model::PacketSource,
-    M: Fn(TraceDate, mawilab_model::Trace) -> S + Sync,
-    T: Send,
-    F: Fn(&StreamingDayContext<'_>) -> T + Sync,
-{
-    schedule_days(days, scale, |date, sim| {
-        let t0 = std::time::Instant::now();
-        let lt = sim.generate(date);
-        let gen_wall = t0.elapsed();
-        let truth = lt.truth;
-        // Packet → traffic-unit map for ground-truth evaluation,
-        // computed in stream order before the trace is consumed (the
-        // incremental ItemIndex assigns exactly the ids pass 2 will).
-        let mut item_ids = Vec::with_capacity(lt.trace.len());
-        ItemIndex::new(pipeline_config.granularity).ids_of(&lt.trace.packets, &mut item_ids);
-        let mut source = make(date, lt.trace);
-        let pipeline = StreamingPipeline::new(pipeline_config.clone());
-        let t0 = std::time::Instant::now();
-        let report = match pipeline.run(&mut source) {
-            Ok(report) => report,
-            Err(error) => return Err(DayFailure { date, error }),
-        };
-        let wall = t0.elapsed();
-        Ok(reduce(&StreamingDayContext {
-            date,
-            truth: &truth,
-            item_ids: &item_ids,
-            report: &report,
+            windows: &[],
             wall,
             gen_wall,
         }))
@@ -304,11 +362,13 @@ mod tests {
             mawilab_model::DEFAULT_CHUNK_US,
             PipelineConfig::default(),
             |ctx| {
-                assert!(ctx.report.stats.chunks > 1);
-                assert!((ctx.report.stats.peak_chunk_packets as u64) < ctx.report.stats.packets);
+                assert_eq!(ctx.report.stats.passes(), 1, "single-pass path drains once");
+                assert!(ctx.report.stats.horizon_lag_us.is_some());
+                assert!(ctx.report.stats.chunks() > 1);
+                assert!((ctx.report.stats.peak_chunk_packets as u64) < ctx.report.stats.packets());
                 assert_eq!(
                     ctx.item_ids.len() as u64,
-                    ctx.report.stats.packets,
+                    ctx.report.stats.packets(),
                     "one item id per streamed packet"
                 );
                 assert_eq!(
@@ -317,7 +377,15 @@ mod tests {
                         .collect::<std::collections::HashSet<_>>()
                         .len(),
                     ctx.report.stats.items,
-                    "context ids and pipeline pass 2 agree on the unit universe"
+                    "context ids and pipeline extraction agree on the unit universe"
+                );
+                assert_eq!(
+                    ctx.windows
+                        .iter()
+                        .map(|w| w.communities.len())
+                        .sum::<usize>(),
+                    ctx.report.labeled.communities.len(),
+                    "the horizon feed carries every labeled community"
                 );
                 (ctx.report.alarm_count(), ctx.report.decisions.clone())
             },
@@ -326,5 +394,43 @@ mod tests {
         .map(|day| day.expect("synthetic day cannot fail"))
         .collect();
         assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn two_pass_oracle_agrees_with_the_single_pass_run() {
+        let days = first_days_of_month(2003, 9, 2);
+        let reduce = |ctx: &StreamingDayContext<'_>| {
+            (
+                ctx.report.alarm_count(),
+                ctx.report.decisions.clone(),
+                ctx.truth.tags().to_vec(),
+                ctx.item_ids.to_vec(),
+            )
+        };
+        let single: Vec<_> = run_days_streaming(
+            &days,
+            0.3,
+            mawilab_model::DEFAULT_CHUNK_US,
+            PipelineConfig::default(),
+            reduce,
+        )
+        .into_iter()
+        .map(|day| day.expect("synthetic day cannot fail"))
+        .collect();
+        let oracle: Vec<_> = run_days_streaming_two_pass(
+            &days,
+            0.3,
+            mawilab_model::DEFAULT_CHUNK_US,
+            PipelineConfig::default(),
+            |ctx| {
+                assert_eq!(ctx.report.stats.passes(), 2, "oracle drains twice");
+                assert!(ctx.windows.is_empty(), "oracle emits no horizon feed");
+                reduce(ctx)
+            },
+        )
+        .into_iter()
+        .map(|day| day.expect("synthetic day cannot fail"))
+        .collect();
+        assert_eq!(single, oracle);
     }
 }

@@ -1,30 +1,31 @@
 //! Failure-path coverage for the month-scale streaming sweep.
 //!
-//! PR 4 made `run_days_streaming` survive a failing day instead of
-//! poisoning the month, but only the happy path was exercised. Here a
-//! day mid-sequence is made to fail (its source refuses the pass-2
-//! rewind) and the sweep must report it, skip it, and still compute
-//! longitudinal metrics over the surviving adjacent pairs.
+//! PR 4 made the day runner survive a failing day instead of
+//! poisoning the month; PR 6 moved the sweep to the single-pass
+//! online path, where the failure-injection seam is the
+//! [`SourceWrap`] hook: a wrapper makes one day's source error
+//! mid-drain, and the sweep must report it, skip it, and still
+//! compute longitudinal metrics over the surviving adjacent pairs.
 
 use mawilab_bench::archive::{
-    collect_archive_with, default_sweep_start, month_sweep_days, ArchiveBenchArgs,
+    collect_archive_wrapped, default_sweep_start, month_sweep_days, ArchiveBenchArgs,
 };
-use mawilab_bench::run_days_streaming_with;
+use mawilab_bench::{run_days_streaming_wrapped, SourceWrap};
 use mawilab_core::PipelineConfig;
+use mawilab_model::pcap::PcapError;
 use mawilab_model::{
-    PacketChunk, PacketSource, SourceError, Trace, TraceChunker, TraceDate, TraceMeta,
-    DEFAULT_CHUNK_US,
+    PacketChunk, PacketSource, SourceError, TraceDate, TraceMeta, DEFAULT_CHUNK_US,
 };
 
-/// A [`TraceChunker`] that (optionally) refuses to rewind — the
-/// two-pass streaming pipeline then fails the day with a
-/// `RewindUnsupported` source error mid-sweep.
-struct Injected {
-    inner: TraceChunker,
-    fail_rewind: bool,
+/// Wraps a source so it errors after `allow` chunks — a mid-drain
+/// failure (truncated pcap, dying capture card) on the single-pass
+/// path, which never rewinds.
+struct FailMidDrain<'a> {
+    inner: Box<dyn PacketSource + 'a>,
+    allow: usize,
 }
 
-impl PacketSource for Injected {
+impl PacketSource for FailMidDrain<'_> {
     fn meta(&self) -> &TraceMeta {
         self.inner.meta()
     }
@@ -32,20 +33,40 @@ impl PacketSource for Injected {
         self.inner.bin_us()
     }
     fn next_chunk(&mut self) -> Result<Option<&PacketChunk>, SourceError> {
+        if self.allow == 0 {
+            return Err(SourceError::Pcap(PcapError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "injected mid-drain failure",
+            ))));
+        }
+        self.allow -= 1;
         self.inner.next_chunk()
     }
     fn rewind(&mut self) -> Result<(), SourceError> {
-        if self.fail_rewind {
-            return Err(SourceError::RewindUnsupported("injected failure"));
-        }
         self.inner.rewind()
     }
 }
 
-fn make_injected(bad_day: TraceDate) -> impl Fn(TraceDate, Trace) -> Injected + Sync {
-    move |date, trace| Injected {
-        inner: TraceChunker::new(trace, DEFAULT_CHUNK_US),
-        fail_rewind: date == bad_day,
+/// The [`SourceWrap`] that injects the failure on one day only.
+struct InjectOn {
+    bad_day: TraceDate,
+    allow: usize,
+}
+
+impl SourceWrap for InjectOn {
+    fn wrap<'a>(
+        &self,
+        date: TraceDate,
+        inner: Box<dyn PacketSource + 'a>,
+    ) -> Box<dyn PacketSource + 'a> {
+        if date == self.bad_day {
+            Box::new(FailMidDrain {
+                inner,
+                allow: self.allow,
+            })
+        } else {
+            inner
+        }
     }
 }
 
@@ -62,21 +83,23 @@ fn failing_day_is_reported_skipped_and_survived() {
             .to_str()
             .unwrap()
             .to_string(),
-        ..Default::default()
+        chunk_us: DEFAULT_CHUNK_US,
     };
-    let outcome = collect_archive_with(&args, make_injected(bad_day));
+    let outcome = collect_archive_wrapped(&args, &InjectOn { bad_day, allow: 3 });
 
     // Reported …
     assert_eq!(outcome.failed.len(), 1, "exactly one day fails");
     assert_eq!(outcome.failed[0].0, bad_day);
     assert!(
-        outcome.failed[0].1.contains("does not support rewinding"),
+        outcome.failed[0].1.contains("injected mid-drain failure"),
         "error text: {}",
         outcome.failed[0].1
     );
     // … skipped …
     let surviving: Vec<TraceDate> = outcome.records.iter().map(|r| r.summary.date).collect();
     assert_eq!(surviving, vec![days[0], days[2], days[3]]);
+    // Survivors all ran single-pass.
+    assert!(outcome.records.iter().all(|r| r.passes == 1));
     // … and the longitudinal metrics still cover the surviving
     // adjacent pairs: (d0, d2) bridges the failure with a 2-day gap
     // inside the old era; (d2, d3) crosses the era boundary and is
@@ -102,11 +125,12 @@ fn harness_seam_reports_failures_in_day_order() {
     // The low-level harness contract: one Result per day, in order.
     let days = month_sweep_days(TraceDate::new(2005, 6, 1), 3);
     let bad_day = days[2];
-    let outcomes = run_days_streaming_with(
+    let outcomes = run_days_streaming_wrapped(
         &days,
         0.2,
+        DEFAULT_CHUNK_US,
         PipelineConfig::default(),
-        make_injected(bad_day),
+        &InjectOn { bad_day, allow: 0 },
         |ctx| ctx.date,
     );
     assert_eq!(outcomes.len(), 3);
@@ -114,5 +138,5 @@ fn harness_seam_reports_failures_in_day_order() {
     assert_eq!(*outcomes[1].as_ref().unwrap(), days[1]);
     let failure = outcomes[2].as_ref().unwrap_err();
     assert_eq!(failure.date, bad_day);
-    assert!(matches!(failure.error, SourceError::RewindUnsupported(_)));
+    assert!(matches!(failure.error, SourceError::Pcap(_)));
 }

@@ -12,17 +12,20 @@
 //! 4. label the trace: taxonomy labels, Table-1 heuristics, and
 //!    association-rule summaries (`mawilab-label`).
 //!
-//! [`MawilabPipeline`] is the main entry point; [`benchmark`] hosts
-//! the downstream use-case the database exists for — scoring a *new*
-//! detector's alarms against the labels through the same similarity
-//! machinery (paper §5).
+//! [`MawilabPipeline`] is the main entry point; [`OnlinePipeline`]
+//! is its single-pass streaming form (one drain, labels emitted per
+//! horizon window); [`benchmark`] hosts the downstream use-case the
+//! database exists for — scoring a *new* detector's alarms against
+//! the labels through the same similarity machinery (paper §5).
 
 pub mod benchmark;
+pub mod online;
 pub mod pipeline;
 pub mod streaming;
 
 pub use benchmark::{benchmark_alarms, BenchmarkResult};
+pub use online::{OnlinePipeline, OnlineReport, DEFAULT_HORIZON_US, DEFAULT_LAG_US};
 pub use pipeline::{
     LabeledReport, MawilabPipeline, PipelineConfig, PipelineReport, PipelineTimings, StrategyKind,
 };
-pub use streaming::{StreamStats, StreamingPipeline, StreamingReport};
+pub use streaming::{DrainStats, StreamStats, StreamingPipeline, StreamingReport};

@@ -27,6 +27,15 @@
 //! byte-identical to [`MawilabPipeline::run`] on the materialised
 //! trace (asserted by `tests/streaming_equivalence.rs`).
 //!
+//! Since the single-pass [`OnlinePipeline`](crate::OnlinePipeline)
+//! landed, this two-pass pipeline's main job is to be its
+//! **equivalence oracle**: an independently-built path to the same
+//! labels (mirroring how `generate_sequential` anchors the sharded
+//! generator and `build_graph_sequential` the sharded graph),
+//! byte-compared in `tests/online_equivalence.rs`. It also remains
+//! the only option for alarm-first consumers that genuinely need the
+//! alarms before re-walking the stream.
+//!
 //! Peak **packet** memory: one chunk (+ one look-ahead packet in the
 //! pcap reader). Accumulated state is keyed by traffic aggregates,
 //! not packets: fixed-size sketch/picture state for PCA, Gamma and
@@ -48,24 +57,58 @@ use mawilab_model::{ItemIndex, PacketSource, SourceError};
 use mawilab_similarity::{AlarmCommunities, StreamingExtractor};
 use std::time::Instant;
 
-/// Ingest statistics of one streaming run.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct StreamStats {
-    /// Chunks drained on the detection pass.
+/// Chunk/packet counters of one full drain of a source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Chunks the drain consumed.
     pub chunks: usize,
-    /// Total packets streamed on the detection pass.
+    /// Packets the drain consumed.
     pub packets: u64,
-    /// Chunks drained on the extraction pass. A completed run has
-    /// `pass2_chunks == chunks` — a mismatch aborts the run with
-    /// [`SourceError::ReplayDiverged`] before any label is produced.
-    pub pass2_chunks: usize,
-    /// Packets streamed on the extraction pass (must equal `packets`).
-    pub pass2_packets: u64,
+}
+
+/// Ingest statistics of one streaming run — per-drain, because the
+/// two ingest modes drain differently: the legacy two-pass
+/// [`StreamingPipeline`] records two entries (detection, then
+/// extraction after the rewind), the single-pass
+/// [`OnlinePipeline`](crate::OnlinePipeline) exactly one.
+///
+/// [`OnlinePipeline`]: crate::online::OnlinePipeline
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// One entry per drain of the source, in drain order.
+    pub drains: Vec<DrainStats>,
+    /// Evidence-retention lag of the single-pass sliding horizon
+    /// (`None` on the two-pass path, which retains everything via the
+    /// rewind instead).
+    pub horizon_lag_us: Option<u64>,
     /// Largest number of packets alive at once — the size of the
     /// biggest single chunk. This is the constant-memory bound.
     pub peak_chunk_packets: usize,
     /// Distinct traffic units assigned during extraction.
     pub items: usize,
+}
+
+impl StreamStats {
+    /// Number of times the source was drained (1 = single-pass).
+    pub fn passes(&self) -> usize {
+        self.drains.len()
+    }
+
+    /// Chunks of the stream, as seen by the first drain.
+    pub fn chunks(&self) -> usize {
+        self.drains.first().map_or(0, |d| d.chunks)
+    }
+
+    /// Packets of the stream, as seen by the first drain.
+    pub fn packets(&self) -> u64 {
+        self.drains.first().map_or(0, |d| d.packets)
+    }
+
+    /// Total packets pulled across **all** drains — the real ingest
+    /// cost (2× the stream for two-pass, 1× for single-pass).
+    pub fn packets_drained(&self) -> u64 {
+        self.drains.iter().map(|d| d.packets).sum()
+    }
 }
 
 /// Everything the streaming pipeline produced for one stream.
@@ -105,7 +148,7 @@ impl StreamingReport {
 /// itself. The cutover is by chunk size only — never by thread count
 /// — so output stays identical at any `MAWILAB_THREADS` setting
 /// (detectors are independent; only the schedule changes).
-const FANOUT_MIN_CHUNK_PACKETS: usize = 1024;
+pub(crate) const FANOUT_MIN_CHUNK_PACKETS: usize = 1024;
 
 /// The end-to-end streaming MAWILab pipeline.
 pub struct StreamingPipeline {
@@ -143,6 +186,8 @@ impl StreamingPipeline {
     ) -> Result<StreamingReport, SourceError> {
         let meta = source.meta().clone();
         let mut stats = StreamStats::default();
+        let mut pass1 = DrainStats::default();
+        let mut pass2 = DrainStats::default();
 
         // Pass 1: incremental detection, parallel across configs via
         // the shared `mawilab-exec` fan-out (`observe_all`). The lent
@@ -158,8 +203,8 @@ impl StreamingPipeline {
             inc.begin(&meta);
         }
         while let Some(chunk) = source.next_chunk()? {
-            stats.chunks += 1;
-            stats.packets += chunk.packets.len() as u64;
+            pass1.chunks += 1;
+            pass1.packets += chunk.packets.len() as u64;
             stats.peak_chunk_packets = stats.peak_chunk_packets.max(chunk.packets.len());
             let view = ChunkView::of_chunk(&meta, chunk);
             if chunk.packets.len() < FANOUT_MIN_CHUNK_PACKETS {
@@ -183,8 +228,8 @@ impl StreamingPipeline {
             let mut extractor = StreamingExtractor::new(&alarms);
             let mut ids: Vec<u32> = Vec::new();
             while let Some(chunk) = source.next_chunk()? {
-                stats.pass2_chunks += 1;
-                stats.pass2_packets += chunk.packets.len() as u64;
+                pass2.chunks += 1;
+                pass2.packets += chunk.packets.len() as u64;
                 index.ids_of(&chunk.packets, &mut ids);
                 let matched = extractor.observe(chunk.window, &chunk.packets, &ids);
                 evidence.observe(&chunk.packets, &ids, matched);
@@ -196,14 +241,15 @@ impl StreamingPipeline {
         // the rewound source replayed a different stream, the two no
         // longer describe the same packets and every downstream label
         // would be silently wrong. Fail loudly instead.
-        if stats.pass2_chunks != stats.chunks || stats.pass2_packets != stats.packets {
+        if pass2 != pass1 {
             return Err(SourceError::ReplayDiverged {
-                pass1_chunks: stats.chunks,
-                pass1_packets: stats.packets,
-                pass2_chunks: stats.pass2_chunks,
-                pass2_packets: stats.pass2_packets,
+                pass1_chunks: pass1.chunks,
+                pass1_packets: pass1.packets,
+                pass2_chunks: pass2.chunks,
+                pass2_packets: pass2.packets,
             });
         }
+        stats.drains = vec![pass1, pass2];
         let extract = t1.elapsed();
 
         // Steps 2–4 on the accumulated state: unchanged batch code.
@@ -271,11 +317,17 @@ mod tests {
         assert!(report.community_count() > 0);
         assert_eq!(report.decisions.len(), report.community_count());
         assert_eq!(report.labeled.communities.len(), report.community_count());
-        assert_eq!(report.stats.packets, lt.trace.len() as u64);
-        assert!(report.stats.chunks > 1, "expected a multi-chunk stream");
+        assert_eq!(report.stats.packets(), lt.trace.len() as u64);
+        assert!(report.stats.chunks() > 1, "expected a multi-chunk stream");
         assert!(report.stats.peak_chunk_packets < lt.trace.len());
-        assert_eq!(report.stats.pass2_chunks, report.stats.chunks);
-        assert_eq!(report.stats.pass2_packets, report.stats.packets);
+        assert_eq!(report.stats.passes(), 2, "two-pass path drains twice");
+        assert_eq!(report.stats.drains[1], report.stats.drains[0]);
+        assert_eq!(
+            report.stats.packets_drained(),
+            2 * lt.trace.len() as u64,
+            "two-pass ingest cost is 2x the stream"
+        );
+        assert_eq!(report.stats.horizon_lag_us, None);
     }
 
     /// A source that drops its trailing chunks after the rewind —
@@ -372,6 +424,6 @@ mod tests {
             .unwrap();
         assert_eq!(report.alarm_count(), 0);
         assert_eq!(report.community_count(), 0);
-        assert_eq!(report.stats.chunks, 0);
+        assert_eq!(report.stats.chunks(), 0);
     }
 }

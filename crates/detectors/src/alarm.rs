@@ -114,6 +114,20 @@ impl AlarmScope {
             AlarmScope::Rule(rule) => rule.matches(p),
         }
     }
+
+    /// [`matches`](Self::matches) evaluated on a flow key. Every scope
+    /// constrains only 5-tuple fields, so for any packet `p`:
+    /// `matches(p) == matches_key(&FlowKey::of(p))`. Deferred
+    /// extraction relies on this to match retired `(FlowKey, ts)`
+    /// evidence against alarms after the packets are gone.
+    pub fn matches_key(&self, k: &FlowKey) -> bool {
+        match self {
+            AlarmScope::SrcHost(ip) => k.src == *ip,
+            AlarmScope::DstHost(ip) => k.dst == *ip,
+            AlarmScope::FlowSet(keys) => keys.contains(k),
+            AlarmScope::Rule(rule) => rule.matches_key(k),
+        }
+    }
 }
 
 impl fmt::Display for AlarmScope {
@@ -193,6 +207,53 @@ mod tests {
             ..Default::default()
         };
         assert!(AlarmScope::Rule(rule).matches(&pkt()));
+    }
+
+    #[test]
+    fn key_matching_agrees_with_packet_matching_for_every_scope() {
+        // The invariant deferred (post-drain) extraction rests on:
+        // scopes are pure functions of the 5-tuple, so matching the
+        // packet and matching its flow key must never disagree.
+        let mut packets = Vec::new();
+        for s in 0..4u8 {
+            for d in 0..3u8 {
+                packets.push(Packet::tcp(
+                    7,
+                    ip(s),
+                    4000 + s as u16,
+                    ip(100 + d),
+                    if d == 0 { 80 } else { 445 },
+                    TcpFlags::syn(),
+                    40,
+                ));
+                packets.push(Packet::udp(9, ip(d), 53, ip(s), 33_000 + s as u16, 90));
+            }
+        }
+        let scopes = [
+            AlarmScope::SrcHost(ip(1)),
+            AlarmScope::DstHost(ip(101)),
+            AlarmScope::FlowSet(vec![FlowKey::of(&packets[0]), FlowKey::of(&packets[5])]),
+            AlarmScope::Rule(TrafficRule {
+                dport: Some(445),
+                ..Default::default()
+            }),
+            AlarmScope::Rule(TrafficRule {
+                src: Some(ip(2)),
+                sport: Some(4002),
+                proto: Some(Protocol::Tcp),
+                ..Default::default()
+            }),
+            AlarmScope::Rule(TrafficRule::any()),
+        ];
+        for scope in &scopes {
+            for p in &packets {
+                assert_eq!(
+                    scope.matches(p),
+                    scope.matches_key(&FlowKey::of(p)),
+                    "scope {scope} disagrees on {p:?}"
+                );
+            }
+        }
     }
 
     #[test]

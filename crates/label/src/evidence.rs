@@ -15,7 +15,16 @@
 //!   community exactly when the packet itself matched an alarm, so no
 //!   pre-match history can be lost).
 //!
-//! Memory is O(distinct flows) / O(matched packets), never O(trace).
+//! Single-pass ingest adds a twist: the alarms don't exist while the
+//! packets stream past, so matched flags can't be known yet.
+//! [`CommunityEvidence::observe_units`] banks evidence for every unit
+//! and [`CommunityEvidence::retain_matched`] filters packet-granularity
+//! state once extraction finalizes — landing on the same bytes the
+//! two-pass matched-only path produces.
+//!
+//! Memory is O(distinct flows) / O(matched packets), never O(trace)
+//! (deferred packet-granularity evidence peaks at O(packets in the
+//! lag's reach) before `retain_matched`).
 
 use crate::heuristics::TrafficProfile;
 use mawilab_mining::Transaction;
@@ -70,6 +79,40 @@ impl CommunityEvidence {
                     }
                 }
             }
+        }
+    }
+
+    /// Single-pass variant of [`observe`](Self::observe) for when the
+    /// alarms — and therefore the matched flags — do not exist yet.
+    /// Flow granularities accumulate exactly as in `observe` (they
+    /// never looked at the flags). Packet granularity **defers**: it
+    /// banks evidence for *every* packet, to be filtered down by
+    /// [`retain_matched`](Self::retain_matched) once extraction
+    /// finalizes. Packet-granularity ids are unique per packet, so
+    /// bank-then-filter lands on byte-identical state to
+    /// matched-only accumulation.
+    pub fn observe_units(&mut self, packets: &[Packet], ids: &[u32]) {
+        match self.granularity {
+            Granularity::Uniflow | Granularity::Biflow => self.observe(packets, ids, &[]),
+            Granularity::Packet => {
+                assert_eq!(packets.len(), ids.len(), "one id per packet required");
+                for (p, &id) in packets.iter().zip(ids) {
+                    self.packet_profiles.entry(id).or_default().add(p);
+                    self.packet_transactions
+                        .insert(id, Transaction::of_packet(p));
+                }
+            }
+        }
+    }
+
+    /// Retires deferred packet-granularity evidence down to the units
+    /// that matched ≥ 1 alarm. A no-op at flow granularities, whose
+    /// evidence never depended on matching.
+    pub fn retain_matched(&mut self, matched: &std::collections::HashSet<u32>) {
+        if self.granularity == Granularity::Packet {
+            self.packet_profiles.retain(|id, _| matched.contains(id));
+            self.packet_transactions
+                .retain(|id, _| matched.contains(id));
         }
     }
 
@@ -180,6 +223,49 @@ mod tests {
         let odd: Vec<u32> = ids.iter().copied().filter(|i| i % 2 == 1).collect();
         assert!(ev.transactions_of(&odd, &index).is_empty());
         assert_eq!(ev.profile_of(&even).packet_count(), even.len());
+    }
+
+    #[test]
+    fn deferred_observation_filters_down_to_the_matched_only_state() {
+        let pkts = packets();
+        for granularity in [
+            Granularity::Packet,
+            Granularity::Uniflow,
+            Granularity::Biflow,
+        ] {
+            let mut index = ItemIndex::new(granularity);
+            let mut ids = Vec::new();
+            index.ids_of(&pkts, &mut ids);
+            let matched_flags: Vec<bool> = (0..pkts.len()).map(|i| i % 3 != 1).collect();
+            let matched_ids: std::collections::HashSet<u32> = ids
+                .iter()
+                .zip(&matched_flags)
+                .filter(|&(_, &m)| m)
+                .map(|(&id, _)| id)
+                .collect();
+
+            let mut two_pass = CommunityEvidence::new(granularity);
+            two_pass.observe(&pkts, &ids, &matched_flags);
+
+            let mut deferred = CommunityEvidence::new(granularity);
+            // Two chunks, alarms unknown; filter at "finalize".
+            deferred.observe_units(&pkts[..23], &ids[..23]);
+            deferred.observe_units(&pkts[23..], &ids[23..]);
+            deferred.retain_matched(&matched_ids);
+
+            let mut community: Vec<u32> = matched_ids.iter().copied().collect();
+            community.sort_unstable();
+            assert_eq!(
+                deferred.profile_of(&community).classify(),
+                two_pass.profile_of(&community).classify(),
+                "{granularity}"
+            );
+            assert_eq!(
+                deferred.transactions_of(&community, &index),
+                two_pass.transactions_of(&community, &index),
+                "{granularity}"
+            );
+        }
     }
 
     #[test]

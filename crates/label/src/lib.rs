@@ -16,15 +16,19 @@
 //!   concise labels MAWILab publishes instead of raw alarms (§5, §6).
 //! * [`output`] — writers for a MAWILab-style CSV and an
 //!   admd-flavoured XML annotation file.
+//! * [`store`] — the online feed: per-horizon [`LabeledWindow`]
+//!   emissions and the day-evicting in-memory [`LabelStore`].
 
 pub mod evidence;
 pub mod heuristics;
 pub mod output;
+pub mod store;
 pub mod summary;
 pub mod taxonomy;
 
 pub use evidence::CommunityEvidence;
 pub use heuristics::{classify_packets, HeuristicCategory, HeuristicLabel, TrafficProfile};
+pub use store::{window_communities, LabelStore, LabeledWindow, StoredDay};
 pub use summary::{summarize_community, CommunitySummary};
 pub use taxonomy::{
     label_communities, label_communities_streaming, label_of, LabeledCommunity, MawilabLabel,

@@ -1,0 +1,281 @@
+//! The online label feed: per-horizon windows and the bounded
+//! in-memory label store.
+//!
+//! A batch run labels a finished trace; an online labeler publishes
+//! labels **per horizon window** as the stream passes — window *W* is
+//! sealed once the detectors have seen *W + lag*, so the maximum
+//! label latency is `lag + one chunk`. [`LabeledWindow`] is one such
+//! emission: the communities whose span starts inside the window,
+//! plus when (in stream time) the window was sealed.
+//!
+//! An always-on service also cannot keep every label it ever emitted
+//! in memory. [`LabelStore`] holds labeled windows keyed by archive
+//! day and evicts at **day granularity** — the natural unit of the
+//! MAWILab archive, where each day is one published label file —
+//! either explicitly ([`LabelStore::evict_before`]) or by capacity
+//! (`max_days`, oldest day out first).
+
+use crate::taxonomy::LabeledCommunity;
+use mawilab_model::{TimeWindow, TraceDate};
+use std::collections::BTreeMap;
+
+/// One horizon window's labels, as emitted by the online pipeline.
+#[derive(Debug, Clone)]
+pub struct LabeledWindow {
+    /// The horizon window `[start, end)` the labels cover.
+    pub window: TimeWindow,
+    /// Stream time (µs) at which this window sealed: the end of the
+    /// chunk whose arrival pushed the high-water mark past
+    /// `window.end + lag` — or the stream end, for windows still
+    /// inside the lag when the stream finished.
+    pub sealed_at_us: u64,
+    /// Whether the seal came from end-of-stream rather than the
+    /// high-water mark passing `window.end + lag`.
+    pub sealed_by_finish: bool,
+    /// Communities whose span starts in this window, in community
+    /// order.
+    pub communities: Vec<LabeledCommunity>,
+}
+
+impl LabeledWindow {
+    /// Label latency of the window: how long after the window closed
+    /// its labels became available. Bounded by `lag + one chunk` for
+    /// windows sealed by the moving high-water mark.
+    pub fn latency_us(&self) -> u64 {
+        self.sealed_at_us.saturating_sub(self.window.end_us)
+    }
+}
+
+/// Partitions labeled communities into `n_windows` horizon windows of
+/// `horizon_us` starting at `origin_us`. A community lands in the
+/// window containing its span start (community windows can outlast a
+/// horizon window; the start decides, so each community is published
+/// exactly once). Spans starting before `origin_us` fold into window
+/// 0, spans past the grid into the last window.
+pub fn window_communities(
+    origin_us: u64,
+    horizon_us: u64,
+    n_windows: usize,
+    communities: &[LabeledCommunity],
+) -> Vec<Vec<LabeledCommunity>> {
+    assert!(horizon_us > 0, "horizon width must be positive");
+    let mut out: Vec<Vec<LabeledCommunity>> = vec![Vec::new(); n_windows];
+    if n_windows == 0 {
+        assert!(communities.is_empty(), "communities but no windows");
+        return out;
+    }
+    for c in communities {
+        let k = (c.window.start_us.saturating_sub(origin_us) / horizon_us) as usize;
+        out[k.min(n_windows - 1)].push(c.clone());
+    }
+    out
+}
+
+/// In-memory store of labeled windows with day-granular eviction.
+#[derive(Debug, Default)]
+pub struct LabelStore {
+    /// Keyed by `TraceDate::days_since_epoch` so iteration is
+    /// chronological and eviction pops the front.
+    days: BTreeMap<i64, StoredDay>,
+    max_days: Option<usize>,
+}
+
+/// One archive day's labeled windows.
+#[derive(Debug, Clone)]
+pub struct StoredDay {
+    /// The archive day.
+    pub date: TraceDate,
+    /// The day's labeled windows, in window order.
+    pub windows: Vec<LabeledWindow>,
+}
+
+impl LabelStore {
+    /// An unbounded store.
+    pub fn new() -> Self {
+        LabelStore::default()
+    }
+
+    /// A store that retains at most `max_days` days, evicting the
+    /// oldest day when a newer one pushes it over.
+    pub fn with_max_days(max_days: usize) -> Self {
+        assert!(max_days > 0, "a zero-day store could never hold an insert");
+        LabelStore {
+            days: BTreeMap::new(),
+            max_days: Some(max_days),
+        }
+    }
+
+    /// Inserts (or replaces) one day's windows, then applies the
+    /// capacity bound. Returns the dates evicted to make room.
+    pub fn insert_day(&mut self, date: TraceDate, windows: Vec<LabeledWindow>) -> Vec<TraceDate> {
+        self.days
+            .insert(date.days_since_epoch(), StoredDay { date, windows });
+        let mut evicted = Vec::new();
+        if let Some(max) = self.max_days {
+            while self.days.len() > max {
+                let oldest = *self.days.keys().next().expect("non-empty");
+                let day = self.days.remove(&oldest).expect("present");
+                evicted.push(day.date);
+            }
+        }
+        evicted
+    }
+
+    /// Drops every stored day strictly before `date`. Returns how
+    /// many days were evicted.
+    pub fn evict_before(&mut self, date: TraceDate) -> usize {
+        let keep = self.days.split_off(&date.days_since_epoch());
+        let evicted = self.days.len();
+        self.days = keep;
+        evicted
+    }
+
+    /// One stored day, if present.
+    pub fn day(&self, date: TraceDate) -> Option<&StoredDay> {
+        self.days.get(&date.days_since_epoch())
+    }
+
+    /// Stored days, oldest first.
+    pub fn days(&self) -> impl Iterator<Item = &StoredDay> {
+        self.days.values()
+    }
+
+    /// Number of days currently held.
+    pub fn day_count(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Total labeled windows currently held.
+    pub fn window_count(&self) -> usize {
+        self.days.values().map(|d| d.windows.len()).sum()
+    }
+
+    /// Every stored community whose span overlaps `range`,
+    /// chronological by day, then window, then community order.
+    pub fn query(&self, range: TimeWindow) -> Vec<&LabeledCommunity> {
+        self.days
+            .values()
+            .flat_map(|d| &d.windows)
+            .filter(|w| w.window.overlaps(&range))
+            .flat_map(|w| &w.communities)
+            .filter(|c| c.window.overlaps(&range))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::HeuristicLabel;
+    use crate::summary::CommunitySummary;
+    use crate::taxonomy::MawilabLabel;
+
+    fn community(id: usize, start_us: u64, len_us: u64) -> LabeledCommunity {
+        LabeledCommunity {
+            community: id,
+            label: MawilabLabel::Anomalous,
+            heuristic: HeuristicLabel::Unknown,
+            summary: CommunitySummary {
+                community: id,
+                rules: Vec::new(),
+                rule_degree: 0.0,
+                rule_support: 0.0,
+                transactions: 0,
+            },
+            window: TimeWindow::new(start_us, start_us + len_us),
+            alarms: 1,
+            detectors: 1,
+        }
+    }
+
+    fn window(start_us: u64, end_us: u64, communities: Vec<LabeledCommunity>) -> LabeledWindow {
+        LabeledWindow {
+            window: TimeWindow::new(start_us, end_us),
+            sealed_at_us: end_us,
+            sealed_by_finish: false,
+            communities,
+        }
+    }
+
+    #[test]
+    fn communities_partition_by_span_start() {
+        let cs = vec![
+            community(0, 5, 10),    // window 0
+            community(1, 60, 5),    // window 1
+            community(2, 125, 400), // window 2 (long span, start decides)
+            community(3, 9_999, 1), // beyond the grid: folds into last
+        ];
+        let parts = window_communities(0, 60, 3, &cs);
+        assert_eq!(parts.len(), 3);
+        let ids: Vec<Vec<usize>> = parts
+            .iter()
+            .map(|w| w.iter().map(|c| c.community).collect())
+            .collect();
+        assert_eq!(ids, vec![vec![0], vec![1], vec![2, 3]]);
+        // Every community published exactly once.
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), cs.len());
+    }
+
+    #[test]
+    fn empty_windows_are_kept_in_the_grid() {
+        let cs = vec![community(0, 130, 5)];
+        let parts = window_communities(0, 60, 4, &cs);
+        assert_eq!(
+            parts.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![0, 0, 1, 0],
+            "empty horizon windows must still be emitted"
+        );
+    }
+
+    #[test]
+    fn store_evicts_at_day_granularity() {
+        let mut store = LabelStore::with_max_days(2);
+        let d1 = TraceDate::new(2006, 6, 28);
+        let d2 = TraceDate::new(2006, 6, 29);
+        let d3 = TraceDate::new(2006, 7, 1);
+        assert!(store
+            .insert_day(d1, vec![window(0, 60, vec![community(0, 10, 5)])])
+            .is_empty());
+        assert!(store
+            .insert_day(d2, vec![window(60, 120, vec![])])
+            .is_empty());
+        let evicted = store.insert_day(d3, vec![window(120, 180, vec![community(1, 130, 5)])]);
+        assert_eq!(evicted, vec![d1], "oldest day must go first");
+        assert_eq!(store.day_count(), 2);
+        assert!(store.day(d1).is_none());
+        assert!(store.day(d2).is_some() && store.day(d3).is_some());
+
+        let mut store = LabelStore::new();
+        for (i, d) in [d1, d2, d3].into_iter().enumerate() {
+            store.insert_day(d, vec![window(i as u64 * 60, (i as u64 + 1) * 60, vec![])]);
+        }
+        assert_eq!(store.evict_before(d3), 2);
+        assert_eq!(store.day_count(), 1);
+        assert_eq!(store.days().next().unwrap().date, d3);
+        assert_eq!(store.window_count(), 1);
+    }
+
+    #[test]
+    fn query_returns_overlapping_communities_in_order() {
+        let mut store = LabelStore::new();
+        let d1 = TraceDate::new(2006, 6, 28);
+        let d2 = TraceDate::new(2006, 6, 29);
+        store.insert_day(
+            d1,
+            vec![
+                window(0, 60, vec![community(0, 10, 5), community(1, 50, 30)]),
+                window(60, 120, vec![community(2, 70, 5)]),
+            ],
+        );
+        store.insert_day(d2, vec![window(120, 180, vec![community(3, 150, 5)])]);
+        let hits: Vec<usize> = store
+            .query(TimeWindow::new(55, 130))
+            .iter()
+            .map(|c| c.community)
+            .collect();
+        // Community 0 ends at 15 (no overlap); 1 spans 50..80; 2 spans
+        // 70..75; 3 starts at 150 (no overlap).
+        assert_eq!(hits, vec![1, 2]);
+        assert!(store.query(TimeWindow::new(10_000, 10_001)).is_empty());
+    }
+}

@@ -75,6 +75,20 @@ impl TrafficRule {
             && self.proto.is_none_or(|v| v == p.proto)
     }
 
+    /// [`matches`](Self::matches) evaluated on a flow key instead of a
+    /// packet. A rule constrains exactly the five key fields, so for
+    /// every packet `p`: `matches(p) == matches_key(&FlowKey::of(p))`
+    /// — which is what lets deferred extraction match compact
+    /// `(FlowKey, ts)` evidence against alarms long after the packets
+    /// are gone.
+    pub fn matches_key(&self, k: &crate::flow::FlowKey) -> bool {
+        self.src.is_none_or(|v| v == k.src)
+            && self.dst.is_none_or(|v| v == k.dst)
+            && self.sport.is_none_or(|v| v == k.sport)
+            && self.dport.is_none_or(|v| v == k.dport)
+            && self.proto.is_none_or(|v| v == k.proto)
+    }
+
     /// Whether every packet matching `other` also matches `self`
     /// (i.e. `self` is equal to or more general than `other`).
     pub fn generalizes(&self, other: &TrafficRule) -> bool {

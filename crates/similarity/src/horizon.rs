@@ -1,0 +1,489 @@
+//! Horizon-scoped traffic extraction: evidence for alarms that don't
+//! exist yet.
+//!
+//! The two-pass [`StreamingExtractor`](crate::StreamingExtractor)
+//! needs the alarms *before* it sees the packets, which is why the
+//! two-pass pipeline rewinds. The single-pass pipeline inverts the
+//! order: packets stream past **once**, before any alarm is
+//! finalized, so the extractor must bank enough evidence per packet
+//! to answer "which alarms designate it?" later. The banked record is
+//! tiny — `(FlowKey, ts, unit id)` — because every [`AlarmScope`] is
+//! a pure function of the 5-tuple ([`AlarmScope::matches_key`]) and
+//! alarm time windows only ever test `ts`.
+//!
+//! The sliding horizon bounds how long *raw per-packet* records live:
+//! once the stream's high-water mark passes a chunk's window end by
+//! more than `lag_us`, the chunk **retires** into a compact per-flow
+//! store (one entry per distinct 5-tuple, holding a deduplicated
+//! `(ts, id)` run). Retirement is the single-pass analogue of "the
+//! detectors have now seen window W + lag": evidence inside the lag
+//! stays chunk-shaped (cheap to drop if a future design finalizes
+//! alarms early), evidence past it is folded down. At `lag = 0`
+//! everything retires as it arrives; at `lag ≥ stream length` nothing
+//! does — both ends produce byte-identical traffic sets, which the
+//! equivalence suite pins against the two-pass oracle.
+//!
+//! [`finalize`](HorizonExtractor::finalize) resolves the finished
+//! alarm set against both stores: retired flows are matched once per
+//! (flow, alarm) pair with a binary search over the time run —
+//! `O(flows × alarms)` scope tests instead of `O(packets × alarms)` —
+//! while still-fresh chunks replay the exact per-packet loop of the
+//! two-pass extractor. The union is provably the same set of
+//! `(alarm, unit)` hits either path would produce.
+
+use mawilab_detectors::{Alarm, AlarmScope};
+use mawilab_model::{FlowKey, Packet, TimeWindow};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One banked packet: everything alarm matching can ever ask about.
+#[derive(Debug, Clone, Copy)]
+struct RawRecord {
+    key: FlowKey,
+    ts_us: u64,
+    id: u32,
+}
+
+/// A not-yet-retired chunk: raw records plus the span the two-pass
+/// extractor would prefilter alarms with.
+#[derive(Debug)]
+struct RawChunk {
+    window: TimeWindow,
+    span: TimeWindow,
+    records: Vec<RawRecord>,
+}
+
+/// Compact retired evidence of one flow: its `(ts, id)` run in
+/// arrival order, exact duplicates collapsed.
+#[derive(Debug, Default)]
+struct FlowRun {
+    hits: Vec<(u64, u32)>,
+    /// Arrival order is time order for a well-formed source; a
+    /// misbehaving one flips this and the run is sorted at finalize
+    /// instead of silently mis-searched.
+    sorted: bool,
+}
+
+impl FlowRun {
+    fn push(&mut self, ts_us: u64, id: u32) {
+        if let Some(&(last_ts, last_id)) = self.hits.last() {
+            if (last_ts, last_id) == (ts_us, id) {
+                return;
+            }
+            if last_ts > ts_us {
+                self.sorted = false;
+            }
+        }
+        self.hits.push((ts_us, id));
+    }
+}
+
+/// Statistics of one horizon-scoped extraction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HorizonStats {
+    /// Chunks retired into the compact per-flow store during the
+    /// drain (their raw records are gone).
+    pub retired_chunks: usize,
+    /// Chunks still raw at finalize (inside the lag when the stream
+    /// ended).
+    pub fresh_chunks: usize,
+    /// Packet records folded into the compact store.
+    pub retired_records: u64,
+    /// Packet records still raw at finalize.
+    pub fresh_records: u64,
+    /// Distinct flows in the compact store.
+    pub retired_flows: usize,
+}
+
+/// What [`HorizonExtractor::finalize`] produces: the per-alarm traffic
+/// sets (same shape as the two-pass extractor's `into_traffic`) plus
+/// the set of unit ids that matched ≥ 1 alarm (what deferred
+/// packet-granularity evidence is filtered down to).
+#[derive(Debug)]
+pub struct HorizonTraffic {
+    /// One sorted, deduplicated unit-id set per alarm, in alarm order.
+    pub traffic: Vec<Vec<u32>>,
+    /// Every unit id that matched at least one alarm.
+    pub matched: HashSet<u32>,
+    /// Retire/fresh accounting of the drain.
+    pub stats: HorizonStats,
+}
+
+/// Accumulates alarm-agnostic extraction evidence during the single
+/// drain, retiring it past the lag, and resolves the finished alarms
+/// against it at end of stream.
+#[derive(Debug)]
+pub struct HorizonExtractor {
+    lag_us: u64,
+    high_water_us: u64,
+    fresh: VecDeque<RawChunk>,
+    retired: HashMap<FlowKey, FlowRun>,
+    stats: HorizonStats,
+}
+
+impl HorizonExtractor {
+    /// An empty extractor with the given evidence-retention lag.
+    pub fn new(lag_us: u64) -> Self {
+        HorizonExtractor {
+            lag_us,
+            high_water_us: 0,
+            fresh: VecDeque::new(),
+            retired: HashMap::new(),
+            stats: HorizonStats::default(),
+        }
+    }
+
+    /// Banks one chunk of the drain. `ids[i]` must be the traffic-unit
+    /// id of `packets[i]` (incremental `ItemIndex`, stream order) —
+    /// the same contract as the two-pass extractor's `observe`.
+    pub fn observe(&mut self, chunk_window: TimeWindow, packets: &[Packet], ids: &[u32]) {
+        assert_eq!(packets.len(), ids.len(), "one id per packet required");
+        // Span over the packets actually present (stragglers fold into
+        // chunks whose nominal window doesn't contain them), exactly
+        // like the two-pass extractor's prefilter span.
+        let mut span = chunk_window;
+        let mut records = Vec::with_capacity(packets.len());
+        for (p, &id) in packets.iter().zip(ids) {
+            span.start_us = span.start_us.min(p.ts_us);
+            span.end_us = span.end_us.max(p.ts_us + 1);
+            records.push(RawRecord {
+                key: FlowKey::of(p),
+                ts_us: p.ts_us,
+                id,
+            });
+        }
+        self.fresh.push_back(RawChunk {
+            window: chunk_window,
+            span,
+            records,
+        });
+        self.high_water_us = self.high_water_us.max(chunk_window.end_us);
+        self.retire_sealed();
+    }
+
+    /// Folds every fresh chunk whose window end + lag the stream has
+    /// passed into the compact per-flow store.
+    fn retire_sealed(&mut self) {
+        while let Some(front) = self.fresh.front() {
+            if front.window.end_us.saturating_add(self.lag_us) > self.high_water_us {
+                break;
+            }
+            let chunk = self.fresh.pop_front().expect("peeked");
+            self.stats.retired_chunks += 1;
+            self.stats.retired_records += chunk.records.len() as u64;
+            for r in chunk.records {
+                self.retired.entry(r.key).or_default().push(r.ts_us, r.id);
+            }
+        }
+    }
+
+    /// Number of packet records currently held raw (inside the lag).
+    pub fn fresh_records(&self) -> u64 {
+        self.fresh.iter().map(|c| c.records.len() as u64).sum()
+    }
+
+    /// Resolves the finished alarm set against everything banked.
+    pub fn finalize(mut self, alarms: &[Alarm]) -> HorizonTraffic {
+        self.stats.fresh_chunks = self.fresh.len();
+        self.stats.fresh_records = self.fresh_records();
+        self.stats.retired_flows = self.retired.len();
+
+        // FlowSet scopes resolve to hash sets once, as in the two-pass
+        // extractor.
+        let flowset_keys: Vec<Option<HashSet<FlowKey>>> = alarms
+            .iter()
+            .map(|a| match &a.scope {
+                AlarmScope::FlowSet(keys) => Some(keys.iter().copied().collect()),
+                _ => None,
+            })
+            .collect();
+        let scope_hits = |ai: usize, key: &FlowKey| match &flowset_keys[ai] {
+            Some(keys) => keys.contains(key),
+            None => alarms[ai].scope.matches_key(key),
+        };
+        let mut sets: Vec<HashSet<u32>> = vec![HashSet::new(); alarms.len()];
+        let mut matched: HashSet<u32> = HashSet::new();
+
+        // Retired store: one scope test per (flow, alarm), then a
+        // binary search narrows the flow's run to the alarm window.
+        // Map iteration order varies, but only HashSet insertions
+        // happen here — the sorted output below is deterministic.
+        for (key, run) in &mut self.retired {
+            if !run.sorted {
+                run.hits.sort_unstable();
+                run.hits.dedup();
+            }
+            let (first_ts, last_ts) = match (run.hits.first(), run.hits.last()) {
+                (Some(&(f, _)), Some(&(l, _))) => (f, l),
+                _ => continue,
+            };
+            for (ai, alarm) in alarms.iter().enumerate() {
+                if last_ts < alarm.window.start_us
+                    || first_ts >= alarm.window.end_us
+                    || !scope_hits(ai, key)
+                {
+                    continue;
+                }
+                let from = run
+                    .hits
+                    .partition_point(|&(ts, _)| ts < alarm.window.start_us);
+                for &(ts, id) in &run.hits[from..] {
+                    if ts >= alarm.window.end_us {
+                        break;
+                    }
+                    sets[ai].insert(id);
+                    matched.insert(id);
+                }
+            }
+        }
+
+        // Fresh chunks: the exact per-record loop of the two-pass
+        // extractor, keys instead of packets.
+        let mut active: Vec<u32> = Vec::new();
+        for chunk in &self.fresh {
+            active.clear();
+            active.extend(
+                alarms
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.window.overlaps(&chunk.span))
+                    .map(|(i, _)| i as u32),
+            );
+            for r in &chunk.records {
+                for &ai in &active {
+                    let ai = ai as usize;
+                    if alarms[ai].window.contains(r.ts_us) && scope_hits(ai, &r.key) {
+                        sets[ai].insert(r.id);
+                        matched.insert(r.id);
+                    }
+                }
+            }
+        }
+
+        let traffic = sets
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<u32> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        HorizonTraffic {
+            traffic,
+            matched,
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streaming::StreamingExtractor;
+    use mawilab_detectors::{DetectorKind, Tuning};
+    use mawilab_model::{
+        Granularity, ItemIndex, PacketSource, TcpFlags, Trace, TraceChunker, TraceDate, TraceMeta,
+        TrafficRule,
+    };
+    use std::net::Ipv4Addr;
+
+    fn ip(d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 9, 9, d)
+    }
+
+    fn trace() -> Trace {
+        let meta = TraceMeta::standard(TraceDate::new(2004, 6, 2));
+        let base = meta.window().start_us;
+        let mut packets = Vec::new();
+        for i in 0..200u64 {
+            let src = ip((i % 7) as u8);
+            let dst = ip(100 + (i % 3) as u8);
+            packets.push(Packet::tcp(
+                base + i * 750_000,
+                src,
+                1000 + (i % 5) as u16,
+                dst,
+                if i % 4 == 0 { 80 } else { 445 },
+                TcpFlags::syn(),
+                60,
+            ));
+        }
+        Trace::new(meta, packets)
+    }
+
+    fn alarms(t: &Trace) -> Vec<Alarm> {
+        let w = t.meta.window();
+        let mk = |scope| Alarm {
+            detector: DetectorKind::Pca,
+            tuning: Tuning::Optimal,
+            window: w,
+            scope,
+            score: 1.0,
+        };
+        let mut v = vec![
+            mk(AlarmScope::SrcHost(ip(1))),
+            mk(AlarmScope::DstHost(ip(101))),
+            mk(AlarmScope::Rule(TrafficRule {
+                dport: Some(445),
+                ..Default::default()
+            })),
+            mk(AlarmScope::FlowSet(vec![
+                FlowKey::of(&t.packets[0]),
+                FlowKey::of(&t.packets[3]),
+            ])),
+        ];
+        // A window-restricted alarm: at mid-range lags its window
+        // straddles the retired/fresh boundary, exercising both match
+        // paths on one alarm.
+        v.push(Alarm {
+            window: TimeWindow::new(w.start_us + 30_000_000, w.start_us + 90_000_000),
+            ..mk(AlarmScope::SrcHost(ip(2)))
+        });
+        v
+    }
+
+    /// Drives both extractors over the same chunked stream and
+    /// returns `(two_pass, horizon)` traffic plus the horizon result.
+    fn run_both(
+        t: &Trace,
+        alarms: &[Alarm],
+        g: Granularity,
+        bin_us: u64,
+        lag_us: u64,
+    ) -> (Vec<Vec<u32>>, HorizonTraffic) {
+        let mut index = ItemIndex::new(g);
+        let mut two_pass = StreamingExtractor::new(alarms);
+        let mut horizon = HorizonExtractor::new(lag_us);
+        let mut ids = Vec::new();
+        let mut source = TraceChunker::new(t.clone(), bin_us);
+        while let Some(chunk) = source.next_chunk().unwrap() {
+            index.ids_of(&chunk.packets, &mut ids);
+            two_pass.observe(chunk.window, &chunk.packets, &ids);
+            horizon.observe(chunk.window, &chunk.packets, &ids);
+        }
+        (two_pass.into_traffic(), horizon.finalize(alarms))
+    }
+
+    #[test]
+    fn horizon_matches_two_pass_extractor_across_lags_and_granularities() {
+        let t = trace();
+        let alarms = alarms(&t);
+        for g in [
+            Granularity::Packet,
+            Granularity::Uniflow,
+            Granularity::Biflow,
+        ] {
+            for bin_us in [1_000_000u64, 5_000_000, 300_000_000] {
+                for lag_us in [0u64, 10_000_000, 86_400_000_000] {
+                    let (two_pass, horizon) = run_both(&t, &alarms, g, bin_us, lag_us);
+                    assert_eq!(
+                        horizon.traffic, two_pass,
+                        "granularity {g}, bin {bin_us}, lag {lag_us}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lag_zero_retires_everything_and_huge_lag_retires_nothing() {
+        let t = trace();
+        let alarms = alarms(&t);
+        let (_, eager) = run_both(&t, &alarms, Granularity::Uniflow, 5_000_000, 0);
+        assert_eq!(eager.stats.fresh_chunks, 0, "lag 0 must retire every chunk");
+        assert!(eager.stats.retired_chunks > 10);
+        assert_eq!(eager.stats.retired_records, t.len() as u64);
+
+        let (_, lazy) = run_both(&t, &alarms, Granularity::Uniflow, 5_000_000, u64::MAX / 2);
+        assert_eq!(lazy.stats.retired_chunks, 0, "huge lag must retire nothing");
+        assert_eq!(lazy.stats.fresh_records, t.len() as u64);
+    }
+
+    #[test]
+    fn mid_lag_splits_the_stream_and_still_matches() {
+        let t = trace();
+        let alarms = alarms(&t);
+        // 150 s trace, 5 s chunks, 60 s lag: a genuine split, with the
+        // window-restricted alarm straddling the retire boundary.
+        let (two_pass, horizon) =
+            run_both(&t, &alarms, Granularity::Uniflow, 5_000_000, 60_000_000);
+        assert!(horizon.stats.retired_chunks > 0, "no chunk retired");
+        assert!(horizon.stats.fresh_chunks > 0, "no chunk stayed fresh");
+        assert_eq!(horizon.traffic, two_pass);
+    }
+
+    #[test]
+    fn matched_ids_are_exactly_the_union_of_the_traffic_sets() {
+        let t = trace();
+        let alarms = alarms(&t);
+        for lag_us in [0u64, 40_000_000, u64::MAX / 2] {
+            let (_, horizon) = run_both(&t, &alarms, Granularity::Packet, 5_000_000, lag_us);
+            let union: HashSet<u32> = horizon.traffic.iter().flatten().copied().collect();
+            assert_eq!(horizon.matched, union, "lag {lag_us}");
+        }
+    }
+
+    #[test]
+    fn straggler_in_retired_chunk_still_matches_earlier_alarm() {
+        // The horizon analogue of the two-pass straggler test: a
+        // 4.9 s packet folded into the [5 s, 10 s) chunk, retired long
+        // before finalize, must still be claimed by the [0 s, 5 s)
+        // alarm via its own timestamp.
+        let meta = TraceMeta::standard(TraceDate::new(2004, 6, 2));
+        let base = meta.window().start_us;
+        let straggler = Packet::tcp(
+            base + 4_900_000,
+            ip(1),
+            1000,
+            ip(2),
+            80,
+            TcpFlags::syn(),
+            60,
+        );
+        let filler = Packet::tcp(
+            base + 97_000_000,
+            ip(3),
+            1001,
+            ip(4),
+            81,
+            TcpFlags::syn(),
+            60,
+        );
+        let alarm = Alarm {
+            detector: DetectorKind::Kl,
+            tuning: Tuning::Optimal,
+            window: TimeWindow::new(base, base + 5_000_000),
+            scope: AlarmScope::SrcHost(ip(1)),
+            score: 1.0,
+        };
+        let alarms = vec![alarm];
+        let mut ex = HorizonExtractor::new(10_000_000);
+        ex.observe(
+            TimeWindow::new(base + 5_000_000, base + 10_000_000),
+            &[straggler],
+            &[7],
+        );
+        // A much later chunk pushes the straggler's chunk past the lag.
+        ex.observe(
+            TimeWindow::new(base + 95_000_000, base + 100_000_000),
+            &[filler],
+            &[8],
+        );
+        let out = ex.finalize(&alarms);
+        assert_eq!(out.stats.retired_chunks, 1);
+        assert_eq!(out.traffic, vec![vec![7]]);
+        assert!(out.matched.contains(&7) && !out.matched.contains(&8));
+    }
+
+    #[test]
+    fn no_alarms_and_no_packets_are_handled() {
+        let out = HorizonExtractor::new(0).finalize(&[]);
+        assert!(out.traffic.is_empty());
+        assert!(out.matched.is_empty());
+
+        let t = trace();
+        let alarms = alarms(&t);
+        let out = HorizonExtractor::new(0).finalize(&alarms);
+        assert_eq!(out.traffic.len(), alarms.len());
+        assert!(out.traffic.iter().all(|s| s.is_empty()));
+    }
+}

@@ -39,8 +39,8 @@ use crate::background::{BackgroundModel, HostModel};
 use crate::config::SynthConfig;
 use crate::truth::{AnomalyRecord, GroundTruth, LabeledTrace};
 use mawilab_model::{
-    chunk_index, chunk_window, LinkEra, Packet, PacketChunk, PacketSource, SourceError, TimeWindow,
-    Trace, TraceMeta,
+    chunk_index, chunk_window, LinkEra, Packet, PacketChunk, PacketSource, SourceError,
+    TaggedChunk, TaggedSource, TimeWindow, Trace, TraceMeta,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -484,5 +484,14 @@ impl PacketSource for SynthSource {
         self.buf = PacketChunk::default();
         self.buf_tags.clear();
         Ok(())
+    }
+}
+
+impl TaggedSource for SynthSource {
+    fn next_chunk_tagged(&mut self) -> Result<Option<TaggedChunk<'_>>, SourceError> {
+        if self.next_chunk()?.is_none() {
+            return Ok(None);
+        }
+        Ok(Some((&self.buf, &self.buf_tags)))
     }
 }

@@ -1,0 +1,357 @@
+//! Single-pass/two-pass equivalence: the acceptance gate of the
+//! online-labeler refactor.
+//!
+//! `OnlinePipeline` drains a source exactly once — detection and
+//! traffic extraction share the drain, evidence past the sliding
+//! horizon is retired to compact per-flow state — yet its labels must
+//! be byte-identical to the legacy two-pass `StreamingPipeline`
+//! (retained as the equivalence oracle) across seeds, chunk widths,
+//! horizon lags, granularities and thread counts. Every online run
+//! here goes through a [`NoRewindSource`] seal, so "single pass" is
+//! enforced by construction, not just claimed.
+//!
+//! Tests in this binary share `ENV_LOCK` where they touch the
+//! process-wide `MAWILAB_THREADS` variable.
+
+use mawilab::core::{OnlinePipeline, PipelineConfig, StreamingPipeline};
+use mawilab::label::LabeledCommunity;
+use mawilab::model::{Granularity, NoRewindSource, SourceError, TraceChunker, DEFAULT_CHUNK_US};
+use mawilab::synth::{AnomalySpec, SynthConfig, TraceGenerator};
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn synth(seed: u64) -> mawilab::synth::LabeledTrace {
+    TraceGenerator::new(SynthConfig::default().with_seed(seed).with_anomalies(vec![
+        AnomalySpec::SynFlood {
+            victim: 40,
+            dport: 80,
+            rate_pps: 250.0,
+            duration_s: 12.0,
+            spoofed: true,
+        },
+        AnomalySpec::SasserWorm {
+            infected: 3,
+            scans: 900,
+            rate_pps: 60.0,
+        },
+    ]))
+    .generate()
+}
+
+/// Field-by-field comparison of labeled communities (the struct holds
+/// f64 metrics, so no derived PartialEq).
+fn assert_labels_identical(online: &[LabeledCommunity], oracle: &[LabeledCommunity]) {
+    assert_eq!(online.len(), oracle.len(), "community count differs");
+    for (s, b) in online.iter().zip(oracle) {
+        assert_eq!(s.community, b.community);
+        assert_eq!(s.label, b.label, "label of community {}", s.community);
+        assert_eq!(
+            s.heuristic, b.heuristic,
+            "heuristic of community {}",
+            s.community
+        );
+        assert_eq!(s.window, b.window, "window of community {}", s.community);
+        assert_eq!(s.alarms, b.alarms);
+        assert_eq!(s.detectors, b.detectors);
+        assert_eq!(s.summary.rules, b.summary.rules);
+        assert_eq!(s.summary.transactions, b.summary.transactions);
+        assert!((s.summary.rule_degree - b.summary.rule_degree).abs() < 1e-12);
+        assert!((s.summary.rule_support - b.summary.rule_support).abs() < 1e-12);
+    }
+}
+
+/// One sealed single-pass run vs the two-pass oracle, byte for byte.
+fn assert_online_equals_oracle(
+    lt: &mawilab::synth::LabeledTrace,
+    config: &PipelineConfig,
+    chunk_us: u64,
+    lag_us: u64,
+    what: &str,
+) -> mawilab::core::OnlineReport {
+    let mut oracle_source = TraceChunker::new(lt.trace.clone(), chunk_us);
+    let oracle = StreamingPipeline::new(config.clone())
+        .run(&mut oracle_source)
+        .unwrap();
+
+    let mut sealed = NoRewindSource::new(TraceChunker::new(lt.trace.clone(), chunk_us));
+    let online = OnlinePipeline::new(config.clone())
+        .with_lag_us(lag_us)
+        .run(&mut sealed)
+        .unwrap();
+    assert_eq!(sealed.rewinds_refused(), 0, "online path rewound ({what})");
+
+    assert_eq!(online.report.stats.passes(), 1, "not single-pass ({what})");
+    assert_eq!(oracle.stats.passes(), 2, "oracle not two-pass ({what})");
+    assert_eq!(
+        online.report.communities.alarms, oracle.communities.alarms,
+        "alarms differ ({what})"
+    );
+    assert_eq!(
+        online.report.communities.traffic, oracle.communities.traffic,
+        "traffic sets differ ({what})"
+    );
+    assert_eq!(online.report.votes, oracle.votes, "votes differ ({what})");
+    assert_eq!(
+        online.report.decisions, oracle.decisions,
+        "decisions differ ({what})"
+    );
+    assert_labels_identical(
+        &online.report.labeled.communities,
+        &oracle.labeled.communities,
+    );
+    online
+}
+
+#[test]
+fn single_pass_equals_two_pass_across_seeds_and_chunk_widths() {
+    let config = PipelineConfig::default();
+    for seed in [11u64, 222, 3333] {
+        let lt = synth(seed);
+        for chunk_us in [DEFAULT_CHUNK_US, 20_000_000] {
+            assert_online_equals_oracle(
+                &lt,
+                &config,
+                chunk_us,
+                mawilab::core::DEFAULT_LAG_US,
+                &format!("seed {seed}, chunk {chunk_us}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn lag_governs_retention_not_labels() {
+    // The detectors only alarm at finish(), so the horizon lag must
+    // not change a single output byte — it only decides how much raw
+    // evidence stays resident. lag=0 retires everything immediately;
+    // a day-scale lag retires nothing.
+    let lt = synth(222);
+    let config = PipelineConfig::default();
+    let day_us: u64 = 86_400_000_000;
+    for lag_us in [0, 15_000_000, day_us] {
+        let online = assert_online_equals_oracle(
+            &lt,
+            &config,
+            DEFAULT_CHUNK_US,
+            lag_us,
+            &format!("lag {lag_us}"),
+        );
+        if lag_us == 0 {
+            assert_eq!(
+                online.horizon_stats.fresh_chunks, 0,
+                "lag=0 must retire every chunk as soon as the next high-water lands"
+            );
+        }
+        if lag_us == day_us {
+            assert_eq!(
+                online.horizon_stats.retired_chunks, 0,
+                "a day-scale lag on a 60 s trace must retire nothing"
+            );
+            // Nothing can seal before stream end either: every window
+            // was closed out by finish, not by the watermark.
+            assert!(online.windows.iter().all(|w| w.sealed_by_finish));
+        }
+    }
+}
+
+#[test]
+fn single_pass_equals_two_pass_at_every_granularity() {
+    let lt = synth(77);
+    for granularity in [
+        Granularity::Packet,
+        Granularity::Uniflow,
+        Granularity::Biflow,
+    ] {
+        let config = PipelineConfig {
+            granularity,
+            ..Default::default()
+        };
+        assert_online_equals_oracle(
+            &lt,
+            &config,
+            DEFAULT_CHUNK_US,
+            mawilab::core::DEFAULT_LAG_US,
+            &format!("granularity {granularity}"),
+        );
+    }
+}
+
+#[test]
+fn the_two_pass_oracle_cannot_run_behind_a_sealed_source() {
+    // The seal is real: the legacy pipeline's pass-2 rewind is
+    // refused, so only the single-pass path can operate online.
+    let lt = synth(11);
+    let mut sealed = NoRewindSource::new(TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US));
+    let err = StreamingPipeline::new(PipelineConfig::default())
+        .run(&mut sealed)
+        .unwrap_err();
+    assert!(matches!(err, SourceError::RewindUnsupported(_)));
+    assert_eq!(sealed.rewinds_refused(), 1);
+}
+
+#[test]
+fn anomaly_straddling_a_horizon_boundary_labels_identically() {
+    // A 12 s SYN flood cannot fit inside a 10 s horizon window, so
+    // its alarms span a window boundary; the windowed view folds the
+    // community into one window without altering any label.
+    let lt = synth(3333);
+    let config = PipelineConfig::default();
+    let mut oracle_source = TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US);
+    let oracle = StreamingPipeline::new(config.clone())
+        .run(&mut oracle_source)
+        .unwrap();
+
+    let horizon_us = 10_000_000;
+    let mut sealed = NoRewindSource::new(TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US));
+    let online = OnlinePipeline::new(config)
+        .with_horizon_us(horizon_us)
+        .with_lag_us(5_000_000)
+        .run(&mut sealed)
+        .unwrap();
+    assert_eq!(sealed.rewinds_refused(), 0);
+    assert_labels_identical(
+        &online.report.labeled.communities,
+        &oracle.labeled.communities,
+    );
+
+    // At least one community genuinely straddles a horizon boundary
+    // (starts in one window, ends in a later one).
+    let origin = online.windows[0].window.start_us;
+    let straddles = online.report.labeled.communities.iter().any(|c| {
+        (c.window.start_us - origin) / horizon_us < (c.window.end_us - 1 - origin) / horizon_us
+    });
+    assert!(straddles, "no community straddled a horizon boundary");
+}
+
+#[test]
+fn tiny_horizons_leave_empty_windows_but_flatten_back_exactly() {
+    // Two-second horizon over a 60 s trace: dozens of windows, most
+    // with no community in them (including empty windows after the
+    // last anomaly). The windowed view must still cover the stream
+    // contiguously and flatten back to the exact labeled set.
+    let lt = synth(11);
+    let mut sealed = NoRewindSource::new(TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US));
+    let online = OnlinePipeline::new(PipelineConfig::default())
+        .with_horizon_us(2_000_000)
+        .with_lag_us(1_000_000)
+        .run(&mut sealed)
+        .unwrap();
+    assert_eq!(sealed.rewinds_refused(), 0);
+
+    assert!(
+        online.windows.len() >= 25,
+        "only {} windows",
+        online.windows.len()
+    );
+    assert!(
+        online.windows.iter().any(|w| w.communities.is_empty()),
+        "expected quiet windows at a 2 s horizon"
+    );
+    // Contiguous, gap-free coverage.
+    for pair in online.windows.windows(2) {
+        assert_eq!(pair[0].window.end_us, pair[1].window.start_us);
+    }
+    // Flatten identity: every labeled community lands in exactly one
+    // window, none invented, none dropped.
+    let mut flat: Vec<usize> = online
+        .windows
+        .iter()
+        .flat_map(|w| w.communities.iter().map(|c| c.community))
+        .collect();
+    flat.sort_unstable();
+    let mut expected: Vec<usize> = online
+        .report
+        .labeled
+        .communities
+        .iter()
+        .map(|c| c.community)
+        .collect();
+    expected.sort_unstable();
+    assert_eq!(flat, expected);
+}
+
+#[test]
+fn sealed_window_latency_is_bounded_by_lag_plus_one_chunk() {
+    // The bounded-delay statement from the refactor: on a dense
+    // stream, a window's label is final no later than `lag` plus one
+    // chunk width after the window closes.
+    let lt = synth(77);
+    let chunk_us = DEFAULT_CHUNK_US;
+    let lag_us = 5_000_000;
+    let mut sealed = NoRewindSource::new(TraceChunker::new(lt.trace.clone(), chunk_us));
+    let online = OnlinePipeline::new(PipelineConfig::default())
+        .with_horizon_us(10_000_000)
+        .with_lag_us(lag_us)
+        .run(&mut sealed)
+        .unwrap();
+    let watermark_sealed: Vec<_> = online
+        .windows
+        .iter()
+        .filter(|w| !w.sealed_by_finish)
+        .collect();
+    assert!(
+        !watermark_sealed.is_empty(),
+        "no window sealed before stream end"
+    );
+    for w in &watermark_sealed {
+        assert!(
+            w.latency_us() <= lag_us + chunk_us,
+            "window [{}, {}) sealed {} us late (bound {})",
+            w.window.start_us,
+            w.window.end_us,
+            w.latency_us(),
+            lag_us + chunk_us
+        );
+    }
+    assert!(online.max_sealed_latency_us() <= lag_us + chunk_us);
+}
+
+#[test]
+fn single_pass_is_identical_at_every_thread_count() {
+    let _lock = ENV_LOCK.lock().unwrap();
+    let lt = synth(99);
+    let config = PipelineConfig::default();
+
+    let run = |lt: &mawilab::synth::LabeledTrace| {
+        let mut sealed = NoRewindSource::new(TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US));
+        let online = OnlinePipeline::new(config.clone())
+            .run(&mut sealed)
+            .unwrap();
+        assert_eq!(sealed.rewinds_refused(), 0);
+        online
+    };
+
+    std::env::set_var("MAWILAB_THREADS", "1");
+    let single = run(&lt);
+    // The oracle at one thread anchors the whole matrix to the
+    // two-pass labels.
+    let mut oracle_source = TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US);
+    let oracle = StreamingPipeline::new(config.clone())
+        .run(&mut oracle_source)
+        .unwrap();
+    assert_eq!(single.report.decisions, oracle.decisions);
+    assert_labels_identical(
+        &single.report.labeled.communities,
+        &oracle.labeled.communities,
+    );
+
+    for threads in ["2", "4", "13"] {
+        std::env::set_var("MAWILAB_THREADS", threads);
+        let multi = run(&lt);
+        assert_eq!(
+            multi.report.decisions, single.report.decisions,
+            "decisions changed at MAWILAB_THREADS={threads}"
+        );
+        assert_labels_identical(
+            &multi.report.labeled.communities,
+            &single.report.labeled.communities,
+        );
+        assert_eq!(
+            multi.windows.len(),
+            single.windows.len(),
+            "window count changed at MAWILAB_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("MAWILAB_THREADS");
+}

@@ -195,9 +195,9 @@ fn peak_live_packet_memory_is_bounded_by_one_chunk() {
     // The 60 s trace cut into 5 s bins: a genuinely multi-chunk
     // stream, not one big chunk.
     assert!(
-        report.stats.chunks >= 10,
+        report.stats.chunks() >= 10,
         "only {} chunks",
-        report.stats.chunks
+        report.stats.chunks()
     );
 }
 

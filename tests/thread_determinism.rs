@@ -11,19 +11,19 @@
 //! process-wide `MAWILAB_THREADS` variable, and siblings running
 //! concurrently would race on it.
 
-use mawilab::core::{MawilabPipeline, PipelineConfig, StreamingPipeline};
+use mawilab::core::{MawilabPipeline, OnlinePipeline, PipelineConfig, StreamingPipeline};
 use mawilab::label::MawilabLabel;
-use mawilab::model::{TraceChunker, DEFAULT_CHUNK_US};
+use mawilab::model::{NoRewindSource, TraceChunker, DEFAULT_CHUNK_US};
 use mawilab::synth::{SynthConfig, TraceGenerator};
 use mawilab_bench::archive::{
-    collect_archive, default_sweep_start, month_sweep_days, ArchiveBenchArgs, ArchiveOutcome,
+    collect_archive, default_sweep_start, deterministic_view, month_sweep_days, ArchiveBenchArgs,
 };
 use std::sync::Mutex;
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
-/// Decisions, labels, graph shape and member lists of one batch +
-/// one streaming run.
+/// Decisions, labels, graph shape and member lists of one batch run,
+/// one two-pass streaming run and one single-pass online run.
 fn run_once(
     lt: &mawilab::synth::LabeledTrace,
 ) -> (Vec<bool>, Vec<MawilabLabel>, usize, Vec<Vec<usize>>) {
@@ -31,10 +31,20 @@ fn run_once(
     let report = MawilabPipeline::new(config.clone()).run(&lt.trace);
 
     let mut source = TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US);
-    let streamed = StreamingPipeline::new(config).run(&mut source).unwrap();
+    let streamed = StreamingPipeline::new(config.clone())
+        .run(&mut source)
+        .unwrap();
     assert_eq!(
         streamed.decisions, report.decisions,
         "batch/streaming diverged"
+    );
+
+    let mut sealed = NoRewindSource::new(TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US));
+    let online = OnlinePipeline::new(config).run(&mut sealed).unwrap();
+    assert_eq!(sealed.rewinds_refused(), 0, "online pipeline rewound");
+    assert_eq!(
+        online.report.decisions, report.decisions,
+        "batch/online diverged"
     );
 
     let decisions = report.decisions.iter().map(|d| d.accepted).collect();
@@ -63,37 +73,6 @@ fn pipeline_is_identical_at_every_thread_count() {
         assert_eq!(single, multi, "output changed at MAWILAB_THREADS={threads}");
     }
     std::env::remove_var("MAWILAB_THREADS");
-}
-
-/// Everything thread-count invariant in an [`ArchiveOutcome`]: the
-/// per-day reductions minus their wall-clock fields, plus the whole
-/// stability report (which holds no timing data).
-fn deterministic_view(outcome: &ArchiveOutcome) -> String {
-    let days: Vec<String> = outcome
-        .records
-        .iter()
-        .map(|r| {
-            format!(
-                "{} packets={} chunks={} peak={} items={} alarms={} communities={} \
-                 anomalous={} summary={:?}",
-                r.summary.date,
-                r.packets,
-                r.chunks,
-                r.peak_chunk_packets,
-                r.items,
-                r.alarms,
-                r.communities,
-                r.anomalous,
-                r.summary,
-            )
-        })
-        .collect();
-    format!(
-        "days:{}\nfailed:{:?}\nstability:{:?}",
-        days.join("\n"),
-        outcome.failed,
-        outcome.stability
-    )
 }
 
 #[test]
