@@ -28,4 +28,4 @@ pub use ca::CorrespondenceAnalysis;
 pub use eigen::SymmetricEigen;
 pub use matrix::Matrix;
 pub use pca::Pca;
-pub use svd::Svd;
+pub use svd::{Svd, SVD_EXACT_GATE};

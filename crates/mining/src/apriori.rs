@@ -148,11 +148,14 @@ pub struct MinedRules {
     pub rule_support: f64,
 }
 
-/// Runs modified Apriori and reduces the result to maximal itemsets +
-/// metrics. `min_support` is the paper's `s` (fraction; the paper uses
-/// 0.2).
+/// Mines frequent itemsets and reduces the result to maximal itemsets
+/// and metrics. `min_support` is the paper's `s` (fraction; the paper
+/// uses 0.2). Mining goes through
+/// [`frequent_itemsets`](crate::frequent_itemsets), which picks
+/// Apriori or FP-growth by community size — the output is identical
+/// either way.
 pub fn mine_rules(transactions: &[Transaction], min_support: f64) -> MinedRules {
-    let frequent = apriori(transactions, min_support);
+    let frequent = crate::fpgrowth::frequent_itemsets(transactions, min_support);
     // Maximal = not a strict subset of another frequent itemset.
     let mut maximal: Vec<&FrequentItemset> = Vec::new();
     for f in &frequent {

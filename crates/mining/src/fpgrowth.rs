@@ -1,0 +1,317 @@
+//! FP-growth frequent-itemset mining (Han, Pei & Yin 2000) — the
+//! large-community engine behind [`frequent_itemsets`].
+//!
+//! Apriori re-scans every transaction once per candidate level; on the
+//! biggest communities that candidate × transaction product dominates
+//! the mining wall time. FP-growth compresses the transactions into a
+//! prefix tree ordered by item frequency (shared prefixes collapse
+//! into shared paths) and mines it recursively through conditional
+//! subtrees — each transaction is touched exactly once.
+//!
+//! The output contract is byte-identical to [`apriori`]: the same
+//! itemsets with the same exact support counts, sorted by level then
+//! lexicographically. Apriori's same-field join prune needs no
+//! counterpart here — FP-growth only counts itemsets that actually
+//! co-occur, and two values of one tuple field never share a
+//! transaction. `tests/kernel_equivalence.rs` pins the equivalence
+//! with a property test over random transaction sets and thresholds.
+
+use crate::apriori::{apriori, FrequentItemset};
+use crate::transaction::{Item, Transaction};
+use std::collections::HashMap;
+
+/// Transaction count at which [`frequent_itemsets`] switches from
+/// Apriori to FP-growth. Below this the tree build costs more than the
+/// rescans it avoids; the cutover depends only on input size, so the
+/// engine choice is deterministic and thread-count invariant.
+pub const FPGROWTH_CUTOVER: usize = 256;
+
+/// Finds all frequent itemsets with support ≥ `min_support`, choosing
+/// the engine by transaction count: [`apriori`] for small inputs,
+/// [`fp_growth`] past [`FPGROWTH_CUTOVER`]. Output is identical either
+/// way — deterministic order: by level, then lexicographically.
+pub fn frequent_itemsets(transactions: &[Transaction], min_support: f64) -> Vec<FrequentItemset> {
+    if transactions.len() >= FPGROWTH_CUTOVER {
+        fp_growth(transactions, min_support)
+    } else {
+        apriori(transactions, min_support)
+    }
+}
+
+/// One FP-tree node. Children are kept sorted by rank for binary
+/// search; `next` threads the per-rank header chain (0 = end, the
+/// root slot never appears in a chain).
+struct FpNode {
+    rank: u32,
+    count: usize,
+    parent: usize,
+    children: Vec<(u32, usize)>,
+    next: usize,
+}
+
+/// Per-rank header: chain head plus the total count of the item across
+/// the tree — which *is* the item's (conditional) support.
+#[derive(Clone, Copy)]
+struct Header {
+    head: usize,
+    count: usize,
+}
+
+/// Frequency-ordered prefix tree over ranked transactions.
+struct FpTree {
+    nodes: Vec<FpNode>,
+    headers: Vec<Header>,
+}
+
+impl FpTree {
+    fn new(ranks: usize) -> Self {
+        FpTree {
+            nodes: vec![FpNode {
+                rank: u32::MAX,
+                count: 0,
+                parent: 0,
+                children: Vec::new(),
+                next: 0,
+            }],
+            headers: vec![Header { head: 0, count: 0 }; ranks],
+        }
+    }
+
+    /// Inserts one ranked path (ascending ranks — most frequent item
+    /// first) carrying `count` transactions.
+    fn insert(&mut self, path: &[u32], count: usize) {
+        let mut cur = 0;
+        for &r in path {
+            cur = match self.nodes[cur]
+                .children
+                .binary_search_by_key(&r, |&(rk, _)| rk)
+            {
+                Ok(pos) => self.nodes[cur].children[pos].1,
+                Err(pos) => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(FpNode {
+                        rank: r,
+                        count: 0,
+                        parent: cur,
+                        children: Vec::new(),
+                        next: self.headers[r as usize].head,
+                    });
+                    self.headers[r as usize].head = idx;
+                    self.nodes[cur].children.insert(pos, (r, idx));
+                    idx
+                }
+            };
+            self.nodes[cur].count += count;
+            self.headers[r as usize].count += count;
+        }
+    }
+}
+
+/// Finds **all** frequent itemsets with support ≥ `min_support`
+/// (a fraction in `(0, 1]`) via FP-growth. Same output as [`apriori`]:
+/// by level, then lexicographically by items.
+pub fn fp_growth(transactions: &[Transaction], min_support: f64) -> Vec<FrequentItemset> {
+    assert!(
+        min_support > 0.0 && min_support <= 1.0,
+        "support must be a fraction in (0,1]"
+    );
+    let n = transactions.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let min_count = ((min_support * n as f64).ceil() as usize).max(1);
+
+    let mut counts: HashMap<Item, usize> = HashMap::new();
+    for t in transactions {
+        for &item in t.items() {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    // Rank frequent items by descending count, ties by ascending item
+    // — any total order works, this one keeps the tree shallow.
+    let mut ranked: Vec<(Item, usize)> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_count)
+        .collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let item_of: Vec<Item> = ranked.iter().map(|&(i, _)| i).collect();
+    let rank_of: HashMap<Item, u32> = item_of
+        .iter()
+        .enumerate()
+        .map(|(r, &i)| (i, r as u32))
+        .collect();
+
+    let mut tree = FpTree::new(item_of.len());
+    let mut path = Vec::with_capacity(4);
+    for t in transactions {
+        path.clear();
+        path.extend(t.items().iter().filter_map(|i| rank_of.get(i).copied()));
+        path.sort_unstable();
+        if !path.is_empty() {
+            tree.insert(&path, 1);
+        }
+    }
+
+    let mut out = Vec::new();
+    mine(&tree, &item_of, &[], min_count, &mut out);
+    out.sort_by(|a, b| {
+        a.items
+            .len()
+            .cmp(&b.items.len())
+            .then(a.items.cmp(&b.items))
+    });
+    out
+}
+
+/// Recursively mines `tree`: emits `suffix ∪ {item}` for every
+/// frequent item, then descends into the item's conditional tree.
+/// Each itemset surfaces exactly once — at the recursion path that
+/// processes its items in rank order — with its exact global count.
+fn mine(
+    tree: &FpTree,
+    item_of: &[Item],
+    suffix: &[Item],
+    min_count: usize,
+    out: &mut Vec<FrequentItemset>,
+) {
+    for r in 0..item_of.len() {
+        let total = tree.headers[r].count;
+        if total < min_count {
+            continue;
+        }
+        let mut items = suffix.to_vec();
+        items.push(item_of[r]);
+        items.sort_unstable();
+        out.push(FrequentItemset {
+            items: items.clone(),
+            count: total,
+        });
+        // Conditional pattern base: ancestor paths of every node of
+        // rank `r`, each weighted by that node's count.
+        let mut base: Vec<(Vec<u32>, usize)> = Vec::new();
+        let mut freq: HashMap<u32, usize> = HashMap::new();
+        let mut node = tree.headers[r].head;
+        while node != 0 {
+            let n = &tree.nodes[node];
+            let mut up = Vec::new();
+            let mut p = n.parent;
+            while p != 0 {
+                up.push(tree.nodes[p].rank);
+                p = tree.nodes[p].parent;
+            }
+            if !up.is_empty() {
+                up.reverse();
+                for &q in &up {
+                    *freq.entry(q).or_insert(0) += n.count;
+                }
+                base.push((up, n.count));
+            }
+            node = n.next;
+        }
+        let mut kept: Vec<u32> = freq
+            .into_iter()
+            .filter(|&(_, c)| c >= min_count)
+            .map(|(q, _)| q)
+            .collect();
+        if kept.is_empty() {
+            continue;
+        }
+        // Compact the surviving ranks to 0..k, preserving their order
+        // so conditional paths stay rank-ascending.
+        kept.sort_unstable();
+        let remap: HashMap<u32, u32> = kept
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (q, i as u32))
+            .collect();
+        let cond_items: Vec<Item> = kept.iter().map(|&q| item_of[q as usize]).collect();
+        let mut cond = FpTree::new(kept.len());
+        let mut mapped = Vec::with_capacity(4);
+        for (up, count) in &base {
+            mapped.clear();
+            mapped.extend(up.iter().filter_map(|q| remap.get(q).copied()));
+            if !mapped.is_empty() {
+                cond.insert(&mapped, *count);
+            }
+        }
+        mine(&cond, &cond_items, &items, min_count, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(203, 0, 113, d)
+    }
+
+    /// Pseudo-random transaction mix with heavy shared patterns.
+    fn mixed(n: usize, seed: u64) -> Vec<Transaction> {
+        let mut state = seed | 1;
+        let mut next = |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % m) as u16
+        };
+        (0..n)
+            .map(|_| {
+                Transaction::new(
+                    ip(next(4) as u8),
+                    [80, 443, 53, 22, 1000 + next(50)][next(5) as usize],
+                    ip(100 + next(3) as u8),
+                    [80, 445, 2000 + next(40)][next(3) as usize],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_apriori_exactly() {
+        for (n, seed) in [(10, 1), (60, 2), (300, 3), (800, 4)] {
+            let txs = mixed(n, seed);
+            for s in [0.05, 0.2, 0.5, 0.9] {
+                assert_eq!(
+                    fp_growth(&txs, s),
+                    apriori(&txs, s),
+                    "n={n} seed={seed} s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_transactions_mine_all_subsets() {
+        let txs: Vec<Transaction> = (0..5)
+            .map(|_| Transaction::new(ip(1), 1234, ip(2), 80))
+            .collect();
+        let got = fp_growth(&txs, 0.2);
+        // 4 singles + 6 pairs + 4 triples + 1 quad, all with count 5.
+        assert_eq!(got.len(), 15);
+        assert!(got.iter().all(|f| f.count == 5));
+        assert_eq!(got, apriori(&txs, 0.2));
+    }
+
+    #[test]
+    fn empty_transactions_mine_nothing() {
+        assert!(fp_growth(&[], 0.2).is_empty());
+    }
+
+    #[test]
+    fn dispatcher_switches_on_transaction_count() {
+        // Both engines agree, so the dispatcher is observationally
+        // identical on either side of the cutover.
+        for n in [FPGROWTH_CUTOVER - 1, FPGROWTH_CUTOVER] {
+            let txs = mixed(n, 9);
+            assert_eq!(frequent_itemsets(&txs, 0.1), apriori(&txs, 0.1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_support_panics() {
+        fp_growth(&[], 0.0);
+    }
+}

@@ -5,43 +5,129 @@
 //! it designates. Ids are indices into the trace (packet index) or
 //! into the flow table (uniflow/biflow id), so set intersection is
 //! integer intersection regardless of the original alarm granularity.
+//!
+//! Two engines produce byte-identical output:
+//!
+//! * [`extract_traffic`] — the inverted-index engine: alarm scopes are
+//!   bucketed by concrete 5-tuple fields ([`crate::index`]), every
+//!   uniflow's candidate alarms resolve once, and the packet array is
+//!   scanned **once** (sharded through `mawilab-exec`), stabbing each
+//!   packet's timestamp into its flow's candidate run.
+//! * [`extract_traffic_sequential`] — the retained seed engine (one
+//!   packet-range scan per alarm), kept as the equivalence oracle.
 
+use crate::index::{AlarmIndex, AlarmRun, HitSink};
 use mawilab_detectors::{Alarm, AlarmScope, TraceView};
-use mawilab_model::Granularity;
-use std::collections::HashSet;
+use mawilab_model::{FlowKey, Granularity};
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+/// Packets per scan shard of the indexed engine.
+const PACKET_SHARD: usize = 1 << 16;
 
 /// Extracts the traffic id set of every alarm, at the requested
 /// granularity. Each result is sorted and deduplicated.
+///
+/// Inverted-index engine: O(uniflows) scope resolutions + one packet
+/// scan, instead of the seed's O(alarms × packets) scope tests.
+/// Byte-identical to [`extract_traffic_sequential`] at any
+/// `MAWILAB_THREADS` (the shard merge is canonicalized by the final
+/// per-alarm sort).
 pub fn extract_traffic(
     view: &TraceView<'_>,
     alarms: &[Alarm],
     granularity: Granularity,
 ) -> Vec<Vec<u32>> {
+    if alarms.is_empty() {
+        return Vec::new();
+    }
+    let trace = view.trace;
+    let index = AlarmIndex::new(alarms);
+
+    // Scope tests resolve once per dense uniflow id, not per packet.
+    let uniflows: Vec<u32> = (0..view.flows.uniflow_count() as u32).collect();
+    let runs: Vec<AlarmRun> = mawilab_exec::par_map(&uniflows, |&u| {
+        index.candidates_for(view.flows.uniflow_key(u))
+    });
+
+    // One pass over the packets, sharded; each shard accumulates
+    // per-alarm hit runs merged and canonicalized below.
+    let shards: Vec<Range<usize>> = (0..trace.packets.len())
+        .step_by(PACKET_SHARD)
+        .map(|s| s..(s + PACKET_SHARD).min(trace.packets.len()))
+        .collect();
+    let parts: Vec<HitSink> = mawilab_exec::par_map(&shards, |range| {
+        let mut sink = HitSink::new(alarms.len());
+        for i in range.clone() {
+            let u = view.flows.uniflow_of(i);
+            let run = &runs[u as usize];
+            if run.is_empty() {
+                continue;
+            }
+            let id = match granularity {
+                Granularity::Packet => i as u32,
+                Granularity::Uniflow => u,
+                Granularity::Biflow => view.flows.biflow_of(i),
+            };
+            run.stab(trace.packets[i].ts_us, |a| sink.push(a, id));
+        }
+        sink
+    });
+    let mut merged = HitSink::new(alarms.len());
+    for part in parts {
+        merged.absorb(part);
+    }
+    merged.finish()
+}
+
+/// The seed per-alarm engine, retained as the equivalence oracle for
+/// the inverted-index path: one packet-range scan per alarm. `FlowSet`
+/// scopes resolve their keys to dense uniflow ids once per *distinct*
+/// scope (detectors re-emit one flow set across windows), not once per
+/// alarm.
+pub fn extract_traffic_sequential(
+    view: &TraceView<'_>,
+    alarms: &[Alarm],
+    granularity: Granularity,
+) -> Vec<Vec<u32>> {
+    let mut scope_slots: HashMap<&[FlowKey], usize> = HashMap::new();
+    let mut resolved: Vec<HashSet<u32>> = Vec::new();
+    let slots: Vec<Option<usize>> = alarms
+        .iter()
+        .map(|a| match &a.scope {
+            AlarmScope::FlowSet(keys) => {
+                Some(*scope_slots.entry(keys.as_slice()).or_insert_with(|| {
+                    resolved.push(
+                        keys.iter()
+                            .filter_map(|k| view.flows.find_uniflow(k))
+                            .collect(),
+                    );
+                    resolved.len() - 1
+                }))
+            }
+            _ => None,
+        })
+        .collect();
     alarms
         .iter()
-        .map(|a| extract_one(view, a, granularity))
+        .zip(&slots)
+        .map(|(a, slot)| extract_one(view, a, granularity, slot.map(|s| &resolved[s])))
         .collect()
 }
 
-fn extract_one(view: &TraceView<'_>, alarm: &Alarm, granularity: Granularity) -> Vec<u32> {
+fn extract_one(
+    view: &TraceView<'_>,
+    alarm: &Alarm,
+    granularity: Granularity,
+    flow_ids: Option<&HashSet<u32>>,
+) -> Vec<u32> {
     let trace = view.trace;
     let range = trace.packet_range(&alarm.window);
-
-    // FlowSet scopes pre-resolve their keys to dense flow ids so the
-    // per-packet test is O(1) instead of O(|keys|).
-    let flow_ids: Option<HashSet<u32>> = match &alarm.scope {
-        AlarmScope::FlowSet(keys) => Some(
-            keys.iter()
-                .filter_map(|k| view.flows.find_uniflow(k))
-                .collect(),
-        ),
-        _ => None,
-    };
 
     let mut set: HashSet<u32> = HashSet::new();
     for i in range {
         let p = &trace.packets[i];
-        let matched = match (&alarm.scope, &flow_ids) {
+        let matched = match (&alarm.scope, flow_ids) {
             (AlarmScope::FlowSet(_), Some(ids)) => ids.contains(&view.flows.uniflow_of(i)),
             (scope, _) => scope.matches(p),
         };

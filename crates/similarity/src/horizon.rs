@@ -24,16 +24,23 @@
 //! equivalence suite pins against the two-pass oracle.
 //!
 //! [`finalize`](HorizonExtractor::finalize) resolves the finished
-//! alarm set against both stores: retired flows are matched once per
-//! (flow, alarm) pair with a binary search over the time run —
-//! `O(flows × alarms)` scope tests instead of `O(packets × alarms)` —
-//! while still-fresh chunks replay the exact per-packet loop of the
+//! alarm set against both stores through the inverted
+//! [`AlarmIndex`](crate::index): each retired flow resolves its
+//! candidate alarms with a handful of hash probes and a time stab —
+//! `O(flows)` index probes instead of `O(flows × alarms)` scope
+//! tests — then binary-searches its time run per surviving window,
+//! while still-fresh chunks replay the per-record probe of the
 //! two-pass extractor. The union is provably the same set of
-//! `(alarm, unit)` hits either path would produce.
+//! `(alarm, unit)` hits the seed per-alarm scan would produce.
 
-use mawilab_detectors::{Alarm, AlarmScope};
+use crate::index::{AlarmIndex, HitSink, KeyMemo};
+use mawilab_detectors::Alarm;
 use mawilab_model::{FlowKey, Packet, TimeWindow};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::ops::Range;
+
+/// Retired flows per shard of the finalize fan-out.
+const FLOW_SHARD: usize = 1 << 12;
 
 /// One banked packet: everything alarm matching can ever ask about.
 #[derive(Debug, Clone, Copy)]
@@ -43,12 +50,11 @@ struct RawRecord {
     id: u32,
 }
 
-/// A not-yet-retired chunk: raw records plus the span the two-pass
-/// extractor would prefilter alarms with.
+/// A not-yet-retired chunk of raw records. Matching only ever tests a
+/// record's own timestamp, so the chunk needs no prefilter span.
 #[derive(Debug)]
 struct RawChunk {
     window: TimeWindow,
-    span: TimeWindow,
     records: Vec<RawRecord>,
 }
 
@@ -137,14 +143,8 @@ impl HorizonExtractor {
     /// the same contract as the two-pass extractor's `observe`.
     pub fn observe(&mut self, chunk_window: TimeWindow, packets: &[Packet], ids: &[u32]) {
         assert_eq!(packets.len(), ids.len(), "one id per packet required");
-        // Span over the packets actually present (stragglers fold into
-        // chunks whose nominal window doesn't contain them), exactly
-        // like the two-pass extractor's prefilter span.
-        let mut span = chunk_window;
         let mut records = Vec::with_capacity(packets.len());
         for (p, &id) in packets.iter().zip(ids) {
-            span.start_us = span.start_us.min(p.ts_us);
-            span.end_us = span.end_us.max(p.ts_us + 1);
             records.push(RawRecord {
                 key: FlowKey::of(p),
                 ts_us: p.ts_us,
@@ -153,7 +153,6 @@ impl HorizonExtractor {
         }
         self.fresh.push_back(RawChunk {
             window: chunk_window,
-            span,
             records,
         });
         self.high_water_us = self.high_water_us.max(chunk_window.end_us);
@@ -182,91 +181,72 @@ impl HorizonExtractor {
     }
 
     /// Resolves the finished alarm set against everything banked.
+    ///
+    /// Matching runs on the inverted [`AlarmIndex`](crate::index):
+    /// each retired flow resolves its candidate alarms with a handful
+    /// of hash probes (instead of one scope test per alarm), stabs the
+    /// candidates with its run span, and binary-searches the run per
+    /// surviving window. The retired store is sharded through
+    /// `mawilab-exec`; hash-map shard order varies but the final
+    /// per-alarm sort + dedup makes the output canonical at any thread
+    /// count.
     pub fn finalize(mut self, alarms: &[Alarm]) -> HorizonTraffic {
         self.stats.fresh_chunks = self.fresh.len();
         self.stats.fresh_records = self.fresh_records();
         self.stats.retired_flows = self.retired.len();
 
-        // FlowSet scopes resolve to hash sets once, as in the two-pass
-        // extractor.
-        let flowset_keys: Vec<Option<HashSet<FlowKey>>> = alarms
-            .iter()
-            .map(|a| match &a.scope {
-                AlarmScope::FlowSet(keys) => Some(keys.iter().copied().collect()),
-                _ => None,
-            })
-            .collect();
-        let scope_hits = |ai: usize, key: &FlowKey| match &flowset_keys[ai] {
-            Some(keys) => keys.contains(key),
-            None => alarms[ai].scope.matches_key(key),
-        };
-        let mut sets: Vec<HashSet<u32>> = vec![HashSet::new(); alarms.len()];
-        let mut matched: HashSet<u32> = HashSet::new();
+        let index = AlarmIndex::new(alarms);
 
-        // Retired store: one scope test per (flow, alarm), then a
-        // binary search narrows the flow's run to the alarm window.
-        // Map iteration order varies, but only HashSet insertions
-        // happen here — the sorted output below is deterministic.
-        for (key, run) in &mut self.retired {
+        // Retired store: sort any out-of-order runs, then shard.
+        let mut retired: Vec<(FlowKey, FlowRun)> = self.retired.drain().collect();
+        for (_, run) in &mut retired {
             if !run.sorted {
                 run.hits.sort_unstable();
                 run.hits.dedup();
             }
-            let (first_ts, last_ts) = match (run.hits.first(), run.hits.last()) {
-                (Some(&(f, _)), Some(&(l, _))) => (f, l),
-                _ => continue,
-            };
-            for (ai, alarm) in alarms.iter().enumerate() {
-                if last_ts < alarm.window.start_us
-                    || first_ts >= alarm.window.end_us
-                    || !scope_hits(ai, key)
-                {
-                    continue;
-                }
-                let from = run
-                    .hits
-                    .partition_point(|&(ts, _)| ts < alarm.window.start_us);
-                for &(ts, id) in &run.hits[from..] {
-                    if ts >= alarm.window.end_us {
-                        break;
-                    }
-                    sets[ai].insert(id);
-                    matched.insert(id);
-                }
-            }
         }
-
-        // Fresh chunks: the exact per-record loop of the two-pass
-        // extractor, keys instead of packets.
-        let mut active: Vec<u32> = Vec::new();
-        for chunk in &self.fresh {
-            active.clear();
-            active.extend(
-                alarms
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, a)| a.window.overlaps(&chunk.span))
-                    .map(|(i, _)| i as u32),
-            );
-            for r in &chunk.records {
-                for &ai in &active {
-                    let ai = ai as usize;
-                    if alarms[ai].window.contains(r.ts_us) && scope_hits(ai, &r.key) {
-                        sets[ai].insert(r.id);
-                        matched.insert(r.id);
-                    }
-                }
-            }
-        }
-
-        let traffic = sets
-            .into_iter()
-            .map(|s| {
-                let mut v: Vec<u32> = s.into_iter().collect();
-                v.sort_unstable();
-                v
-            })
+        let shards: Vec<Range<usize>> = (0..retired.len())
+            .step_by(FLOW_SHARD)
+            .map(|s| s..(s + FLOW_SHARD).min(retired.len()))
             .collect();
+        let parts: Vec<HitSink> = mawilab_exec::par_map(&shards, |range| {
+            let mut sink = HitSink::new(alarms.len());
+            for (key, run) in &retired[range.clone()] {
+                let (first_ts, last_ts) = match (run.hits.first(), run.hits.last()) {
+                    (Some(&(f, _)), Some(&(l, _))) => (f, l),
+                    _ => continue,
+                };
+                let candidates = index.candidates_for(key);
+                candidates.stab_span(first_ts, last_ts, |ai| {
+                    let w = &alarms[ai as usize].window;
+                    let from = run.hits.partition_point(|&(ts, _)| ts < w.start_us);
+                    for &(ts, id) in &run.hits[from..] {
+                        if ts >= w.end_us {
+                            break;
+                        }
+                        sink.push(ai, id);
+                    }
+                });
+            }
+            sink
+        });
+        let mut sink = HitSink::new(alarms.len());
+        for part in parts {
+            sink.absorb(part);
+        }
+
+        // Fresh chunks: the per-record probe of the two-pass
+        // extractor, keys instead of packets, memoized per flow.
+        let mut memo = KeyMemo::default();
+        for chunk in &self.fresh {
+            for r in &chunk.records {
+                let run = memo.run_for(&index, &r.key);
+                run.stab(r.ts_us, |ai| sink.push(ai, r.id));
+            }
+        }
+
+        let traffic = sink.finish();
+        let matched: HashSet<u32> = traffic.iter().flatten().copied().collect();
         HorizonTraffic {
             traffic,
             matched,
@@ -279,7 +259,7 @@ impl HorizonExtractor {
 mod tests {
     use super::*;
     use crate::streaming::StreamingExtractor;
-    use mawilab_detectors::{DetectorKind, Tuning};
+    use mawilab_detectors::{AlarmScope, DetectorKind, Tuning};
     use mawilab_model::{
         Granularity, ItemIndex, PacketSource, TcpFlags, Trace, TraceChunker, TraceDate, TraceMeta,
         TrafficRule,

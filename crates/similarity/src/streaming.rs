@@ -1,34 +1,36 @@
 //! Streaming traffic extraction: alarms → traffic id sets, one chunk
 //! at a time.
 //!
-//! The batch extractor ([`crate::extractor`]) walks the materialised
-//! trace once per alarm via the packet→flow index. The streaming
-//! extractor inverts that: packets arrive chunk by chunk (second pass
-//! of the streaming pipeline, after the detectors produced the
-//! alarms), each packet is tested against the alarms whose windows
-//! overlap the chunk, and matching traffic-unit ids accumulate per
-//! alarm. Ids come from a [`mawilab_model::ItemIndex`] driven in
+//! Packets arrive chunk by chunk (second pass of the streaming
+//! pipeline, after the detectors produced the alarms); each packet
+//! resolves its flow's candidate alarms through the inverted
+//! [`AlarmIndex`](crate::index) — memoized per distinct key — and
+//! matching traffic-unit ids accumulate per alarm as sorted-run
+//! dedup. Ids come from a [`mawilab_model::ItemIndex`] driven in
 //! stream order, which assigns exactly the ids a batch
 //! [`mawilab_model::FlowTable`] would — so the resulting sets are
 //! byte-identical to [`extract_traffic`]'s and everything downstream
 //! (graph, Louvain, votes, labels) is oblivious to how the trace was
 //! ingested.
 
-use mawilab_detectors::{Alarm, AlarmScope};
+use crate::index::{AlarmIndex, HitSink, KeyMemo};
+use mawilab_detectors::Alarm;
 use mawilab_model::{FlowKey, Packet, TimeWindow};
-use std::collections::HashSet;
 
 /// Accumulates per-alarm traffic id sets from a chunked packet
 /// stream.
+///
+/// Internally this is the inverted [`AlarmIndex`](crate::index):
+/// candidate alarms resolve once per distinct flow key (memoized
+/// across chunks), each packet stabs its flow's candidate run with its
+/// own timestamp, and hits accumulate as sorted-run dedup instead of
+/// per-hit hashing. Output is byte-identical to the seed per-alarm
+/// scan — `tests/kernel_equivalence.rs` pins it against
+/// [`extract_traffic_sequential`](crate::extract_traffic_sequential).
 pub struct StreamingExtractor<'a> {
-    alarms: &'a [Alarm],
-    /// Pre-resolved key sets for `FlowSet` scopes (O(1) per-packet
-    /// membership instead of O(|keys|)).
-    flowset_keys: Vec<Option<HashSet<FlowKey>>>,
-    sets: Vec<HashSet<u32>>,
-    /// Scratch: alarm indices whose window overlaps the current
-    /// chunk.
-    active: Vec<u32>,
+    index: AlarmIndex<'a>,
+    memo: KeyMemo,
+    sink: HitSink,
     /// Scratch: per-packet "matched ≥1 alarm" flags of the last
     /// observed chunk.
     matched: Vec<bool>,
@@ -37,18 +39,10 @@ pub struct StreamingExtractor<'a> {
 impl<'a> StreamingExtractor<'a> {
     /// Prepares extraction for one alarm set.
     pub fn new(alarms: &'a [Alarm]) -> Self {
-        let flowset_keys = alarms
-            .iter()
-            .map(|a| match &a.scope {
-                AlarmScope::FlowSet(keys) => Some(keys.iter().copied().collect()),
-                _ => None,
-            })
-            .collect();
         StreamingExtractor {
-            alarms,
-            flowset_keys,
-            sets: vec![HashSet::new(); alarms.len()],
-            active: Vec::new(),
+            index: AlarmIndex::new(alarms),
+            memo: KeyMemo::default(),
+            sink: HitSink::new(alarms.len()),
             matched: Vec::new(),
         }
     }
@@ -57,51 +51,37 @@ impl<'a> StreamingExtractor<'a> {
     /// traffic-unit id of `packets[i]` (from an `ItemIndex` driven in
     /// stream order). Returns per-packet flags: whether the packet
     /// matched at least one alarm.
+    ///
+    /// Chunks can carry pre-window stragglers, so only the packet's
+    /// own timestamp decides window membership — the nominal
+    /// `chunk_window` plays no role in matching.
     pub fn observe(
         &mut self,
         chunk_window: TimeWindow,
         packets: &[Packet],
         ids: &[u32],
     ) -> &[bool] {
+        let _ = chunk_window;
         assert_eq!(packets.len(), ids.len(), "one id per packet required");
-        // The active-alarm prefilter must span the packets actually
-        // present, not just the nominal bin: sources fold jittered
-        // stragglers (and pre-window timestamps) into a chunk whose
-        // window does not contain them, and an alarm ending before
-        // the bin still owns those packets.
-        let mut span = chunk_window;
-        for p in packets {
-            span.start_us = span.start_us.min(p.ts_us);
-            span.end_us = span.end_us.max(p.ts_us + 1);
-        }
-        self.active.clear();
-        self.active.extend(
-            self.alarms
-                .iter()
-                .enumerate()
-                .filter(|(_, a)| a.window.overlaps(&span))
-                .map(|(i, _)| i as u32),
-        );
         self.matched.clear();
         self.matched.resize(packets.len(), false);
+        let StreamingExtractor {
+            index,
+            memo,
+            sink,
+            matched,
+        } = self;
         for (pi, (p, &id)) in packets.iter().zip(ids).enumerate() {
-            // Chunks can carry pre-window stragglers, so the packet's
-            // own timestamp is still tested against each alarm window.
-            let key = FlowKey::of(p);
-            for &ai in &self.active {
-                let alarm = &self.alarms[ai as usize];
-                if !alarm.window.contains(p.ts_us) {
-                    continue;
-                }
-                let hit = match &self.flowset_keys[ai as usize] {
-                    Some(keys) => keys.contains(&key),
-                    None => alarm.scope.matches(p),
-                };
-                if hit {
-                    self.sets[ai as usize].insert(id);
-                    self.matched[pi] = true;
-                }
+            let run = memo.run_for(index, &FlowKey::of(p));
+            if run.is_empty() {
+                continue;
             }
+            let mut any = false;
+            run.stab(p.ts_us, |a| {
+                sink.push(a, id);
+                any = true;
+            });
+            matched[pi] = any;
         }
         &self.matched
     }
@@ -110,14 +90,7 @@ impl<'a> StreamingExtractor<'a> {
     /// alarm, in alarm order — the same shape the batch extractor
     /// returns.
     pub fn into_traffic(self) -> Vec<Vec<u32>> {
-        self.sets
-            .into_iter()
-            .map(|s| {
-                let mut v: Vec<u32> = s.into_iter().collect();
-                v.sort_unstable();
-                v
-            })
-            .collect()
+        self.sink.finish()
     }
 }
 
@@ -125,7 +98,7 @@ impl<'a> StreamingExtractor<'a> {
 mod tests {
     use super::*;
     use crate::extractor::extract_traffic;
-    use mawilab_detectors::{DetectorKind, TraceView, Tuning};
+    use mawilab_detectors::{AlarmScope, DetectorKind, TraceView, Tuning};
     use mawilab_model::{
         FlowTable, Granularity, ItemIndex, PacketSource, TcpFlags, Trace, TraceChunker, TraceDate,
         TraceMeta, TrafficRule,

@@ -67,6 +67,20 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{}\nassertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
 }
 
 #[macro_export]
