@@ -25,11 +25,20 @@
 //! cargo run --release -p mawilab-bench --bin archive -- --smoke           # tiny CI pass
 //! cargo run --release -p mawilab-bench --bin archive -- --smoke --days 6  # month-smoke
 //! cargo run --release -p mawilab-bench --bin archive -- --smoke --verify-oracle
+//! cargo run --release -p mawilab-bench --bin archive -- --months --warm 0.35
+//! cargo run --release -p mawilab-bench --bin archive -- --smoke --warm --verify-cold
 //! ```
+//!
+//! `--warm [DECAY]` additionally runs the sweep **warm** — days run
+//! sequentially, each starting from the previous day's detector
+//! baselines and communities — and reports the cold/warm comparison
+//! in the JSON's `warm` block. `--verify-cold` reruns the warm sweep
+//! at `decay = 0` and asserts it is byte-identical to the cold sweep.
 
 use mawilab_bench::archive::{
     collect_archive, collect_archive_two_pass, default_month_days, default_sweep_start,
     deterministic_view, month_sweep_days, run_archive_bench, smoke_archive_days, ArchiveBenchArgs,
+    DEFAULT_WARM_DECAY,
 };
 use mawilab_model::TraceDate;
 
@@ -62,7 +71,7 @@ fn main() {
     let mut months = false;
     let mut verify_oracle = false;
     let mut from: Option<TraceDate> = None;
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--scale" => {
@@ -83,6 +92,18 @@ fn main() {
             "--from" => from = Some(parse_date(&it.next().expect("bad --from"))),
             "--smoke" => smoke = true,
             "--verify-oracle" => verify_oracle = true,
+            "--warm" => {
+                // Optional decay operand: `--warm 0.5` or bare
+                // `--warm` (default decay).
+                args.warm_decay = Some(match it.peek().and_then(|v| v.parse::<f64>().ok()) {
+                    Some(d) => {
+                        it.next();
+                        d
+                    }
+                    None => DEFAULT_WARM_DECAY,
+                });
+            }
+            "--verify-cold" => args.verify_cold = true,
             other => eprintln!("ignoring unknown flag {other}"),
         }
     }
@@ -110,6 +131,10 @@ fn main() {
         // Seconds-scale CI pass at low volume unless the caller picked
         // a scale explicitly.
         args.scale = 0.25;
+    }
+    if args.verify_cold && args.warm_decay.is_none() {
+        // Verifying the warm path implies running it.
+        args.warm_decay = Some(DEFAULT_WARM_DECAY);
     }
     if verify_oracle {
         // Run the same sweep through both ingest paths and compare

@@ -9,7 +9,7 @@
 use mawilab_combiner::Decision;
 use mawilab_core::{
     MawilabPipeline, OnlinePipeline, PipelineConfig, PipelineReport, StrategyKind,
-    StreamingPipeline, StreamingReport,
+    StreamingPipeline, StreamingReport, WarmState,
 };
 use mawilab_detectors::TraceView;
 use mawilab_label::LabeledWindow;
@@ -253,6 +253,79 @@ where
     })
 }
 
+/// The **warm** form of [`run_days_streaming`]: days run
+/// **sequentially, in date order**, threading one
+/// [`WarmState`](mawilab_core::WarmState) through the whole sweep so
+/// each day starts from the previous day's detector baselines and
+/// communities (see [`OnlinePipeline::run_warm`]). Sequencing is
+/// inherent — day *k+1*'s input *is* day *k*'s output — so this path
+/// gives up the cold sweep's day-level fan-out and must win on
+/// per-day algorithmic savings instead.
+///
+/// With `warm.decay() == 0.0` every day is an exact cold start and
+/// the sweep's labels are byte-identical to [`run_days_streaming`] —
+/// the archive bench's `--verify-cold` flag checks exactly that.
+///
+/// A failed day is reported as `Err(DayFailure)` and the sweep
+/// continues; the warm state simply carries the last completed day's
+/// baselines across the gap (same policy as a real service skipping
+/// a corrupt pcap).
+pub fn run_days_streaming_warm<T, F>(
+    days: &[TraceDate],
+    scale: f64,
+    chunk_us: u64,
+    pipeline_config: PipelineConfig,
+    warm: &mut WarmState,
+    mut reduce: F,
+) -> Vec<Result<T, DayFailure>>
+where
+    F: FnMut(&StreamingDayContext<'_>) -> T,
+{
+    let sim = ArchiveSimulator::new(ArchiveConfig {
+        scale,
+        ..Default::default()
+    });
+    let pipeline = OnlinePipeline::new(pipeline_config.clone());
+    let mut out = Vec::with_capacity(days.len());
+    for (done, &date) in days.iter().enumerate() {
+        let generator = TraceGenerator::new(sim.config_for(date));
+        let t0 = std::time::Instant::now();
+        let source = generator.stream(chunk_us);
+        let records = source.records().to_vec();
+        let gen_wall = t0.elapsed();
+        let mut collector = StreamTruthCollector::new(pipeline_config.granularity);
+        let t0 = std::time::Instant::now();
+        let online = {
+            let tap = TapSource::new(source, &mut collector);
+            let mut sealed = NoRewindSource::new(tap);
+            match pipeline.run_warm(&mut sealed, Some(warm)) {
+                Ok(online) => online,
+                Err(error) => {
+                    out.push(Err(DayFailure { date, error }));
+                    continue;
+                }
+            }
+        };
+        let wall = t0.elapsed();
+        let (item_ids, tags) = collector.into_parts();
+        let truth = GroundTruth::new(tags, records);
+        out.push(Ok(reduce(&StreamingDayContext {
+            date,
+            truth: &truth,
+            item_ids: &item_ids,
+            report: &online.report,
+            windows: &online.windows,
+            wall,
+            gen_wall,
+        })));
+        let d = done + 1;
+        if d.is_multiple_of(25) || d == days.len() {
+            eprintln!("  [{d}/{} days]", days.len());
+        }
+    }
+    out
+}
+
 /// The **two-pass oracle** form of [`run_days_streaming`]: the same
 /// sweep through the legacy [`StreamingPipeline`] (truth pre-pass,
 /// rewind, detection pass, rewind, extraction pass). Kept as the
@@ -394,6 +467,59 @@ mod tests {
         .map(|day| day.expect("synthetic day cannot fail"))
         .collect();
         assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn warm_sweep_at_zero_decay_matches_cold_sweep() {
+        let days = first_days_of_month(2005, 6, 3);
+        let reduce = |ctx: &StreamingDayContext<'_>| {
+            (ctx.report.alarm_count(), ctx.report.decisions.clone())
+        };
+        let cold: Vec<_> = run_days_streaming(
+            &days,
+            0.3,
+            mawilab_model::DEFAULT_CHUNK_US,
+            PipelineConfig::default(),
+            reduce,
+        )
+        .into_iter()
+        .map(|day| day.expect("synthetic day cannot fail"))
+        .collect();
+        let mut warm = mawilab_core::WarmState::new(0.0);
+        let warmed: Vec<_> = run_days_streaming_warm(
+            &days,
+            0.3,
+            mawilab_model::DEFAULT_CHUNK_US,
+            PipelineConfig::default(),
+            &mut warm,
+            reduce,
+        )
+        .into_iter()
+        .map(|day| day.expect("synthetic day cannot fail"))
+        .collect();
+        assert_eq!(cold, warmed, "decay = 0 must be an exact cold start");
+        assert_eq!(warm.days(), 3);
+        assert_eq!(warm.seeded_days(), 0);
+    }
+
+    #[test]
+    fn warm_sweep_carries_state_between_days() {
+        let days = first_days_of_month(2005, 6, 2);
+        let mut warm = mawilab_core::WarmState::new(0.5);
+        let alarms: Vec<usize> = run_days_streaming_warm(
+            &days,
+            0.3,
+            mawilab_model::DEFAULT_CHUNK_US,
+            PipelineConfig::default(),
+            &mut warm,
+            |ctx| ctx.report.alarm_count(),
+        )
+        .into_iter()
+        .map(|day| day.expect("synthetic day cannot fail"))
+        .collect();
+        assert_eq!(alarms.len(), 2);
+        assert_eq!(warm.days(), 2);
+        assert!(warm.carried_signatures() > 0);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod benchmark;
 pub mod online;
 pub mod pipeline;
 pub mod streaming;
+pub mod warm;
 
 pub use benchmark::{benchmark_alarms, BenchmarkResult};
 pub use online::{OnlinePipeline, OnlineReport, DEFAULT_HORIZON_US, DEFAULT_LAG_US};
@@ -29,3 +30,4 @@ pub use pipeline::{
     LabeledReport, MawilabPipeline, PipelineConfig, PipelineReport, PipelineTimings, StrategyKind,
 };
 pub use streaming::{DrainStats, StreamStats, StreamingPipeline, StreamingReport};
+pub use warm::WarmState;

@@ -49,6 +49,7 @@
 
 use crate::pipeline::{LabeledReport, PipelineConfig, PipelineTimings};
 use crate::streaming::{DrainStats, StreamStats, StreamingReport, FANOUT_MIN_CHUNK_PACKETS};
+use crate::warm::WarmState;
 use mawilab_combiner::VoteTable;
 use mawilab_detectors::{
     finish_all, observe_all, standard_configurations, ChunkView, Detector, IncrementalDetector,
@@ -212,6 +213,20 @@ impl OnlinePipeline {
         &self,
         source: &mut S,
     ) -> Result<OnlineReport, SourceError> {
+        self.run_warm(source, None)
+    }
+
+    /// [`run`](Self::run) with day-over-day warm state: detector
+    /// baselines start from the carried priors
+    /// ([`warm_begin`](IncrementalDetector::warm_begin)), the Louvain
+    /// stage is seeded from yesterday's communities, and the finished
+    /// day's state is absorbed back for tomorrow. `None` — or warm
+    /// state with `decay == 0.0` — is the cold path, byte for byte.
+    pub fn run_warm<S: PacketSource + ?Sized>(
+        &self,
+        source: &mut S,
+        mut warm: Option<&mut WarmState>,
+    ) -> Result<OnlineReport, SourceError> {
         let meta = source.meta().clone();
         let origin_us = meta.window().start_us;
         let mut stats = StreamStats {
@@ -226,10 +241,19 @@ impl OnlinePipeline {
         // identical), while the extraction/labeling evidence is
         // banked alongside.
         let t0 = Instant::now();
+        if let Some(w) = warm.as_deref_mut() {
+            w.begin_day(meta.era);
+        }
         let mut incs: Vec<Box<dyn IncrementalDetector>> =
             self.detectors.iter().map(|d| d.incremental()).collect();
         for inc in &mut incs {
-            inc.begin(&meta);
+            match warm.as_deref() {
+                Some(w) => {
+                    let label = inc.label();
+                    inc.warm_begin(&meta, w.prior_for(&label), w.decay());
+                }
+                None => inc.begin(&meta),
+            }
         }
         let mut index = ItemIndex::new(self.config.granularity);
         let mut evidence = CommunityEvidence::new(self.config.granularity);
@@ -254,6 +278,12 @@ impl OnlinePipeline {
             seals.advance(chunk.window.end_us);
         }
         let alarms = finish_all(&mut incs);
+        if let Some(w) = warm.as_deref_mut() {
+            for inc in &mut incs {
+                let label = inc.label();
+                w.absorb_prior(label, inc.export_prior());
+            }
+        }
         drop(incs);
         stats.drains = vec![drain];
         let detect = t0.elapsed();
@@ -268,11 +298,21 @@ impl OnlinePipeline {
         let horizon_stats = resolved.stats;
         let extract = t1.elapsed();
 
-        // Steps 2–4: unchanged batch code, same as the two-pass path.
-        let (communities, mining) = self
-            .config
-            .estimator()
-            .estimate_from_traffic_timed(alarms, resolved.traffic);
+        // Steps 2–4: same batch code as the two-pass path. Warm state
+        // only *seeds* Louvain — the similarity graph itself is built
+        // exactly as in the cold path, so the fixed point refinement
+        // converges to is still a cold-reachable partition. At zero
+        // decay (or no warm state) the seed is `None` and the cold
+        // path runs, byte for byte.
+        let seed = warm.as_deref_mut().and_then(|w| w.seed_for(&alarms));
+        let (communities, mining) = self.config.estimator().estimate_from_traffic_seeded(
+            alarms,
+            resolved.traffic,
+            seed.as_ref(),
+        );
+        if let Some(w) = warm {
+            w.absorb_day(&communities);
+        }
 
         let t2 = Instant::now();
         let votes = VoteTable::from_communities(&communities);
@@ -453,6 +493,57 @@ mod tests {
         assert!(online.max_sealed_latency_us() <= lag + DEFAULT_CHUNK_US);
         // The trailing lag's worth of windows seals at stream end.
         assert!(online.windows.iter().any(|w| w.sealed_by_finish));
+    }
+
+    #[test]
+    fn warm_run_at_zero_decay_matches_cold_run() {
+        let lt = small_trace();
+        let config = PipelineConfig::default();
+        let mut cold_source = TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US);
+        let cold = OnlinePipeline::new(config.clone())
+            .run(&mut cold_source)
+            .unwrap();
+
+        let mut warm_state = WarmState::new(0.0);
+        let mut source = TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US);
+        let warm = OnlinePipeline::new(config)
+            .run_warm(&mut source, Some(&mut warm_state))
+            .unwrap();
+
+        assert_eq!(
+            warm.report.communities.alarms,
+            cold.report.communities.alarms
+        );
+        assert_eq!(
+            warm.report.communities.partition,
+            cold.report.communities.partition
+        );
+        assert_eq!(warm.report.votes, cold.report.votes);
+        assert_eq!(warm.report.decisions, cold.report.decisions);
+        assert_eq!(warm_state.days(), 1);
+        assert_eq!(warm_state.seeded_days(), 0, "zero decay must never seed");
+        assert_eq!(warm_state.carried_signatures(), 0);
+    }
+
+    #[test]
+    fn warm_state_carries_priors_and_communities_across_days() {
+        let config = PipelineConfig::default();
+        let pipeline = OnlinePipeline::new(config);
+        let mut warm = WarmState::new(0.5);
+        for seed in [99u64, 100] {
+            let lt = TraceGenerator::new(SynthConfig::default().with_seed(seed)).generate();
+            let mut source = TraceChunker::new(lt.trace.clone(), DEFAULT_CHUNK_US);
+            pipeline.run_warm(&mut source, Some(&mut warm)).unwrap();
+        }
+        assert_eq!(warm.days(), 2);
+        assert!(
+            warm.carried_signatures() > 0,
+            "an alarming day must leave a community carry"
+        );
+        assert!(
+            warm.prior_for("PCA/optimal").is_some(),
+            "PCA baselines must be carried"
+        );
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Day-over-day warm state for archive sweeps.
+//!
+//! The MAWILab service labels consecutive archive days of the *same*
+//! link; consecutive days share detector baselines (the link's normal
+//! traffic changes slowly) and recurring anomalies (a worm scanning
+//! on day *k* usually still scans on day *k+1*). A cold sweep throws
+//! that continuity away and re-estimates everything per day.
+//! [`WarmState`] carries three things from day *k* into day *k+1*:
+//!
+//! 1. **Detector baselines** — each configuration's exported
+//!    [`DetectorPrior`] (PCA energy statistics, Gamma fit
+//!    trajectories, KL reference spreads), blended into the next
+//!    day's estimates with exponential decay (see
+//!    [`mawilab_detectors::warm`]);
+//! 2. **Communities** — yesterday's Louvain partition, projected
+//!    through alarm signatures onto today's alarms as a seed for
+//!    [`louvain_seeded`](mawilab_graph::louvain_seeded);
+//! 3. **Era bookkeeping** — all carried state resets when the
+//!    [`LinkEra`] changes (the 2006-07-01 CAR→100 Mbps upgrade
+//!    changes the link's normal traffic wholesale; yesterday's
+//!    baselines describe a different link).
+//!
+//! `decay == 0.0` disables every carried influence: a warm sweep at
+//! zero decay is byte-identical to the cold sweep, which
+//! `tests/warm_equivalence.rs` pins and the archive bench's
+//! `--verify-cold` flag re-checks end to end.
+
+use mawilab_detectors::{Alarm, DetectorPrior};
+use mawilab_model::LinkEra;
+use mawilab_similarity::{AlarmCommunities, Partition};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Signature under which an alarm is matched day-over-day: raising
+/// configuration plus traffic scope, *excluding* the time window
+/// (the same anomaly recurs at different times each day).
+fn alarm_signature(alarm: &Alarm) -> String {
+    format!("{}/{}/{}", alarm.detector, alarm.tuning, alarm.scope)
+}
+
+/// Carried state of a warm archive sweep. One instance lives across
+/// the whole sweep; the harness calls
+/// [`OnlinePipeline::run_warm`](crate::OnlinePipeline::run_warm) with
+/// it once per day, in date order.
+#[derive(Debug, Clone)]
+pub struct WarmState {
+    decay: f64,
+    era: Option<LinkEra>,
+    /// Detector baselines, keyed by configuration label
+    /// (`"PCA/optimal"` …). A configuration that exports `None`
+    /// (quiet day, no warm support) keeps its previous prior.
+    priors: BTreeMap<String, DetectorPrior>,
+    /// Yesterday's carry **slot** (= alarm index in yesterday's run)
+    /// and community of each alarm signature.
+    carry: BTreeMap<String, (u32, usize)>,
+    days: u64,
+    resets: u64,
+    seeded_days: u64,
+}
+
+impl WarmState {
+    /// Creates warm state with the given exponential decay
+    /// `0.0 ≤ decay < 1.0`. A prior from `j` days ago enters today's
+    /// baselines with weight `decay^j`; `0.0` makes every day an
+    /// exact cold start.
+    pub fn new(decay: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&decay),
+            "decay must be in [0, 1), got {decay}"
+        );
+        WarmState {
+            decay,
+            era: None,
+            priors: BTreeMap::new(),
+            carry: BTreeMap::new(),
+            days: 0,
+            resets: 0,
+            seeded_days: 0,
+        }
+    }
+
+    /// The configured decay.
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    /// Days absorbed so far.
+    pub fn days(&self) -> u64 {
+        self.days
+    }
+
+    /// Era-boundary resets performed so far.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Days whose Louvain stage actually ran from a carried seed.
+    pub fn seeded_days(&self) -> u64 {
+        self.seeded_days
+    }
+
+    /// Number of alarm signatures currently carried.
+    pub fn carried_signatures(&self) -> usize {
+        self.carry.len()
+    }
+
+    /// Starts a day in the given link era. Crossing an era boundary
+    /// drops **all** carried state — the upgraded link's normal
+    /// traffic invalidates the old baselines.
+    pub fn begin_day(&mut self, era: LinkEra) {
+        if self.era.is_some_and(|prev| prev != era) {
+            self.priors.clear();
+            self.carry.clear();
+            self.resets += 1;
+        }
+        self.era = Some(era);
+    }
+
+    /// The carried prior for a configuration label, if any.
+    pub fn prior_for(&self, label: &str) -> Option<&DetectorPrior> {
+        self.priors.get(label)
+    }
+
+    /// Records a configuration's exported baseline. `None` (no warm
+    /// support, or an empty day) keeps the previous prior so a quiet
+    /// day does not forget the link.
+    pub fn absorb_prior(&mut self, label: String, prior: Option<DetectorPrior>) {
+        if let Some(p) = prior {
+            self.priors.insert(label, p);
+        }
+    }
+
+    /// Matches today's alarms against the carried identity table:
+    /// `Some(slot)` for an alarm whose signature was raised yesterday,
+    /// `None` for a new one. Each carry slot is used at most once
+    /// (first occurrence wins), so a signature raised twice today has
+    /// its second alarm treated as new — its pairs get rediscovered
+    /// exactly instead of sharing a stale carried edge set.
+    pub fn match_today(&self, alarms: &[Alarm]) -> Vec<Option<u32>> {
+        let mut used: BTreeSet<u32> = BTreeSet::new();
+        alarms
+            .iter()
+            .map(|alarm| {
+                let (slot, _) = self.carry.get(&alarm_signature(alarm))?;
+                used.insert(*slot).then_some(*slot)
+            })
+            .collect()
+    }
+
+    /// Projects yesterday's communities through a
+    /// [`match_today`](Self::match_today) result as a Louvain seed:
+    /// matched alarms start in their slot's carried community (densely
+    /// renumbered, first-appearance order); unmatched alarms start as
+    /// singletons. Returns `None` when there is nothing to seed from
+    /// (zero decay or zero matches) — the caller then runs cold.
+    pub fn seed_from(&mut self, matched: &[Option<u32>]) -> Option<Partition> {
+        if self.decay <= 0.0 || matched.iter().all(Option::is_none) {
+            return None;
+        }
+        let communities: BTreeMap<u32, usize> =
+            self.carry.values().map(|&(slot, c)| (slot, c)).collect();
+        let mut remap: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut labels = Vec::with_capacity(matched.len());
+        let mut next = 0usize;
+        for m in matched {
+            match m.and_then(|slot| communities.get(&slot)) {
+                Some(&community) => {
+                    let id = *remap.entry(community).or_insert_with(|| {
+                        let id = next;
+                        next += 1;
+                        id
+                    });
+                    labels.push(id);
+                }
+                None => {
+                    labels.push(next);
+                    next += 1;
+                }
+            }
+        }
+        self.seeded_days += 1;
+        Some(Partition::from_labels(labels))
+    }
+
+    /// [`match_today`](Self::match_today) +
+    /// [`seed_from`](Self::seed_from) in one call, for callers that
+    /// only want the Louvain seed.
+    pub fn seed_for(&mut self, alarms: &[Alarm]) -> Option<Partition> {
+        let matched = self.match_today(alarms);
+        self.seed_from(&matched)
+    }
+
+    /// Absorbs a finished day's communities: the carry table becomes
+    /// today's signature → (slot, community) map — slots are today's
+    /// alarm indices. A signature raised twice keeps its first
+    /// alarm's slot (matching
+    /// [`match_today`](Self::match_today)'s first-occurrence rule).
+    pub fn absorb_day(&mut self, communities: &AlarmCommunities) {
+        self.days += 1;
+        if self.decay <= 0.0 {
+            return;
+        }
+        self.carry.clear();
+        for (i, a) in communities.alarms.iter().enumerate() {
+            self.carry
+                .entry(alarm_signature(a))
+                .or_insert((i as u32, communities.partition.of(i)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mawilab_detectors::{AlarmScope, DetectorKind, KlPrior, Tuning};
+    use mawilab_model::{TimeWindow, TraceDate};
+    use std::net::Ipv4Addr;
+
+    fn alarm(detector: DetectorKind, tuning: Tuning, host: u8) -> Alarm {
+        Alarm {
+            detector,
+            tuning,
+            window: TimeWindow::new(0, 1_000_000),
+            scope: AlarmScope::SrcHost(Ipv4Addr::new(10, 0, 0, host)),
+            score: 1.0,
+        }
+    }
+
+    fn kl_prior() -> DetectorPrior {
+        DetectorPrior::Kl(KlPrior {
+            features: vec![(1.0, 0.5)],
+        })
+    }
+
+    #[test]
+    fn era_boundary_drops_all_carried_state() {
+        let mut w = WarmState::new(0.5);
+        w.begin_day(LinkEra::for_date(TraceDate::new(2006, 6, 30)));
+        w.absorb_prior("KL/optimal".into(), Some(kl_prior()));
+        w.carry.insert("x".into(), (0, 0));
+        assert!(w.prior_for("KL/optimal").is_some());
+
+        // Same era: state survives.
+        w.begin_day(LinkEra::for_date(TraceDate::new(2006, 6, 30)));
+        assert!(w.prior_for("KL/optimal").is_some());
+        assert_eq!(w.resets(), 0);
+
+        // 2006-07-01 upgrade: everything resets.
+        w.begin_day(LinkEra::for_date(TraceDate::new(2006, 7, 1)));
+        assert!(w.prior_for("KL/optimal").is_none());
+        assert_eq!(w.carried_signatures(), 0);
+        assert_eq!(w.resets(), 1);
+    }
+
+    #[test]
+    fn zero_decay_never_seeds() {
+        let mut w = WarmState::new(0.0);
+        w.carry.insert(
+            alarm_signature(&alarm(DetectorKind::Pca, Tuning::Optimal, 1)),
+            (0, 0),
+        );
+        let alarms = vec![alarm(DetectorKind::Pca, Tuning::Optimal, 1)];
+        assert!(w.seed_for(&alarms).is_none());
+    }
+
+    #[test]
+    fn seed_projects_carried_communities_and_isolates_new_alarms() {
+        let mut w = WarmState::new(0.5);
+        let a = alarm(DetectorKind::Pca, Tuning::Optimal, 1);
+        let b = alarm(DetectorKind::Gamma, Tuning::Sensitive, 2);
+        let c = alarm(DetectorKind::Kl, Tuning::Conservative, 3);
+        // Yesterday: a and b shared community 7, c unseen.
+        w.carry.insert(alarm_signature(&a), (0, 7));
+        w.carry.insert(alarm_signature(&b), (1, 7));
+        let seed = w.seed_for(&[c.clone(), a.clone(), b.clone()]).unwrap();
+        // c is a fresh singleton; a and b share a seeded community.
+        assert_eq!(seed.of(1), seed.of(2));
+        assert_ne!(seed.of(0), seed.of(1));
+        assert_eq!(seed.community_count(), 2);
+        assert_eq!(w.seeded_days(), 1);
+
+        // No signature overlap → no seed at all.
+        let d = alarm(DetectorKind::Hough, Tuning::Optimal, 4);
+        assert!(w.seed_for(&[d]).is_none());
+    }
+
+    #[test]
+    fn absorb_prior_keeps_previous_on_none() {
+        let mut w = WarmState::new(0.25);
+        w.absorb_prior("KL/optimal".into(), Some(kl_prior()));
+        w.absorb_prior("KL/optimal".into(), None);
+        assert_eq!(w.prior_for("KL/optimal"), Some(&kl_prior()));
+    }
+}

@@ -1,0 +1,89 @@
+//! Warm-start detector priors: exponentially-decaying baselines
+//! carried from one day to the next.
+//!
+//! The archive days are short (60 s synthetic windows), so the robust
+//! per-day baselines the detectors estimate — PCA residual-energy
+//! median/MAD plus per-coordinate spreads, Gamma reference
+//! trajectories, KL divergence-series median/MAD — are small-sample
+//! statistics with real day-to-day variance. A warm-started run blends
+//! today's estimate with yesterday's carried prior:
+//!
+//! ```text
+//! baseline = (1 − decay) · today + decay · prior
+//! ```
+//!
+//! and exports the blended value as tomorrow's prior, so a day that
+//! happened `j` days ago contributes weight `decay^j` — an EWMA over
+//! the day series. `decay = 0` reproduces the cold per-day estimate
+//! bit for bit (the blend is skipped entirely, not multiplied out), so
+//! the cold pipeline remains the byte-identity oracle for warm runs.
+//!
+//! Priors are *shape-checked* on use: a prior whose vector dimensions
+//! do not match today's accumulator layout (different sketch geometry,
+//! different trace length regime) is ignored rather than misapplied.
+
+/// One EWMA step: today's estimate pulled toward the carried prior.
+/// Callers must skip the call when no prior applies — `blend(x, p,
+/// 0.0)` is mathematically `x` but not guaranteed bitwise so.
+pub fn blend(today: f64, prior: f64, decay: f64) -> f64 {
+    (1.0 - decay) * today + decay * prior
+}
+
+/// A carried baseline for one detector configuration, exported by
+/// [`IncrementalDetector::export_prior`](crate::IncrementalDetector::export_prior)
+/// after a day finishes and fed to the next day via
+/// [`IncrementalDetector::warm_begin`](crate::IncrementalDetector::warm_begin).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectorPrior {
+    /// PCA residual baselines, per sketch row.
+    Pca(PcaPrior),
+    /// Gamma reference trajectories, per (direction, sketch row).
+    Gamma(GammaPrior),
+    /// KL divergence-series baselines, per monitored feature.
+    Kl(KlPrior),
+}
+
+/// PCA residual-energy and per-coordinate baselines for one sketch row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcaRowPrior {
+    /// Median residual energy over time bins.
+    pub e_med: f64,
+    /// MAD of the residual energy (already floored at 1e-9).
+    pub e_mad: f64,
+    /// Per-sketch-bin residual MAD (localisation spread).
+    pub coord_sigma: Vec<f64>,
+}
+
+/// PCA baselines for all sketch rows of one configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PcaPrior {
+    /// Indexed by sketch row.
+    pub rows: Vec<PcaRowPrior>,
+}
+
+/// Gamma reference trajectory (per-coordinate median and MAD over
+/// sketch bins) for one (direction, sketch row) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GammaRowPrior {
+    /// Per-coordinate median of the `[α, ln β]` trajectory.
+    pub med: Vec<f64>,
+    /// Per-coordinate MAD of the trajectory.
+    pub scale: Vec<f64>,
+}
+
+/// Gamma baselines for all (direction, row) pairs of one
+/// configuration, direction-major (`dir * sketch_rows + row`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GammaPrior {
+    /// Indexed `dir * sketch_rows + row` (Src rows first).
+    pub rows: Vec<GammaRowPrior>,
+}
+
+/// KL divergence-series baselines, one `(median, MAD)` per monitored
+/// feature in declaration order (src addr, dst addr, src port, dst
+/// port).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KlPrior {
+    /// `(median, MAD)` of the inter-bin divergence series.
+    pub features: Vec<(f64, f64)>,
+}

@@ -2,7 +2,7 @@
 
 use crate::extractor::{extract_traffic, intersection_size};
 use mawilab_detectors::{Alarm, DetectorKind, TraceView, Tuning};
-use mawilab_graph::{louvain, Graph, Partition};
+use mawilab_graph::{louvain, louvain_seeded, Graph, Partition};
 use mawilab_model::Granularity;
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
@@ -103,6 +103,20 @@ impl SimilarityEstimator {
         alarms: Vec<Alarm>,
         traffic: Vec<Vec<u32>>,
     ) -> (AlarmCommunities, EstimateTimings) {
+        self.estimate_from_traffic_seeded(alarms, traffic, None)
+    }
+
+    /// [`estimate_from_traffic_timed`](Self::estimate_from_traffic_timed)
+    /// with an optional warm-start seed for the Louvain stage: a prior
+    /// partition over the same alarm indices (typically yesterday's
+    /// communities projected through matched alarm signatures, see the
+    /// core crate's warm state). `None` is the cold path, bit for bit.
+    pub fn estimate_from_traffic_seeded(
+        &self,
+        alarms: Vec<Alarm>,
+        traffic: Vec<Vec<u32>>,
+        seed: Option<&Partition>,
+    ) -> (AlarmCommunities, EstimateTimings) {
         assert_eq!(
             alarms.len(),
             traffic.len(),
@@ -112,7 +126,10 @@ impl SimilarityEstimator {
         let graph = self.build_graph(&traffic);
         let graph_t = t0.elapsed();
         let t1 = Instant::now();
-        let partition = louvain(&graph, self.resolution);
+        let partition = match seed {
+            Some(seed) => louvain_seeded(&graph, self.resolution, seed),
+            None => louvain(&graph, self.resolution),
+        };
         let louvain_t = t1.elapsed();
         (
             AlarmCommunities::new(alarms, traffic, graph, partition, self.granularity),
@@ -124,33 +141,24 @@ impl SimilarityEstimator {
     }
 
     /// Builds the similarity graph from per-alarm traffic sets with
-    /// the sharded parallel engine: candidate pairs are discovered
-    /// per time bin of the traffic-id space (see [`crate::shard`]),
-    /// then scored in parallel chunks, then folded into the graph in
-    /// deterministic `(a, b)` order. Output is byte-identical to
+    /// the sharded counting engine: per time bin of the traffic-id
+    /// space, co-occurring pairs are discovered *with their exact
+    /// intersection sizes* (see [`crate::shard::cooccurrence`] — the
+    /// emission multiplicity of a pair over all item buckets is
+    /// `|A∩B|`), so the weight is one arithmetic step per pair and
+    /// the per-pair sorted-merge scoring pass of earlier revisions is
+    /// gone. Edges are folded into the graph in `(a, b)` order;
+    /// output is byte-identical to
     /// [`build_graph_sequential`](Self::build_graph_sequential) at
     /// any `MAWILAB_THREADS` setting.
     pub fn build_graph(&self, traffic: &[Vec<u32>]) -> Graph {
         let mut g = Graph::new(traffic.len());
-        let pairs = crate::shard::candidate_pairs(traffic);
-        // Score pairs in parallel: each chunk produces its surviving
-        // weighted edges; chunks are concatenated in order, so the
-        // insertion order equals the sequential reference's.
-        let workers = mawilab_exec::thread_count();
-        let chunk = pairs.len().div_ceil(workers.max(1) * 4).max(1);
-        let chunks: Vec<&[(u32, u32)]> = pairs.chunks(chunk).collect();
-        let scored: Vec<Vec<(u32, u32, f64)>> = mawilab_exec::par_map(&chunks, |part| {
-            part.iter()
-                .filter_map(|&(a, b)| {
-                    let (sa, sb) = (&traffic[a as usize], &traffic[b as usize]);
-                    let inter = intersection_size(sa, sb);
-                    let w = self.measure.value(inter, sa.len(), sb.len());
-                    (w > self.min_similarity && w > 0.0).then_some((a, b, w))
-                })
-                .collect()
-        });
-        for (a, b, w) in scored.into_iter().flatten() {
-            g.add_edge(a as usize, b as usize, w);
+        for (a, b, inter) in crate::shard::cooccurrence(traffic) {
+            let (sa, sb) = (&traffic[a as usize], &traffic[b as usize]);
+            let w = self.measure.value(inter as usize, sa.len(), sb.len());
+            if w > self.min_similarity && w > 0.0 {
+                g.add_edge(a as usize, b as usize, w);
+            }
         }
         g
     }

@@ -29,4 +29,5 @@ pub mod streaming;
 pub use estimator::{AlarmCommunities, EstimateTimings, SimilarityEstimator, SimilarityMeasure};
 pub use extractor::{extract_traffic, extract_traffic_sequential};
 pub use horizon::{HorizonExtractor, HorizonStats, HorizonTraffic};
+pub use mawilab_graph::Partition;
 pub use streaming::StreamingExtractor;

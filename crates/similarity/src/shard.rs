@@ -1,10 +1,11 @@
-//! Sharded candidate-pair discovery for the similarity graph.
+//! Sharded co-occurrence counting for the similarity graph.
 //!
 //! The graph build's dominant cost is discovering which alarm pairs
-//! share at least one traffic unit. The sequential reference does it
-//! with one global inverted index and a `HashSet<(u32, u32)>`; this
-//! module shards the discovery so independent slices run on separate
-//! threads and the per-slice work is hash-free.
+//! share traffic units and how many. The sequential reference does it
+//! with one global inverted index, a `HashSet<(u32, u32)>` and a
+//! per-pair sorted-merge intersection; this module shards the work so
+//! independent slices run on separate threads and the per-slice work
+//! is hash-free.
 //!
 //! **Why shard by traffic-id range, not by alarm window.** Traffic-unit
 //! ids are assigned in first-appearance order ([`FlowTable`] /
@@ -23,12 +24,15 @@
 //!
 //! Each bin builds a dense per-bin inverted index (a `Vec` indexed by
 //! `item - bin_start` — ids are dense, so this replaces the global
-//! `HashMap`), emits its co-occurring pairs, and sorts/dedups them
-//! locally; the bins are then merged into one globally sorted,
-//! deduplicated pair list. Sparse id spaces (ids much larger than the
-//! number of occurrences, which dense time-ordered ids never produce
-//! but arbitrary callers can) fall back to a per-bin `HashMap` index
-//! with identical output.
+//! `HashMap`), then **counts** each pair's co-occurrences instead of
+//! merely deduplicating them: an item id lives in exactly one bin, so
+//! the multiplicity of `(a, b)` summed across all buckets is exactly
+//! `|A∩B|`, and the graph build gets its exact intersection sizes
+//! without ever running the per-pair sorted-merge scoring pass that
+//! used to dominate the stage. Sparse id spaces (ids much larger than
+//! the number of occurrences, which dense time-ordered ids never
+//! produce but arbitrary callers can) fall back to a per-bin
+//! `HashMap` index with identical output.
 //!
 //! [`FlowTable`]: mawilab_model::FlowTable
 //! [`ItemIndex`]: mawilab_model::ItemIndex
@@ -44,17 +48,25 @@ const BINS_PER_WORKER: usize = 4;
 /// per-bin index uses a `HashMap` instead of a dense `Vec`.
 const DENSE_SLACK: usize = 8;
 
-/// Returns all alarm pairs `(a, b)` with `a < b` that share at least
-/// one traffic item, globally sorted and deduplicated — the exact
-/// candidate set of the sequential reference, discovered bin by bin
-/// in parallel.
-pub(crate) fn candidate_pairs(traffic: &[Vec<u32>]) -> Vec<(u32, u32)> {
-    candidate_pairs_with_bins(traffic, mawilab_exec::thread_count() * BINS_PER_WORKER)
+/// Co-occurrence counting: every pair `(a, b)` with `a < b` sharing
+/// at least one traffic item, with **how many** items they share —
+/// sorted by `(a, b)`. This is candidate-pair discovery and exact
+/// intersection sizing fused into one pass: each item id lives in
+/// exactly one bin, so a pair's emission multiplicity summed over
+/// buckets *is* `|A∩B|`. The per-pair sorted-merge scoring the graph
+/// build used to run after discovery disappears entirely — discovery
+/// already touched every co-occurrence, so counting them during the
+/// existing sort/dedup is free by comparison.
+///
+/// Requires strictly increasing traffic sets (the extractor's output
+/// invariant — a duplicated item would be double-counted).
+pub(crate) fn cooccurrence(traffic: &[Vec<u32>]) -> Vec<(u32, u32, u32)> {
+    cooccurrence_with_bins(traffic, mawilab_exec::thread_count() * BINS_PER_WORKER)
 }
 
-/// [`candidate_pairs`] with an explicit bin count — the output is
+/// [`cooccurrence`] with an explicit bin count — the output is
 /// bin-count invariant (tests sweep this directly).
-fn candidate_pairs_with_bins(traffic: &[Vec<u32>], requested_bins: usize) -> Vec<(u32, u32)> {
+fn cooccurrence_with_bins(traffic: &[Vec<u32>], requested_bins: usize) -> Vec<(u32, u32, u32)> {
     let Some(max_id) = traffic.iter().filter_map(|s| s.last().copied()).max() else {
         return Vec::new();
     };
@@ -64,8 +76,6 @@ fn candidate_pairs_with_bins(traffic: &[Vec<u32>], requested_bins: usize) -> Vec
 
     let bins = requested_bins.clamp(1, id_space);
     let width = id_space.div_ceil(bins);
-    // Bounds are u64: `hi` of the last bin is `max_id + 1`, which
-    // overflows u32 when an item id is `u32::MAX`.
     let ranges: Vec<(u64, u64)> = (0..bins)
         .map(|b| {
             let lo = (b * width) as u64;
@@ -75,63 +85,94 @@ fn candidate_pairs_with_bins(traffic: &[Vec<u32>], requested_bins: usize) -> Vec
         .filter(|(lo, hi)| lo < hi)
         .collect();
 
-    let per_bin: Vec<Vec<(u32, u32)>> = mawilab_exec::par_map(&ranges, |&(lo, hi)| {
+    let per_bin: Vec<Vec<(u32, u32, u32)>> = mawilab_exec::par_map(&ranges, |&(lo, hi)| {
         if dense {
-            bin_pairs_dense(traffic, lo, hi)
+            let width = (hi - lo) as usize;
+            let slices: Vec<&[u32]> = traffic.iter().map(|s| slice_in_range(s, lo, hi)).collect();
+            let mut offsets = vec![0u32; width + 1];
+            for s in &slices {
+                for &item in *s {
+                    offsets[(item as u64 - lo) as usize + 1] += 1;
+                }
+            }
+            for k in 0..width {
+                offsets[k + 1] += offsets[k];
+            }
+            let mut entries = vec![0u32; offsets[width] as usize];
+            let mut cursor = offsets.clone();
+            for (ai, s) in slices.iter().enumerate() {
+                for &item in *s {
+                    let k = (item as u64 - lo) as usize;
+                    entries[cursor[k] as usize] = ai as u32;
+                    cursor[k] += 1;
+                }
+            }
+            counts_of_index(
+                (0..width).map(|k| &entries[offsets[k] as usize..offsets[k + 1] as usize]),
+            )
         } else {
-            bin_pairs_sparse(traffic, lo, hi)
+            let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+            for (ai, set) in traffic.iter().enumerate() {
+                for &item in slice_in_range(set, lo, hi) {
+                    index.entry(item).or_default().push(ai as u32);
+                }
+            }
+            counts_of_index(index.values().map(|v| v.as_slice()))
         }
     });
 
-    // A pair co-occurring in several bins appears once per bin: merge
-    // the per-bin sorted runs and dedup globally. The merged order is
-    // the reference's `(a, b)` ascending order.
-    let mut pairs: Vec<(u32, u32)> = per_bin.concat();
-    pairs.sort_unstable();
-    pairs.dedup();
-    pairs
+    // The same pair can co-occur in several bins: merge and sum. The
+    // merged order is the reference's `(a, b)` ascending order, and
+    // integer sums are iteration-order independent, so the result is
+    // identical at any bin (= thread) count.
+    let mut counts: Vec<(u32, u32, u32)> = per_bin.concat();
+    counts.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    collapse_counts(&mut counts);
+    counts
 }
 
-/// Pairs co-occurring on an item in `[lo, hi)`, via a dense per-bin
-/// inverted index in counting-sort layout (flat entry array — no
-/// per-item allocation). Sorted and deduplicated.
-fn bin_pairs_dense(traffic: &[Vec<u32>], lo: u64, hi: u64) -> Vec<(u32, u32)> {
-    let width = (hi - lo) as usize;
-    let slices: Vec<&[u32]> = traffic.iter().map(|s| slice_in_range(s, lo, hi)).collect();
-    // Counting sort: occurrences per item, prefix offsets, then fill.
-    let mut offsets = vec![0u32; width + 1];
-    for s in &slices {
-        for &item in *s {
-            offsets[(item as u64 - lo) as usize + 1] += 1;
+/// Expands per-item alarm lists into `(a, b, count)` triples, where
+/// `count` is the number of items whose bucket contained both alarms.
+/// Consecutive identical buckets — the shape of worst-case workloads
+/// where every alarm shares a common item block — collapse into one
+/// emission with a multiplier instead of `k²/2` duplicates each.
+fn counts_of_index<'a>(lists: impl Iterator<Item = &'a [u32]>) -> Vec<(u32, u32, u32)> {
+    let mut counts: Vec<(u32, u32, u32)> = Vec::new();
+    let mut prev: &[u32] = &[];
+    let mut mult: u32 = 0;
+    let flush = |run: &[u32], m: u32, out: &mut Vec<(u32, u32, u32)>| {
+        for i in 0..run.len() {
+            for j in (i + 1)..run.len() {
+                out.push((run[i], run[j], m));
+            }
         }
-    }
-    for k in 0..width {
-        offsets[k + 1] += offsets[k];
-    }
-    let mut entries = vec![0u32; offsets[width] as usize];
-    let mut cursor = offsets.clone();
-    for (ai, s) in slices.iter().enumerate() {
-        for &item in *s {
-            let k = (item as u64 - lo) as usize;
-            entries[cursor[k] as usize] = ai as u32;
-            cursor[k] += 1;
+    };
+    for alarms in lists {
+        if alarms.len() > 1 && alarms == prev {
+            mult += 1;
+            continue;
         }
+        flush(prev, mult, &mut counts);
+        prev = alarms;
+        mult = 1;
     }
-    // Alarms are scanned in index order, so each item's entry run is
-    // ascending and emitted pairs satisfy `a < b`.
-    pairs_of_index((0..width).map(|k| &entries[offsets[k] as usize..offsets[k + 1] as usize]))
+    flush(prev, mult, &mut counts);
+    counts.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    collapse_counts(&mut counts);
+    counts
 }
 
-/// Same as [`bin_pairs_dense`] for id spaces too sparse to index
-/// densely.
-fn bin_pairs_sparse(traffic: &[Vec<u32>], lo: u64, hi: u64) -> Vec<(u32, u32)> {
-    let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
-    for (ai, set) in traffic.iter().enumerate() {
-        for &item in slice_in_range(set, lo, hi) {
-            index.entry(item).or_default().push(ai as u32);
+/// Sums the counts of adjacent entries with equal `(a, b)` in place.
+/// Input must be sorted by `(a, b)`.
+fn collapse_counts(counts: &mut Vec<(u32, u32, u32)>) {
+    counts.dedup_by(|cur, acc| {
+        if (acc.0, acc.1) == (cur.0, cur.1) {
+            acc.2 += cur.2;
+            true
+        } else {
+            false
         }
-    }
-    pairs_of_index(index.values().map(|v| v.as_slice()))
+    });
 }
 
 /// The sub-slice of a sorted id set falling in `[lo, hi)`.
@@ -139,33 +180,6 @@ fn slice_in_range(set: &[u32], lo: u64, hi: u64) -> &[u32] {
     let start = set.partition_point(|&x| (x as u64) < lo);
     let end = set.partition_point(|&x| (x as u64) < hi);
     &set[start..end]
-}
-
-/// Expands per-item alarm lists into sorted, deduplicated pairs.
-/// Lists hold alarm indices in ascending order (alarms are scanned in
-/// index order), so emitted pairs already satisfy `a < b`.
-fn pairs_of_index<'a>(lists: impl Iterator<Item = &'a [u32]>) -> Vec<(u32, u32)> {
-    let mut pairs: Vec<(u32, u32)> = Vec::new();
-    let mut prev: &[u32] = &[];
-    for alarms in lists {
-        // Dense-overlap fast path: consecutive items held by the
-        // exact same alarm set expand to the exact same pairs — one
-        // O(k) comparison avoids re-emitting (and later re-sorting)
-        // the k²/2 duplicates. This is the shape of worst-case
-        // workloads where every alarm shares a common item block.
-        if alarms.len() > 1 && alarms == prev {
-            continue;
-        }
-        prev = alarms;
-        for i in 0..alarms.len() {
-            for j in (i + 1)..alarms.len() {
-                pairs.push((alarms[i], alarms[j]));
-            }
-        }
-    }
-    pairs.sort_unstable();
-    pairs.dedup();
-    pairs
 }
 
 #[cfg(test)]
@@ -194,6 +208,71 @@ mod tests {
         v
     }
 
+    /// Intersection sizes straight from the definition, for every
+    /// candidate pair.
+    fn reference_counts(traffic: &[Vec<u32>]) -> Vec<(u32, u32, u32)> {
+        reference_pairs(traffic)
+            .into_iter()
+            .map(|(a, b)| {
+                let inter = traffic[a as usize]
+                    .iter()
+                    .filter(|x| traffic[b as usize].binary_search(x).is_ok())
+                    .count() as u32;
+                (a, b, inter)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cooccurrence_counts_equal_reference_intersections() {
+        // Pseudo-random traffic sets (LCG — keep the test seedless
+        // and deterministic) across sizes and bin counts.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for n in [0usize, 1, 2, 7, 23, 60] {
+            let traffic: Vec<Vec<u32>> = (0..n)
+                .map(|_| {
+                    let mut s: Vec<u32> = (0..next(20) + 1).map(|_| next(120) as u32).collect();
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                })
+                .collect();
+            let expected = reference_counts(&traffic);
+            for bins in [1, 3, 16] {
+                assert_eq!(
+                    cooccurrence_with_bins(&traffic, bins),
+                    expected,
+                    "n={n} bins={bins}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cooccurrence_counts_identical_common_block() {
+        // Every alarm shares one 50-item block (the consecutive
+        // identical-bucket shape the multiplier collapses): each pair
+        // must count exactly the 50 shared items.
+        let traffic: Vec<Vec<u32>> = (0..6u32)
+            .map(|i| {
+                let mut s: Vec<u32> = (0..50).collect();
+                s.push(100 + i);
+                s
+            })
+            .collect();
+        for (a, b, inter) in cooccurrence(&traffic) {
+            assert!(a < b);
+            assert_eq!(inter, 50);
+        }
+        assert_eq!(cooccurrence(&traffic).len(), 15);
+    }
+
     #[test]
     fn matches_reference_on_overlapping_sets() {
         let traffic = vec![
@@ -203,22 +282,22 @@ mod tests {
             vec![3, 100, 900],
             vec![],
         ];
-        assert_eq!(candidate_pairs(&traffic), reference_pairs(&traffic));
+        assert_eq!(cooccurrence(&traffic), reference_counts(&traffic));
     }
 
     #[test]
     fn empty_inputs() {
-        assert!(candidate_pairs(&[]).is_empty());
-        assert!(candidate_pairs(&[vec![], vec![]]).is_empty());
-        assert!(candidate_pairs(&[vec![5, 9]]).is_empty());
+        assert!(cooccurrence(&[]).is_empty());
+        assert!(cooccurrence(&[vec![], vec![]]).is_empty());
+        assert!(cooccurrence(&[vec![5, 9]]).is_empty());
     }
 
     #[test]
     fn sparse_id_space_takes_hashmap_path() {
         // Two items near u32::MAX: dense indexing would allocate 4G
-        // slots; the sparse path must produce the same pairs.
+        // slots; the sparse path must produce the same counts.
         let traffic = vec![vec![7, u32::MAX - 1], vec![u32::MAX - 1], vec![7]];
-        assert_eq!(candidate_pairs(&traffic), vec![(0, 1), (0, 2)]);
+        assert_eq!(cooccurrence(&traffic), vec![(0, 1, 1), (0, 2, 1)]);
     }
 
     #[test]
@@ -226,16 +305,17 @@ mod tests {
         // id_space = 2^32: the last bin's exclusive bound overflows
         // u32, so bin bounds must be u64 (regression test).
         let traffic = vec![vec![u32::MAX], vec![7, u32::MAX]];
-        assert_eq!(candidate_pairs(&traffic), vec![(0, 1)]);
+        assert_eq!(cooccurrence(&traffic), vec![(0, 1, 1)]);
     }
 
     #[test]
-    fn pair_spanning_many_bins_appears_once() {
+    fn pair_spanning_many_bins_sums_across_bins() {
         // Alarms sharing items across the whole id range co-occur in
-        // every bin; the merged list must still hold the pair once.
+        // every bin; the merged counts must sum to the exact
+        // intersection size, held once.
         let a: Vec<u32> = (0..1000).collect();
         let traffic = vec![a.clone(), a];
-        assert_eq!(candidate_pairs(&traffic), vec![(0, 1)]);
+        assert_eq!(cooccurrence(&traffic), vec![(0, 1, 1000)]);
     }
 
     #[test]
@@ -247,10 +327,10 @@ mod tests {
         let traffic: Vec<Vec<u32>> = (0..40)
             .map(|i| ((i * 13) % 61..(i * 13) % 61 + 20).collect())
             .collect();
-        let expect = reference_pairs(&traffic);
+        let expect = reference_counts(&traffic);
         for bins in [1, 3, 16, 1024] {
             assert_eq!(
-                candidate_pairs_with_bins(&traffic, bins),
+                cooccurrence_with_bins(&traffic, bins),
                 expect,
                 "{bins} bins"
             );

@@ -1,0 +1,111 @@
+//! Warm-start equivalence suite: the day-over-day warm sweep
+//! (`run_days_streaming_warm` / `WarmState`) against its cold-start
+//! oracle.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **decay = 0 is cold, byte for byte** — a warm sweep at zero
+//!    decay must reduce to the identical [`deterministic_view`] as
+//!    the cold fan-out sweep, at every `MAWILAB_THREADS` setting
+//!    (the warm path runs sequentially; the cold path fans out — the
+//!    labels must not care);
+//! 2. **era boundaries reset the carried state** — the seeded 6-day
+//!    window spans the 2006-07-01 CAR→100 Mbps upgrade and must
+//!    reset exactly once, while a same-era window never resets;
+//! 3. **a singleton Louvain seed is the cold start** — seeding with
+//!    the identity partition (every node its own community, exactly
+//!    cold Louvain's initial state) reproduces `louvain` byte for
+//!    byte on arbitrary graphs.
+//!
+//! Tests mutating `MAWILAB_THREADS` share `ENV_LOCK` (the variable is
+//! process-wide).
+
+use mawilab::graph::{louvain, louvain_seeded, Graph, Partition};
+use mawilab_bench::archive::{
+    collect_archive, collect_archive_warm, default_sweep_start, deterministic_view,
+    month_sweep_days, smoke_archive_days, ArchiveBenchArgs,
+};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Six consecutive tiny-scale days through the 2006-07-01 link-era
+/// boundary — the month-smoke window.
+fn boundary_args() -> ArchiveBenchArgs {
+    ArchiveBenchArgs {
+        scale: 0.2,
+        days: month_sweep_days(default_sweep_start(), 6),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn warm_zero_decay_sweep_matches_cold_across_thread_counts() {
+    let _lock = ENV_LOCK.lock().unwrap();
+    let args = boundary_args();
+
+    std::env::set_var("MAWILAB_THREADS", "1");
+    let cold = deterministic_view(&collect_archive(&args));
+    assert!(cold.contains("2006-07-01"), "sweep crossed the boundary");
+
+    for threads in ["1", "2", "4", "13"] {
+        std::env::set_var("MAWILAB_THREADS", threads);
+        let (warm, stats) = collect_archive_warm(&args, 0.0);
+        assert_eq!(
+            deterministic_view(&warm),
+            cold,
+            "decay-0 warm sweep diverged from cold at MAWILAB_THREADS={threads}"
+        );
+        assert_eq!(stats.seeded_days, 0, "zero decay must never seed Louvain");
+    }
+    std::env::remove_var("MAWILAB_THREADS");
+}
+
+#[test]
+fn warm_state_resets_exactly_at_the_era_boundary() {
+    let _lock = ENV_LOCK.lock().unwrap();
+    // Crossing 2006-07-01: the carried baselines describe the old
+    // 18 Mbps link and must be dropped exactly once.
+    let (outcome, stats) = collect_archive_warm(&boundary_args(), 0.5);
+    assert!(outcome.failed.is_empty(), "synthetic days cannot fail");
+    assert_eq!(
+        stats.era_resets, 1,
+        "era upgrade must reset warm state once"
+    );
+
+    // A window inside one era must never reset, and by its end the
+    // sweep is carrying communities forward.
+    let smoke = ArchiveBenchArgs {
+        scale: 0.2,
+        days: smoke_archive_days(),
+        ..Default::default()
+    };
+    let (_, s) = collect_archive_warm(&smoke, 0.5);
+    assert_eq!(s.era_resets, 0, "same-era window must not reset");
+    assert!(s.carried_signatures > 0, "alarming days must leave a carry");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A singleton seed (the identity partition) is exactly cold
+    /// Louvain's initial state, so the seeded run must reproduce the
+    /// cold run byte for byte — on arbitrary graphs and resolutions.
+    #[test]
+    fn singleton_seed_reproduces_cold_louvain(
+        n in 1usize..40,
+        edges in prop::collection::vec((any::<u32>(), any::<u32>(), 1u32..100), 0..120),
+        res_tenths in 1u32..30,
+    ) {
+        let mut g = Graph::new(n);
+        for &(u, v, w) in &edges {
+            g.add_edge(u as usize % n, v as usize % n, w as f64 / 100.0);
+        }
+        let resolution = res_tenths as f64 / 10.0;
+        let cold = louvain(&g, resolution);
+        let seed = Partition::from_labels((0..n).collect());
+        let seeded = louvain_seeded(&g, resolution, &seed);
+        prop_assert_eq!(seeded, cold);
+    }
+}
