@@ -16,6 +16,8 @@
 //! * [`out`] — aligned-table printing and CSV emission under
 //!   `results/`.
 
+#![forbid(unsafe_code)]
+
 pub mod archive;
 pub mod cli;
 pub mod harness;

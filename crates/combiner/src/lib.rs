@@ -19,6 +19,8 @@
 //!   and the *relative distance* `(d_rej/d_acc) − 1` that drives the
 //!   MAWILab taxonomy's Suspicious/Notice split (§4.2.3, Fig. 10).
 
+#![forbid(unsafe_code)]
+
 pub mod scann;
 pub mod strategies;
 pub mod votes;

@@ -18,6 +18,8 @@
 //! database exists for — scoring a *new* detector's alarms against
 //! the labels through the same similarity machinery (paper §5).
 
+#![forbid(unsafe_code)]
+
 pub mod benchmark;
 pub mod online;
 pub mod pipeline;

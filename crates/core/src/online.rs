@@ -136,7 +136,12 @@ impl SealTracker {
     /// Advances the high-water mark to a chunk end, sealing every
     /// window whose `end + lag` it passed.
     fn advance(&mut self, chunk_end_us: u64) {
+        let before_us = self.high_water_us;
         self.high_water_us = self.high_water_us.max(chunk_end_us);
+        debug_assert!(
+            self.high_water_us >= before_us,
+            "watermark must be monotone non-decreasing"
+        );
         while self
             .window_end(self.sealed.len())
             .saturating_add(self.lag_us)
@@ -144,6 +149,14 @@ impl SealTracker {
         {
             self.sealed.push(self.high_water_us);
         }
+        debug_assert!(
+            self.sealed.windows(2).all(|w| w[0] <= w[1]),
+            "seal times must be monotone non-decreasing"
+        );
+        debug_assert!(
+            self.sealed.last().is_none_or(|&s| s <= self.high_water_us),
+            "a window cannot seal after the watermark that sealed it"
+        );
     }
 
     /// Horizon windows needed to cover the stream (and any community

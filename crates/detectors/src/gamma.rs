@@ -282,7 +282,7 @@ impl IncrementalDetector for GammaAccumulator {
         if self.dirs.is_empty() {
             return;
         }
-        let window = self.window.expect("observe before begin");
+        let window = self.window.expect("observe before begin"); // lint:allow(panic-free-data-plane): begin() runs before observe() in the chunk driver
         self.seen += chunk.packets.len() as u64;
         for p in chunk.packets {
             let Some(dt) = p.ts_us.checked_sub(window.start_us) else {
@@ -310,7 +310,7 @@ impl IncrementalDetector for GammaAccumulator {
         if self.seen == 0 {
             return out;
         }
-        let window = self.window.expect("finish before begin");
+        let window = self.window.expect("finish before begin"); // lint:allow(panic-free-data-plane): begin() runs before finish() in the chunk driver
         let warm = self.warm.as_ref().map(|(p, w)| (p, *w));
         let mut export = GammaPrior::default();
         for (dir_idx, state) in self.dirs.iter().enumerate() {

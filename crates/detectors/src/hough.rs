@@ -273,7 +273,7 @@ impl IncrementalDetector for HoughAccumulator {
     }
 
     fn observe(&mut self, chunk: &ChunkView<'_>) {
-        let window = self.window.expect("observe before begin");
+        let window = self.window.expect("observe before begin"); // lint:allow(panic-free-data-plane): begin() runs before observe() in the chunk driver
         self.seen += chunk.packets.len() as u64;
         for p in chunk.packets {
             let key = FlowKey::of(p);
@@ -291,7 +291,7 @@ impl IncrementalDetector for HoughAccumulator {
         if self.seen == 0 {
             return out;
         }
-        let window = self.window.expect("finish before begin");
+        let window = self.window.expect("finish before begin"); // lint:allow(panic-free-data-plane): begin() runs before finish() in the chunk driver
         for (_, cells) in &self.pictures {
             self.det
                 .finish_picture(window, self.bin_us, cells, &mut out);

@@ -218,7 +218,7 @@ impl IncrementalDetector for KlAccumulator {
         if self.hists.is_empty() {
             return;
         }
-        let window = self.window.expect("observe before begin");
+        let window = self.window.expect("observe before begin"); // lint:allow(panic-free-data-plane): begin() runs before observe() in the chunk driver
         self.seen += chunk.packets.len() as u64;
         for p in chunk.packets {
             let t = ((p.ts_us.saturating_sub(window.start_us) / self.det.bin_us) as usize)
@@ -234,7 +234,7 @@ impl IncrementalDetector for KlAccumulator {
         if self.hists.is_empty() || self.seen == 0 {
             return Vec::new();
         }
-        let window = self.window.expect("finish before begin");
+        let window = self.window.expect("finish before begin"); // lint:allow(panic-free-data-plane): begin() runs before finish() in the chunk driver
         let warm = self.warm.as_ref().map(|(p, w)| (p, *w));
         let (alarms, export) =
             self.det
@@ -315,7 +315,7 @@ impl KlDetector {
                         .enumerate()
                         .filter(|&(_, v)| v > 0.0)
                         .collect();
-                contrib.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN contribution"));
+                contrib.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN contribution")); // lint:allow(panic-free-data-plane): contributions are filtered finite (> 0.0) above
                 let top: HashSet<usize> = contrib
                     .iter()
                     .take(self.top_cells)

@@ -20,6 +20,8 @@
 //! be compared naively, which is what motivates the similarity
 //! estimator (`mawilab-similarity`).
 
+#![forbid(unsafe_code)]
+
 pub mod alarm;
 pub mod gamma;
 pub mod hough;

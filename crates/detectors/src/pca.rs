@@ -115,7 +115,7 @@ impl PcaDetector {
         order.sort_by(|&a, &b| {
             outlyingness[a]
                 .partial_cmp(&outlyingness[b])
-                .expect("NaN outlyingness")
+                .expect("NaN outlyingness") // lint:allow(panic-free-data-plane): outlyingness is a sum of squares of finite projections
         });
         let keep_n = ((n * 7) / 10).max(self.components + 2).min(n);
         let mut keep: Vec<usize> = order[..keep_n].to_vec();
@@ -205,7 +205,7 @@ impl IncrementalDetector for PcaAccumulator {
 
     fn observe(&mut self, chunk: &ChunkView<'_>) {
         let Some(sketch) = &self.sketch else { return };
-        let window = self.window.expect("observe before begin");
+        let window = self.window.expect("observe before begin"); // lint:allow(panic-free-data-plane): begin() runs before observe() in the chunk driver
         self.seen += chunk.packets.len() as u64;
         for p in chunk.packets {
             // Packets stamped outside the nominal window (clock skew

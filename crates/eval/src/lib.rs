@@ -21,6 +21,8 @@
 //!   anomalous-set Jaccard drift, and worm-outbreak response — the
 //!   operational view of the continuously running MAWILab service.
 
+#![forbid(unsafe_code)]
+
 pub mod condorcet;
 pub mod dists;
 pub mod gaincost;

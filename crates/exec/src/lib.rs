@@ -31,6 +31,8 @@
 //! every helper is deterministic at any worker count, inlining a
 //! nested stage cannot change its output, only its schedule.
 
+#![forbid(unsafe_code)]
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -53,7 +53,7 @@ impl Graph {
                 let back = self.adj[v]
                     .iter_mut()
                     .find(|(n, _)| *n as usize == u)
-                    .expect("asymmetric adjacency");
+                    .expect("asymmetric adjacency"); // lint:allow(panic-free-data-plane): add_edge inserted the reverse entry in this same call
                 back.1 += w;
             }
             None => {

@@ -20,6 +20,8 @@
 //! * [`components`] — connected components (used in tests and as a
 //!   degenerate-case baseline).
 
+#![forbid(unsafe_code)]
+
 pub mod components;
 pub mod csr;
 pub mod graph;

@@ -48,7 +48,7 @@ impl Partition {
         let mut remap: Vec<Option<usize>> = vec![None; labels.len().max(1)];
         let mut next = 0;
         for l in &mut labels {
-            let slot = remap.get_mut(*l).expect("label out of range");
+            let slot = remap.get_mut(*l).expect("label out of range"); // lint:allow(panic-free-data-plane): partition labels are vertex indices < len by construction
             match slot {
                 Some(id) => *l = *id,
                 None => {

@@ -19,6 +19,8 @@
 //! * [`store`] — the online feed: per-horizon [`LabeledWindow`]
 //!   emissions and the day-evicting in-memory [`LabelStore`].
 
+#![forbid(unsafe_code)]
+
 pub mod evidence;
 pub mod heuristics;
 pub mod output;

@@ -18,6 +18,8 @@
 //!
 //! Modules: [`matrix`], [`eigen`], [`svd`], [`pca`], [`ca`].
 
+#![forbid(unsafe_code)]
+
 pub mod ca;
 pub mod eigen;
 pub mod matrix;

@@ -1,0 +1,124 @@
+//! Runs the rules and applies pragmas.
+//!
+//! The engine is where the escape hatch meets the rules: a violation
+//! is waived only by a *justified* pragma (`lint:allow(<rule>):
+//! <reason>`) whose effective line matches. Pragma problems — bare
+//! (no reason), malformed, unknown rule, or waiving nothing — are
+//! themselves `pragma-hygiene` violations, which cannot be waived.
+
+use crate::rules::{self, Violation, PRAGMA_HYGIENE, RULES};
+use crate::workspace::{SourceFile, Workspace};
+
+/// Runs every rule over the workspace and applies pragmas. Returns
+/// the surviving violations, sorted by (file, line, rule).
+pub fn check(ws: &Workspace) -> Vec<Violation> {
+    let raw = rules::run_all(ws);
+    let mut out = Vec::new();
+    let mut waived_by: Vec<Vec<bool>> = ws
+        .files
+        .iter()
+        .map(|f| vec![false; f.pragmas.len()])
+        .collect();
+
+    for v in raw {
+        let waived = ws
+            .files
+            .iter()
+            .position(|f| f.path == v.file)
+            .is_some_and(|fi| {
+                let f = &ws.files[fi];
+                let mut hit = false;
+                for (pi, p) in f.pragmas.iter().enumerate() {
+                    if p.malformed || p.reason.is_none() || p.rule != v.rule {
+                        continue;
+                    }
+                    if effective_line(f, p.line, p.own_line) == v.line {
+                        waived_by[fi][pi] = true;
+                        hit = true;
+                    }
+                }
+                hit
+            });
+        if !waived {
+            out.push(v);
+        }
+    }
+
+    // Pragma hygiene.
+    for (fi, f) in ws.files.iter().enumerate() {
+        for (pi, p) in f.pragmas.iter().enumerate() {
+            if p.malformed {
+                out.push(Violation {
+                    file: f.path.clone(),
+                    line: p.line,
+                    rule: PRAGMA_HYGIENE,
+                    msg: "malformed pragma: expected `lint:allow(<rule>): <reason>`".to_string(),
+                });
+                continue;
+            }
+            if !RULES.contains(&p.rule.as_str()) {
+                out.push(Violation {
+                    file: f.path.clone(),
+                    line: p.line,
+                    rule: PRAGMA_HYGIENE,
+                    msg: format!("pragma names unknown rule `{}`", p.rule),
+                });
+                continue;
+            }
+            if p.reason.is_none() {
+                out.push(Violation {
+                    file: f.path.clone(),
+                    line: p.line,
+                    rule: PRAGMA_HYGIENE,
+                    msg: format!(
+                        "bare pragma: `lint:allow({})` must carry a reason — \
+                         `lint:allow({}): <why this is sound>`",
+                        p.rule, p.rule
+                    ),
+                });
+                continue;
+            }
+            if !waived_by[fi][pi] {
+                out.push(Violation {
+                    file: f.path.clone(),
+                    line: p.line,
+                    rule: PRAGMA_HYGIENE,
+                    msg: format!(
+                        "pragma waives nothing: no `{}` violation on its line — \
+                         remove it",
+                        p.rule
+                    ),
+                });
+            }
+        }
+    }
+
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+/// The line a pragma applies to: its own line for a trailing comment,
+/// or the next line holding code for a comment-only line.
+fn effective_line(f: &SourceFile, pragma_line: u32, own_line: bool) -> u32 {
+    if !own_line {
+        return pragma_line;
+    }
+    let lines: Vec<&str> = f.lexed.code.lines().collect();
+    let mut l = pragma_line as usize; // 0-based index of the next line
+    while l < lines.len() {
+        if !lines[l].trim().is_empty() {
+            return l as u32 + 1;
+        }
+        l += 1;
+    }
+    pragma_line
+}
+
+/// Renders violations in `file:line: [rule] message` form.
+pub fn render(violations: &[Violation]) -> String {
+    let mut s = String::new();
+    for v in violations {
+        s.push_str(&format!("{}:{}: [{}] {}\n", v.file, v.line, v.rule, v.msg));
+    }
+    s
+}

@@ -1,0 +1,469 @@
+//! A comment/string/raw-string-aware Rust lexer.
+//!
+//! The rules in this crate are lexical, not syntactic: they look for
+//! token patterns like `.unwrap()` or `env::var("MAWILAB_THREADS")`.
+//! Matching those against raw source would miss-fire on occurrences
+//! inside comments, doc comments, and string literals — including the
+//! pragma syntax itself, which must only count when it appears in a
+//! real `//` comment.
+//!
+//! [`lex`] therefore produces a *code view* of the file: a string of
+//! the same byte length as the input in which every comment byte and
+//! every string/char-literal interior byte has been replaced by a
+//! space (newlines are preserved, so byte offsets and line numbers
+//! stay valid). Rules scan the code view; the pragma scanner reads
+//! the extracted [`Comment`]s; the one rule that needs a literal's
+//! *content* (`thread-env-isolation` looks for `"MAWILAB_THREADS"`)
+//! reads the extracted [`StrLit`]s.
+//!
+//! Handled: line comments, nested block comments, `"…"` strings with
+//! escapes, raw strings `r"…"` / `r#"…"#` (any number of `#`), byte
+//! strings `b"…"` / `br#"…"#`, C strings `c"…"`, char and byte-char
+//! literals (including `'\''` and `'"'`), and the char-literal vs
+//! lifetime ambiguity (`'a'` vs `&'a str`).
+
+/// One `//` line comment (doc comments included), without the
+/// leading slashes, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    /// True when the line holds nothing but whitespace before the
+    /// comment — a comment-only line.
+    pub own_line: bool,
+    pub text: String,
+}
+
+/// One string literal's interior text (escapes left undecoded) with
+/// the byte offset of its opening quote in the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    pub line: u32,
+    pub offset: usize,
+    pub text: String,
+}
+
+/// The lexed form of one source file. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    /// Same byte length as the input; comments and literal interiors
+    /// blanked to spaces, newlines preserved.
+    pub code: String,
+    pub comments: Vec<Comment>,
+    pub strings: Vec<StrLit>,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into its code view plus extracted comments and string
+/// literals. Never panics on malformed input: an unterminated
+/// comment/literal simply blanks through end of file.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut code: Vec<u8> = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut strings = Vec::new();
+    let mut line: u32 = 1;
+    // Byte offset where the current line starts; everything before
+    // the cursor on this line is already finalized in `code`, so
+    // "comment-only line" falls out of the blanked view directly.
+    let mut line_start = 0usize;
+    let mut i = 0usize;
+
+    // Blanks bytes `from..to` in the code view, preserving newlines
+    // and keeping `line`/`line_start` in sync.
+    macro_rules! blank {
+        ($code:ident, $from:expr, $to:expr) => {
+            for k in $from..$to.min($code.len()) {
+                if $code[k] == b'\n' {
+                    line += 1;
+                    line_start = k + 1;
+                } else {
+                    $code[k] = b' ';
+                }
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+                line_start = i;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let end = bytes[i..]
+                    .iter()
+                    .position(|&c| c == b'\n')
+                    .map_or(bytes.len(), |p| i + p);
+                let mut text_start = i + 2;
+                // Doc comments: strip the third slash or the `/!`.
+                if text_start < end && (bytes[text_start] == b'/' || bytes[text_start] == b'!') {
+                    text_start += 1;
+                }
+                let own_line = code[line_start..i].iter().all(|b| b.is_ascii_whitespace());
+                comments.push(Comment {
+                    line,
+                    own_line,
+                    text: src[text_start.min(end)..end].to_string(),
+                });
+                blank!(code, i, end);
+                i = end;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Nested block comment.
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank!(code, start, i);
+            }
+            b'"' => {
+                i = scan_string(src, i, line, &mut strings);
+                let (start, end) = (strings.last().map(|s| s.offset).unwrap_or(i), i);
+                // Blank the interior, keep both quote bytes.
+                blank!(code, start + 1, end.saturating_sub(1));
+            }
+            b'r' | b'b' | b'c'
+                if !prev_is_ident(bytes, i) && raw_or_byte_prefix(bytes, i).is_some() =>
+            {
+                let (kind, lit_start) = raw_or_byte_prefix(bytes, i).unwrap();
+                match kind {
+                    PrefixKind::RawString { hashes } => {
+                        let start = lit_start; // offset of `"`
+                        let end = scan_raw_string(bytes, start, hashes);
+                        let lo = (start + 1).min(end);
+                        let hi = end.saturating_sub(1 + hashes).max(lo);
+                        strings.push(StrLit {
+                            line,
+                            offset: i,
+                            // An unterminated raw literal can leave `hi`
+                            // mid-char; degrade to empty rather than slice.
+                            text: src.get(lo..hi).unwrap_or("").to_string(),
+                        });
+                        blank!(code, start + 1, end.saturating_sub(1 + hashes));
+                        i = end;
+                    }
+                    PrefixKind::PlainString => {
+                        let end = scan_string(src, lit_start, line, &mut strings);
+                        // Re-stamp the prefix offset so rules see the
+                        // literal starting at `b"`/`c"`.
+                        if let Some(last) = strings.last_mut() {
+                            last.offset = i;
+                        }
+                        blank!(code, lit_start + 1, end.saturating_sub(1));
+                        i = end;
+                    }
+                    PrefixKind::ByteChar => {
+                        let end = scan_char(bytes, lit_start);
+                        blank!(code, lit_start + 1, end.saturating_sub(1));
+                        i = end;
+                    }
+                }
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    blank!(code, i + 1, end - 1);
+                    i = end;
+                } else {
+                    // A lifetime: leave it in the code view.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    Lexed {
+        code: String::from_utf8(code).unwrap_or_else(|e| {
+            // Blanking only ever writes ASCII spaces over whole bytes
+            // of multi-byte chars inside literals/comments, which
+            // keeps the buffer valid UTF-8 except in that one case —
+            // fall back to a lossy view rather than failing the lint.
+            String::from_utf8_lossy(e.as_bytes()).into_owned()
+        }),
+        comments,
+        strings,
+    }
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && is_ident(bytes[i - 1])
+}
+
+enum PrefixKind {
+    /// `r"…"`, `r#"…"#`, `br#"…"#`, `cr"…"`… — `hashes` is the number
+    /// of `#` between the prefix and the quote.
+    RawString { hashes: usize },
+    /// `b"…"` / `c"…"` — behaves like a plain string.
+    PlainString,
+    /// `b'…'`.
+    ByteChar,
+}
+
+/// If position `i` starts a prefixed literal (`r`/`b`/`c`/`br`/`cr`,
+/// then optional `#`s, then a quote), returns its kind and the offset
+/// of the opening quote.
+fn raw_or_byte_prefix(bytes: &[u8], i: usize) -> Option<(PrefixKind, usize)> {
+    let mut j = i;
+    let mut raw = false;
+    match bytes[j] {
+        b'r' => {
+            raw = true;
+            j += 1;
+        }
+        b'b' | b'c' => {
+            j += 1;
+            if j < bytes.len() && bytes[j] == b'r' {
+                raw = true;
+                j += 1;
+            }
+        }
+        _ => return None,
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while j < bytes.len() && bytes[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b'"' {
+            return Some((PrefixKind::RawString { hashes }, j));
+        }
+        return None;
+    }
+    if j < bytes.len() && bytes[j] == b'"' {
+        return Some((PrefixKind::PlainString, j));
+    }
+    if bytes[i] == b'b' && j < bytes.len() && bytes[j] == b'\'' {
+        return Some((PrefixKind::ByteChar, j));
+    }
+    None
+}
+
+/// Scans a plain `"…"` string starting at the opening quote; records
+/// the literal and returns the offset just past the closing quote.
+fn scan_string(src: &str, start: usize, line: u32, strings: &mut Vec<StrLit>) -> usize {
+    let bytes = src.as_bytes();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                strings.push(StrLit {
+                    line,
+                    offset: start,
+                    text: src[start + 1..i].to_string(),
+                });
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    strings.push(StrLit {
+        line,
+        offset: start,
+        text: src[(start + 1).min(bytes.len())..].to_string(),
+    });
+    bytes.len()
+}
+
+/// Scans a raw string whose opening quote is at `start` with `hashes`
+/// `#`s; returns the offset just past the final `#` (or `"`).
+fn scan_raw_string(bytes: &[u8], start: usize, hashes: usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && i + 1 + k < bytes.len() && bytes[i + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Scans a char/byte-char literal whose opening `'` is at `start`;
+/// returns the offset just past the closing `'`.
+fn scan_char(bytes: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Distinguishes a char literal from a lifetime at a bare `'`.
+/// Returns the end offset (past the closing quote) for a literal,
+/// `None` for a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        return Some(scan_char(bytes, i));
+    }
+    if next == b'\'' {
+        // `''` — malformed; treat as empty literal to keep scanning.
+        return Some(i + 2);
+    }
+    // A literal holds exactly one char then a quote; anything longer
+    // before the next `'` is a lifetime (or a `'` never arrives).
+    let ch_len = utf8_len(next);
+    if bytes.get(i + 1 + ch_len) == Some(&b'\'') {
+        return Some(i + 2 + ch_len);
+    }
+    None
+}
+
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comment_is_blanked_and_captured() {
+        let l = lex("let x = 1; // trailing note\nlet y = 2;");
+        assert!(l.code.contains("let x = 1;"));
+        assert!(!l.code.contains("trailing"));
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(!l.comments[0].own_line);
+        assert_eq!(l.comments[0].text, " trailing note");
+        assert_eq!(
+            l.code.len(),
+            "let x = 1; // trailing note\nlet y = 2;".len()
+        );
+    }
+
+    #[test]
+    fn own_line_comment_is_flagged() {
+        let l = lex("    // just a comment\nlet z = 3;");
+        assert!(l.comments[0].own_line);
+    }
+
+    #[test]
+    fn string_interior_is_blanked_but_recorded() {
+        let l = lex(r#"let s = "panic! inside"; s.len();"#);
+        assert!(!l.code.contains("panic!"));
+        assert!(l.code.contains("s.len()"));
+        assert_eq!(l.strings.len(), 1);
+        assert_eq!(l.strings[0].text, "panic! inside");
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let l = lex(r#"let s = "a\"b.unwrap()"; x();"#);
+        assert!(!l.code.contains("unwrap"));
+        assert!(l.code.contains("x()"));
+        assert_eq!(l.strings[0].text, r#"a\"b.unwrap()"#);
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(l.code.contains("&'a str"), "{}", l.code);
+        assert!(!l.code.contains("'x'"));
+        assert!(l.code.contains("' '"), "literal quotes kept: {}", l.code);
+    }
+
+    #[test]
+    fn multibyte_char_literal() {
+        let l = lex("let c = 'é'; let d = 1;");
+        assert!(l.code.contains("let d = 1;"));
+        assert!(!l.code.contains('é'));
+    }
+
+    #[test]
+    fn raw_string_interior_is_blanked() {
+        let l = lex(r###"let s = r#"x.unwrap() and "quotes" inside"#; y();"###);
+        assert!(!l.code.contains("unwrap"), "{}", l.code);
+        assert!(l.code.contains("y()"));
+        assert_eq!(l.strings[0].text, r#"x.unwrap() and "quotes" inside"#);
+    }
+
+    #[test]
+    fn raw_string_hash_count_must_match() {
+        // A `"#` inside an `r##"…"##` literal does not close it.
+        let l = lex(r####"let s = r##"one "# still inside"##; z();"####);
+        assert_eq!(l.strings.len(), 1);
+        assert_eq!(l.strings[0].text, r##"one "# still inside"##);
+        assert!(l.code.contains("z()"));
+    }
+
+    #[test]
+    fn nested_block_comments_blank_to_the_outer_close() {
+        let l = lex("a(); /* outer /* inner panic!() */ still comment */ b();");
+        assert!(l.code.contains("a()"));
+        assert!(l.code.contains("b()"));
+        assert!(!l.code.contains("panic!"));
+        assert!(!l.code.contains("still comment"));
+    }
+
+    #[test]
+    fn multiline_block_comment_keeps_line_numbers() {
+        let l = lex("a();\n/* one\ntwo\nthree */\n// after\nb();");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 5);
+        assert!(l.comments[0].own_line);
+    }
+
+    #[test]
+    fn byte_string_interior_is_blanked() {
+        let l = lex(r##"let b = b"thread::spawn"; let rb = br#"x.expect("w")"#; t();"##);
+        assert!(!l.code.contains("thread::spawn"), "{}", l.code);
+        assert!(!l.code.contains("expect"), "{}", l.code);
+        assert!(l.code.contains("t()"));
+        assert_eq!(l.strings[0].text, "thread::spawn");
+    }
+
+    #[test]
+    fn char_literals_containing_quotes() {
+        let l = lex(r#"let a = '"'; let b = '\''; let c = b'\''; ok();"#);
+        assert!(l.code.contains("ok()"), "{}", l.code);
+        assert!(!l.code.contains('"'), "quote char leaked: {}", l.code);
+        // No string literal was opened by the quote inside the char.
+        assert!(l.strings.is_empty());
+    }
+
+    #[test]
+    fn pragma_inside_string_is_not_a_comment() {
+        let l = lex(r#"let s = "// lint:allow(panic-free-data-plane): no"; x.unwrap();"#);
+        assert!(l.comments.is_empty(), "string interior parsed as comment");
+        // The code outside the string is still visible to rules.
+        assert!(l.code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn pragma_inside_raw_string_is_not_a_comment() {
+        let l = lex(r###"let s = r#"// lint:allow(oracle-registry): no"#;"###);
+        assert!(l.comments.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! The per-line escape hatch: `// lint:allow(<rule>): <reason>`.
+//!
+//! A pragma waives violations of `<rule>` on its own line — or, when
+//! the comment stands alone on its line, on the next line that holds
+//! code. The reason is mandatory: a bare `lint:allow(rule)` (or one
+//! with an empty reason) is itself a violation, as is a pragma naming
+//! an unknown rule or one that waives nothing (`pragma-hygiene`).
+//! Pragmas are only recognised in real `//` comments — the lexer has
+//! already blanked string literals, so a pragma spelled inside a
+//! string never counts.
+
+use crate::lexer::Comment;
+
+/// One parsed pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// True when the comment is alone on its line (applies to the
+    /// next code line instead of its own).
+    pub own_line: bool,
+    pub rule: String,
+    /// `None` for a bare pragma; `Some` is guaranteed non-empty.
+    pub reason: Option<String>,
+    /// Malformed-ness: set when the pragma could not be parsed past
+    /// `lint:allow` (unclosed paren etc.).
+    pub malformed: bool,
+}
+
+/// Extracts every pragma from a file's line comments.
+pub fn parse(comments: &[Comment]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let Some(rest) = rest.trim_start().strip_prefix('(') else {
+            out.push(Pragma {
+                line: c.line,
+                own_line: c.own_line,
+                rule: String::new(),
+                reason: None,
+                malformed: true,
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            out.push(Pragma {
+                line: c.line,
+                own_line: c.own_line,
+                rule: String::new(),
+                reason: None,
+                malformed: true,
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim();
+        let reason = after
+            .strip_prefix(':')
+            .map(str::trim)
+            .filter(|r| !r.is_empty())
+            .map(str::to_string);
+        out.push(Pragma {
+            line: c.line,
+            own_line: c.own_line,
+            rule,
+            reason,
+            malformed: false,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn pragmas_of(src: &str) -> Vec<Pragma> {
+        parse(&lex(src).comments)
+    }
+
+    #[test]
+    fn trailing_pragma_with_reason() {
+        let p = pragmas_of("x.unwrap(); // lint:allow(panic-free-data-plane): seeded above\n");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].rule, "panic-free-data-plane");
+        assert_eq!(p[0].reason.as_deref(), Some("seeded above"));
+        assert!(!p[0].own_line);
+    }
+
+    #[test]
+    fn bare_pragma_has_no_reason() {
+        let p = pragmas_of("x(); // lint:allow(no-ad-hoc-threads)\n");
+        assert_eq!(p[0].reason, None);
+        assert!(!p[0].malformed);
+        // Colon with empty reason is still bare.
+        let p = pragmas_of("x(); // lint:allow(no-ad-hoc-threads):   \n");
+        assert_eq!(p[0].reason, None);
+    }
+
+    #[test]
+    fn pragma_inside_string_does_not_count() {
+        let p = pragmas_of(r#"let s = "// lint:allow(panic-free-data-plane): nope";"#);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn own_line_pragma_is_marked() {
+        let p = pragmas_of(
+            "// lint:allow(hashmap-iteration-order): folded into a sum\nfor k in m.keys() {}\n",
+        );
+        assert!(p[0].own_line);
+    }
+}

@@ -1,0 +1,241 @@
+//! Structural regions recovered from the code view: which lines are
+//! test code, and the body span of every `fn`.
+//!
+//! Both analyses run on the blanked code view produced by
+//! [`crate::lexer::lex`], so braces inside strings and comments are
+//! already gone and simple brace balancing is sound.
+//!
+//! * **Test lines** — the brace-balanced body of any item carrying a
+//!   `#[cfg(test)]` or `#[test]` attribute (the idiomatic in-file
+//!   `mod tests`, plus stray test fns). Rules that exempt test code
+//!   consult this mask.
+//! * **Fn spans** — `(start_line, end_line)` of each function body,
+//!   for the rules that reason "within the same function" (the
+//!   hashmap-iteration-order canonicalisation check).
+
+/// Byte-and-line structure of one file's code view.
+pub struct Regions {
+    /// `test_lines[l - 1]` is true when 1-based line `l` is inside a
+    /// `#[cfg(test)]` / `#[test]` item.
+    pub test_lines: Vec<bool>,
+    /// Body span of every `fn`, as 1-based inclusive line ranges.
+    pub fns: Vec<FnSpan>,
+}
+
+/// One function body: `fn` keyword line through closing-brace line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnSpan {
+    pub start_line: u32,
+    pub end_line: u32,
+}
+
+impl Regions {
+    /// The innermost function span containing `line`, if any.
+    /// Innermost = the containing span with the latest start (nested
+    /// fns start later than their parent).
+    pub fn enclosing_fn(&self, line: u32) -> Option<FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.start_line <= line && line <= f.end_line)
+            .max_by_key(|f| f.start_line)
+            .copied()
+    }
+
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Line number (1-based) of byte `offset`, given precomputed line
+/// start offsets.
+pub fn line_of(line_starts: &[usize], offset: usize) -> u32 {
+    match line_starts.binary_search(&offset) {
+        Ok(i) => i as u32 + 1,
+        Err(i) => i as u32,
+    }
+}
+
+/// Start offset of every line (line 1 starts at 0).
+pub fn line_starts(code: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in code.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Analyzes the code view of one file.
+pub fn analyze(code: &str) -> Regions {
+    let bytes = code.as_bytes();
+    let starts = line_starts(code);
+    let n_lines = starts.len();
+    let mut test_lines = vec![false; n_lines];
+
+    // --- Test regions: each `#[cfg(test)]`/`#[test]` attribute marks
+    // the following item's brace-balanced body.
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'#' && i + 1 < bytes.len() && bytes[i + 1] == b'[' {
+            let attr_start = i;
+            let attr_end = match matching(bytes, i + 1, b'[', b']') {
+                Some(e) => e,
+                None => break,
+            };
+            let attr: String = code[attr_start..=attr_end]
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .collect();
+            if attr == "#[test]" || attr.contains("cfg(test") {
+                if let Some((body_start, body_end)) = item_body_after(bytes, attr_end + 1) {
+                    let from = line_of(&starts, attr_start) as usize - 1;
+                    let to = line_of(&starts, body_end) as usize - 1;
+                    for l in &mut test_lines[from..=to.min(n_lines - 1)] {
+                        *l = true;
+                    }
+                    // Keep scanning *inside* for nothing — the whole
+                    // region is already marked; skip past it.
+                    i = body_end + 1;
+                    let _ = body_start;
+                    continue;
+                }
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+
+    // --- Fn spans.
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < bytes.len() {
+        if bytes[i] == b'f'
+            && bytes[i + 1] == b'n'
+            && !is_ident(bytes[i + 2])
+            && (i == 0 || !is_ident(bytes[i - 1]))
+        {
+            if let Some((body_start, body_end)) = fn_body_after(bytes, i + 2) {
+                fns.push(FnSpan {
+                    start_line: line_of(&starts, i),
+                    end_line: line_of(&starts, body_end),
+                });
+                // Continue scanning *inside* the body: nested fns and
+                // closures containing fns are real.
+                i = body_start + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    Regions { test_lines, fns }
+}
+
+/// Offset of the closing delimiter matching the opener at `open`.
+fn matching(bytes: &[u8], open: usize, lo: u8, hi: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        if bytes[i] == lo {
+            depth += 1;
+        } else if bytes[i] == hi {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// After an attribute, skips further attributes and whitespace, then
+/// finds the item's `{…}` body. Items that end at a `;` before any
+/// brace (e.g. `#[cfg(test)] use …;`) have no body.
+fn item_body_after(bytes: &[u8], mut i: usize) -> Option<(usize, usize)> {
+    loop {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i + 1 < bytes.len() && bytes[i] == b'#' && bytes[i + 1] == b'[' {
+            i = matching(bytes, i + 1, b'[', b']')? + 1;
+            continue;
+        }
+        break;
+    }
+    // Scan to the first `{` at paren depth 0, bailing at a top-level `;`.
+    let mut paren = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => paren += 1,
+            b')' => paren = paren.saturating_sub(1),
+            b'{' if paren == 0 => {
+                let end = matching(bytes, i, b'{', b'}')?;
+                return Some((i, end));
+            }
+            b';' if paren == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// After the `fn` keyword, finds the body braces. Trait-method
+/// declarations (`fn f();`) have none.
+fn fn_body_after(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    item_body_after(bytes, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_lines_are_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let r = analyze(src);
+        assert!(!r.is_test_line(1));
+        assert!(r.is_test_line(2));
+        assert!(r.is_test_line(3));
+        assert!(r.is_test_line(4));
+        assert!(r.is_test_line(5));
+        assert!(!r.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_test_use_without_body_marks_nothing_after() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}\n";
+        let r = analyze(src);
+        assert!(!r.is_test_line(3));
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies_and_nest() {
+        let src = "fn outer() {\n    let x = 1;\n    fn inner() {\n        let y = 2;\n    }\n}\n";
+        let r = analyze(src);
+        assert_eq!(r.fns.len(), 2);
+        let inner = r.enclosing_fn(4).unwrap();
+        assert_eq!((inner.start_line, inner.end_line), (3, 5));
+        let outer = r.enclosing_fn(2).unwrap();
+        assert_eq!((outer.start_line, outer.end_line), (1, 6));
+    }
+
+    #[test]
+    fn trait_method_decl_has_no_span() {
+        let src =
+            "trait T {\n    fn decl(&self);\n    fn with_default(&self) {\n        ()\n    }\n}\n";
+        let r = analyze(src);
+        assert_eq!(r.fns.len(), 1);
+        assert_eq!(r.fns[0].start_line, 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Workspace loading and file classification.
+//!
+//! A [`Workspace`] is the unit the rule engine runs over: every
+//! tracked `.rs` file (lexed + region-analyzed) plus the parsed
+//! oracle registry. It can be loaded from disk (the CLI) or built
+//! from in-memory `(path, content)` pairs (the rule fixtures), so
+//! every rule is testable without touching the filesystem.
+
+use crate::lexer::{lex, Lexed};
+use crate::pragma::{self, Pragma};
+use crate::regions::{self, Regions};
+use crate::registry::{self, Registry};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Workspace-relative path of the oracle registry.
+pub const REGISTRY_PATH: &str = "lint/oracles.toml";
+
+/// Directories never linted: build output, vendored dep stubs, VCS.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "results", ".github"];
+
+/// One lexed and classified source file.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub lexed: Lexed,
+    pub regions: Regions,
+    pub line_starts: Vec<usize>,
+    pub pragmas: Vec<Pragma>,
+    /// `crates/<name>/…` → `Some(name)`; root `src/`, `tests/` → `None`.
+    pub krate: Option<String>,
+    /// Integration tests, examples, benches — exempt from most rules.
+    pub testlike: bool,
+}
+
+impl SourceFile {
+    pub fn new(path: String, content: &str) -> Self {
+        let lexed = lex(content);
+        let regions = regions::analyze(&lexed.code);
+        let line_starts = regions::line_starts(&lexed.code);
+        let pragmas = pragma::parse(&lexed.comments);
+        let krate = path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .map(str::to_string);
+        let testlike = path.starts_with("tests/")
+            || path.starts_with("examples/")
+            || path.contains("/tests/")
+            || path.contains("/examples/")
+            || path.contains("/benches/");
+        SourceFile {
+            path,
+            lexed,
+            regions,
+            line_starts,
+            pragmas,
+            krate,
+            testlike,
+        }
+    }
+
+    /// True for `crates/bench/src/bin/*` — the one place allowed to
+    /// *set* the thread-policy variable for sweeps.
+    pub fn is_bench_bin(&self) -> bool {
+        self.path.starts_with("crates/bench/src/bin/")
+    }
+
+    /// 1-based line of a byte offset into the code view.
+    pub fn line_of(&self, offset: usize) -> u32 {
+        regions::line_of(&self.line_starts, offset)
+    }
+
+    /// True when `line` is inside `#[cfg(test)]`/`#[test]` code or
+    /// the whole file is test-like.
+    pub fn is_test_code(&self, line: u32) -> bool {
+        self.testlike || self.regions.is_test_line(line)
+    }
+}
+
+/// A loaded workspace, ready for [`crate::engine::check`].
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    /// Parse outcome of `lint/oracles.toml`; `Err` carries the load or
+    /// parse failure to be reported as a violation.
+    pub registry: Result<Registry, (u32, String)>,
+}
+
+impl Workspace {
+    /// Builds a workspace from in-memory files — the fixture seam.
+    pub fn from_memory(files: Vec<(&str, &str)>, registry_toml: &str) -> Self {
+        Workspace {
+            files: files
+                .into_iter()
+                .map(|(p, c)| SourceFile::new(p.to_string(), c))
+                .collect(),
+            registry: registry::parse(registry_toml),
+        }
+    }
+
+    /// Loads every tracked `.rs` file under `root` plus the registry.
+    pub fn from_disk(root: &Path) -> io::Result<Self> {
+        let mut paths = Vec::new();
+        walk(root, root, &mut paths)?;
+        paths.sort();
+        let mut files = Vec::new();
+        for rel in paths {
+            let content = fs::read_to_string(root.join(&rel))?;
+            files.push(SourceFile::new(rel, &content));
+        }
+        let registry = match fs::read_to_string(root.join(REGISTRY_PATH)) {
+            Ok(toml) => registry::parse(&toml),
+            Err(e) => Err((0, format!("cannot read {REGISTRY_PATH}: {e}"))),
+        };
+        Ok(Workspace { files, registry })
+    }
+
+    pub fn file(&self, path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked path is under root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

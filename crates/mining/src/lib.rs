@@ -29,6 +29,8 @@
 //! communities. Both produce identical output — itemsets, counts, and
 //! order — so everything downstream is engine-oblivious.
 
+#![forbid(unsafe_code)]
+
 pub mod apriori;
 pub mod fpgrowth;
 pub mod transaction;

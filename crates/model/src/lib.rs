@@ -25,6 +25,8 @@
 //! * [`source`] — [`PacketSource`]/[`PacketChunk`]: time-binned
 //!   chunked ingest with constant peak packet memory.
 
+#![forbid(unsafe_code)]
+
 pub mod flow;
 pub mod packet;
 pub mod pcap;

@@ -43,6 +43,8 @@ pub enum PcapError {
     BadMagic(u32),
     /// File uses a link type other than Ethernet.
     UnsupportedLinkType(u32),
+    /// A zero chunk width was requested for streaming reads.
+    InvalidChunkWidth(u64),
 }
 
 impl std::fmt::Display for PcapError {
@@ -51,6 +53,9 @@ impl std::fmt::Display for PcapError {
             PcapError::Io(e) => write!(f, "pcap I/O error: {e}"),
             PcapError::BadMagic(m) => write!(f, "not a pcap file (magic {m:#010x})"),
             PcapError::UnsupportedLinkType(t) => write!(f, "unsupported pcap link type {t}"),
+            PcapError::InvalidChunkWidth(w) => {
+                write!(f, "chunk bin width must be positive, got {w}")
+            }
         }
     }
 }
@@ -178,6 +183,10 @@ pub fn read_pcap<R: Read>(mut r: R, meta: TraceMeta) -> Result<(Trace, usize), P
         match read_record(&mut r, swapped, &mut frame)? {
             RecordRead::Packet(p) => packets.push(p),
             RecordRead::Skipped => skipped += 1,
+            RecordRead::Truncated => {
+                skipped += 1;
+                break;
+            }
             RecordRead::Eof => break,
         }
     }
@@ -218,25 +227,46 @@ enum RecordRead {
     /// A record that was present but unusable (non-IPv4, truncated
     /// headers, or an oversized `incl_len`).
     Skipped,
+    /// The stream ended inside a record header or frame: a truncated
+    /// archive tail. The partial record is unusable but everything
+    /// before it is good — degrade to a counted skip at end of
+    /// stream, the way capture tooling treats a cut-off file.
+    Truncated,
     /// Clean end of stream (EOF at a record-header boundary).
     Eof,
+}
+
+/// Reads up to `buf.len()` bytes, looping over short reads; returns
+/// how many bytes arrived before EOF.
+fn read_fill<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(got)
 }
 
 /// Reads one record. `frame` is a reusable scratch buffer. A record
 /// whose `incl_len` exceeds [`MAX_RECORD_BYTES`] is discarded without
 /// being materialised — a corrupt length field must not drive a
-/// multi-GB allocation. Truncation mid-frame is an I/O error, as with
-/// `read_exact`.
+/// multi-GB allocation. A stream that ends mid-header or mid-frame
+/// yields [`RecordRead::Truncated`], never an error: one cut-off
+/// archive day must degrade, not take down a labeling sweep.
 fn read_record<R: Read>(
     r: &mut R,
     swapped: bool,
     frame: &mut Vec<u8>,
 ) -> Result<RecordRead, PcapError> {
     let mut rec = [0u8; 16];
-    match r.read_exact(&mut rec) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(RecordRead::Eof),
-        Err(e) => return Err(e.into()),
+    match read_fill(r, &mut rec)? {
+        0 => return Ok(RecordRead::Eof),
+        16 => {}
+        _ => return Ok(RecordRead::Truncated),
     }
     let ts_sec = read_u32(swapped, &rec[0..4]) as u64;
     let ts_usec = read_u32(swapped, &rec[4..8]) as u64;
@@ -250,7 +280,9 @@ fn read_record<R: Read>(
         return Ok(RecordRead::Skipped);
     }
     frame.resize(incl_len, 0);
-    r.read_exact(frame)?;
+    if read_fill(r, frame)? < incl_len {
+        return Ok(RecordRead::Truncated);
+    }
     Ok(
         match decode_frame(frame, ts_sec * 1_000_000 + ts_usec, orig_len) {
             Some(p) => RecordRead::Packet(p),
@@ -278,15 +310,19 @@ pub struct StreamingPcapReader<R: Read + Seek> {
     pending: Option<Packet>,
     skipped: usize,
     packets: u64,
+    truncated: bool,
     done: bool,
 }
 
 impl<R: Read + Seek> StreamingPcapReader<R> {
     /// Opens a pcap stream, validating the global header. `meta`
     /// supplies the archive metadata (the format does not carry it),
-    /// `bin_us` the chunk width.
+    /// `bin_us` the chunk width. A zero `bin_us` is a typed
+    /// [`PcapError::InvalidChunkWidth`], not a panic.
     pub fn new(mut r: R, meta: TraceMeta, bin_us: u64) -> Result<Self, PcapError> {
-        assert!(bin_us > 0, "chunk bin width must be positive");
+        if bin_us == 0 {
+            return Err(PcapError::InvalidChunkWidth(bin_us));
+        }
         let swapped = read_global_header(&mut r)?;
         Ok(StreamingPcapReader {
             r,
@@ -298,11 +334,13 @@ impl<R: Read + Seek> StreamingPcapReader<R> {
             pending: None,
             skipped: 0,
             packets: 0,
+            truncated: false,
             done: false,
         })
     }
 
-    /// Records skipped so far (damaged, non-IPv4, or oversized).
+    /// Records skipped so far (damaged, non-IPv4, oversized, or the
+    /// truncated tail record).
     pub fn skipped(&self) -> usize {
         self.skipped
     }
@@ -312,12 +350,23 @@ impl<R: Read + Seek> StreamingPcapReader<R> {
         self.packets
     }
 
+    /// True when the stream ended inside a record — a cut-off archive
+    /// tail that was degraded to end-of-stream rather than an error.
+    pub fn truncated_tail(&self) -> bool {
+        self.truncated
+    }
+
     /// Reads records until a parsable packet, EOF, or an error.
     fn next_packet(&mut self) -> Result<Option<Packet>, PcapError> {
         loop {
             match read_record(&mut self.r, self.swapped, &mut self.frame)? {
                 RecordRead::Packet(p) => return Ok(Some(p)),
                 RecordRead::Skipped => self.skipped += 1,
+                RecordRead::Truncated => {
+                    self.skipped += 1;
+                    self.truncated = true;
+                    return Ok(None);
+                }
                 RecordRead::Eof => return Ok(None),
             }
         }
@@ -380,6 +429,7 @@ impl<R: Read + Seek> PacketSource for StreamingPcapReader<R> {
         self.pending = None;
         self.skipped = 0;
         self.packets = 0;
+        self.truncated = false;
         self.done = false;
         Ok(())
     }
@@ -527,15 +577,25 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_reports_io_error() {
+    fn truncated_file_degrades_to_counted_skip() {
         let trace = sample_trace();
         let mut buf = Vec::new();
         write_pcap(&mut buf, &trace).unwrap();
-        buf.truncate(buf.len() - 3); // cut mid-frame
+        buf.truncate(buf.len() - 3); // cut mid-frame of the last record
         let meta = trace.meta.clone();
+        let (back, skipped) = read_pcap(Cursor::new(&buf), meta).unwrap();
+        assert_eq!(skipped, 1, "truncated tail must be counted");
+        assert_eq!(back.packets, trace.packets[..trace.packets.len() - 1]);
+    }
+
+    #[test]
+    fn zero_chunk_width_is_a_typed_error() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &trace).unwrap();
         assert!(matches!(
-            read_pcap(Cursor::new(&buf), meta),
-            Err(PcapError::Io(_))
+            StreamingPcapReader::new(Cursor::new(&buf), trace.meta.clone(), 0),
+            Err(PcapError::InvalidChunkWidth(0))
         ));
     }
 

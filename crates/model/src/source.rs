@@ -88,6 +88,8 @@ pub enum SourceError {
         /// Packets drained after the rewind.
         pass2_packets: u64,
     },
+    /// A zero chunk width was requested — time bins must be positive.
+    InvalidChunkWidth(u64),
 }
 
 impl fmt::Display for SourceError {
@@ -108,6 +110,9 @@ impl fmt::Display for SourceError {
                  pass 1 saw {pass1_packets} packets in {pass1_chunks} chunks, \
                  pass 2 saw {pass2_packets} packets in {pass2_chunks} chunks"
             ),
+            SourceError::InvalidChunkWidth(w) => {
+                write!(f, "chunk bin width must be positive, got {w}")
+            }
         }
     }
 }
@@ -372,15 +377,24 @@ pub struct TraceChunker {
 }
 
 impl TraceChunker {
-    /// Chunks a trace at `bin_us`-wide time bins.
+    /// Chunks a trace at `bin_us`-wide time bins. Panics on a zero
+    /// width; config-driven callers should prefer [`Self::try_new`].
     pub fn new(trace: Trace, bin_us: u64) -> Self {
-        assert!(bin_us > 0, "chunk bin width must be positive");
-        TraceChunker {
+        Self::try_new(trace, bin_us).expect("chunk bin width must be positive") // lint:allow(panic-free-data-plane): callers pass compile-time constant widths; try_new is the config-driven path
+    }
+
+    /// Chunks a trace at `bin_us`-wide time bins, rejecting a zero
+    /// width with a typed error instead of a panic.
+    pub fn try_new(trace: Trace, bin_us: u64) -> Result<Self, SourceError> {
+        if bin_us == 0 {
+            return Err(SourceError::InvalidChunkWidth(bin_us));
+        }
+        Ok(TraceChunker {
             trace,
             bin_us,
             pos: 0,
             buf: PacketChunk::default(),
-        }
+        })
     }
 
     /// The wrapped trace.
@@ -448,6 +462,15 @@ mod tests {
             .map(|&o| Packet::udp(base + o, ip(1), 1, ip(2), 2, 100))
             .collect();
         Trace::new(meta, packets)
+    }
+
+    #[test]
+    fn zero_chunk_width_is_a_typed_error() {
+        let trace = trace_with_offsets(&[0]);
+        assert!(matches!(
+            TraceChunker::try_new(trace, 0),
+            Err(SourceError::InvalidChunkWidth(0))
+        ));
     }
 
     #[test]

@@ -166,7 +166,7 @@ impl HorizonExtractor {
             if front.window.end_us.saturating_add(self.lag_us) > self.high_water_us {
                 break;
             }
-            let chunk = self.fresh.pop_front().expect("peeked");
+            let chunk = self.fresh.pop_front().expect("peeked"); // lint:allow(panic-free-data-plane): front() returned Some on this iteration
             self.stats.retired_chunks += 1;
             self.stats.retired_records += chunk.records.len() as u64;
             for r in chunk.records {

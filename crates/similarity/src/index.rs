@@ -72,6 +72,18 @@ impl AlarmRun {
             max_end = max_end.max(end);
             prefix_max_end.push(max_end);
         }
+        debug_assert!(
+            entries.windows(2).all(|w| w[0] <= w[1]),
+            "AlarmRun entries must be sorted for partition_point stabbing"
+        );
+        debug_assert!(
+            prefix_max_end.windows(2).all(|w| w[0] <= w[1])
+                && entries
+                    .iter()
+                    .zip(&prefix_max_end)
+                    .all(|(&(_, end, _), &pm)| pm >= end),
+            "prefix_max_end must be the running max of window ends"
+        );
         AlarmRun {
             entries,
             prefix_max_end,

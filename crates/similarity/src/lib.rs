@@ -19,6 +19,8 @@
 //!    communities* whose count is the estimator's quality signal
 //!    (Fig. 3(a)).
 
+#![forbid(unsafe_code)]
+
 pub mod estimator;
 pub mod extractor;
 pub mod horizon;

@@ -16,6 +16,8 @@
 //! false-identification probability to roughly `(f/M)^H` for `f`
 //! flagged bins per row.
 
+#![forbid(unsafe_code)]
+
 pub mod hash;
 pub mod kary;
 

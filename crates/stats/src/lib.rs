@@ -17,6 +17,8 @@
 //! * [`summary`] — running moments, quantiles, median/MAD robust
 //!   scale, and EWMA baselines used for adaptive thresholds.
 
+#![forbid(unsafe_code)]
+
 pub mod divergence;
 pub mod gamma;
 pub mod histogram;

@@ -39,7 +39,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input")); // lint:allow(panic-free-data-plane): quantile inputs are detector metrics, finite by construction
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

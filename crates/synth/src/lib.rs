@@ -27,6 +27,8 @@
 //! [`SynthConfig`]/[`ArchiveSimulator`] inputs always produce the same
 //! bytes, which the test suite relies on.
 
+#![forbid(unsafe_code)]
+
 pub mod anomalies;
 pub mod archive;
 pub mod background;

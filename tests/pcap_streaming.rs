@@ -2,9 +2,9 @@
 //! tails, and chunk boundaries that do not align with record
 //! timestamps.
 
-use mawilab::model::pcap::{read_pcap, write_pcap, PcapError, MAX_RECORD_BYTES};
+use mawilab::model::pcap::{read_pcap, write_pcap, MAX_RECORD_BYTES};
 use mawilab::model::{
-    Packet, PacketSource, SourceError, StreamingPcapReader, TcpFlags, Trace, TraceDate, TraceMeta,
+    Packet, PacketSource, StreamingPcapReader, TcpFlags, Trace, TraceDate, TraceMeta,
     DEFAULT_CHUNK_US,
 };
 use std::io::Cursor;
@@ -156,42 +156,33 @@ fn oversized_record_in_the_middle_resyncs_when_length_is_honest() {
 }
 
 #[test]
-fn truncated_final_record_surfaces_as_io_error() {
+fn truncated_final_record_degrades_to_counted_skip() {
     let trace = sample_trace();
     let mut buf = pcap_bytes(&trace);
     buf.truncate(buf.len() - 7); // cut mid-frame of the last record
     let mut reader =
         StreamingPcapReader::new(Cursor::new(&buf), trace.meta.clone(), DEFAULT_CHUNK_US).unwrap();
-    let mut seen = 0usize;
-    let err = loop {
-        match reader.next_chunk() {
-            Ok(Some(chunk)) => seen += chunk.packets.len(),
-            Ok(None) => panic!("truncated tail silently dropped"),
-            Err(e) => break e,
-        }
-    };
-    assert!(
-        matches!(err, SourceError::Pcap(PcapError::Io(_))),
-        "unexpected error {err}"
-    );
-    // Everything before the damaged tail was delivered.
-    assert!(
-        seen >= trace.packets.len() - 2,
-        "lost {} packets",
-        trace.packets.len() - seen
-    );
+    let mut packets = Vec::new();
+    while let Some(chunk) = reader.next_chunk().unwrap() {
+        packets.extend_from_slice(&chunk.packets);
+    }
+    // Everything before the damaged tail was delivered; the tail is a
+    // counted, flagged skip — not an error that kills the sweep.
+    assert_eq!(packets, trace.packets[..trace.packets.len() - 1].to_vec());
+    assert_eq!(reader.skipped(), 1, "truncated tail must be counted");
+    assert!(reader.truncated_tail(), "truncation must be flagged");
 }
 
 #[test]
-fn truncated_record_header_is_clean_eof() {
+fn truncated_record_header_degrades_to_counted_skip() {
     let trace = sample_trace();
     let frame_len = {
         let b = pcap_bytes(&trace);
         u32::from_le_bytes([b[32], b[33], b[34], b[35]])
     };
     let mut buf = pcap_bytes(&trace);
-    // Cut inside the *header* of the last record: like tcpdump, treat
-    // a header-boundary EOF as end of file.
+    // Cut inside the *header* of the last record: the partial record
+    // is an observable truncation, not a silent clean EOF.
     let last_rec = buf.len() - (16 + frame_len as usize);
     buf.truncate(last_rec + 9);
     let mut reader =
@@ -201,6 +192,22 @@ fn truncated_record_header_is_clean_eof() {
         packets.extend_from_slice(&chunk.packets);
     }
     assert_eq!(packets, trace.packets[..trace.packets.len() - 1].to_vec());
+    assert_eq!(reader.skipped(), 1, "partial header must be counted");
+    assert!(reader.truncated_tail(), "truncation must be flagged");
+}
+
+#[test]
+fn truncation_flag_resets_on_rewind() {
+    let trace = sample_trace();
+    let mut buf = pcap_bytes(&trace);
+    buf.truncate(buf.len() - 7);
+    let mut reader =
+        StreamingPcapReader::new(Cursor::new(&buf), trace.meta.clone(), DEFAULT_CHUNK_US).unwrap();
+    while reader.next_chunk().unwrap().is_some() {}
+    assert!(reader.truncated_tail());
+    reader.rewind().unwrap();
+    assert!(!reader.truncated_tail());
+    assert_eq!(reader.skipped(), 0);
 }
 
 #[test]
