@@ -21,6 +21,7 @@ use crate::harness::{
     peak_rss_kb, run_days_streaming, run_days_streaming_two_pass, run_days_streaming_warm,
     run_days_streaming_wrapped, DayFailure, SourceWrap, StreamingDayContext,
 };
+use mawilab_combiner::{strategy_agreement, ConfidenceThresholds};
 use mawilab_core::{PipelineConfig, StrategyKind, WarmState};
 use mawilab_eval::ground_truth::DEFAULT_MIN_COVERAGE;
 use mawilab_eval::{stability_report, DaySummary, GroundTruthMatcher, StabilityReport, WormStatus};
@@ -28,6 +29,20 @@ use mawilab_label::MawilabLabel;
 use mawilab_model::{LinkEra, TraceDate, DEFAULT_CHUNK_US};
 use mawilab_synth::{AnomalyKind, ArchiveConfig, ArchiveSimulator, TraceGenerator};
 use std::collections::HashSet;
+
+/// The pipeline configuration every archive sweep runs with: the
+/// default pipeline plus the default dual confidence thresholds, so
+/// labels carry a real abstention tier and the stability report's
+/// `churn_confident` measures something. All four collectors (cold,
+/// wrapped, two-pass oracle, warm) share this one function — the
+/// oracle and determinism comparisons only hold if every path labels
+/// under the same thresholds.
+pub fn archive_config() -> PipelineConfig {
+    PipelineConfig {
+        confidence_thresholds: Some(ConfidenceThresholds::default()),
+        ..PipelineConfig::default()
+    }
+}
 
 /// Consecutive sampled days farther apart than this are epoch jumps
 /// (era/outbreak boundaries), not day-over-day stability pairs, and
@@ -179,6 +194,14 @@ pub struct ArchiveDayRecord {
     pub communities: usize,
     /// Communities labeled anomalous.
     pub anomalous: usize,
+    /// Communities per confidence tier, indexed by
+    /// [`mawilab_combiner::ConfidenceTier::index`]:
+    /// `[anomalous, uncertain, benign]`. Sums to `communities`.
+    pub tier_counts: [u64; 3],
+    /// Histogram of per-community strategy agreement: slot `k` counts
+    /// communities where exactly `k` of the four paper strategies
+    /// agree with the day's decision.
+    pub agreement_hist: [u64; 5],
     /// Wall-clock of the streaming pipeline run, seconds.
     pub wall_s: f64,
     /// Pipeline throughput, packets/second.
@@ -233,6 +256,18 @@ fn reduce_day(ctx: &StreamingDayContext<'_>) -> ArchiveDayRecord {
         })
         .collect();
 
+    // Confidence-tier populations and the strategy-agreement
+    // histogram of the day — the per-day inputs of the JSON's
+    // `confidence` block.
+    let mut tier_counts = [0u64; 3];
+    for lc in &report.labeled.communities {
+        tier_counts[lc.confidence.tier.index()] += 1;
+    }
+    let mut agreement_hist = [0u64; 5];
+    for agree in strategy_agreement(&report.votes, &report.decisions) {
+        agreement_hist[agree] += 1;
+    }
+
     let summary = DaySummary::new(ctx.date, &report.labeled.communities, &strategies, worms);
     let t = &report.timings;
     let wall_s = ctx.wall.as_secs_f64();
@@ -246,6 +281,8 @@ fn reduce_day(ctx: &StreamingDayContext<'_>) -> ArchiveDayRecord {
         alarms: report.alarm_count(),
         communities: report.community_count(),
         anomalous: report.labeled.count(MawilabLabel::Anomalous),
+        tier_counts,
+        agreement_hist,
         wall_s,
         pps: report.stats.packets() as f64 / wall_s.max(1e-9),
         gen_s,
@@ -309,7 +346,7 @@ pub fn collect_archive(args: &ArchiveBenchArgs) -> ArchiveOutcome {
         &args.days,
         args.scale,
         args.chunk_us,
-        PipelineConfig::default(),
+        archive_config(),
         reduce_day,
     ))
 }
@@ -325,7 +362,7 @@ pub fn collect_archive_wrapped(args: &ArchiveBenchArgs, wrap: &dyn SourceWrap) -
         &args.days,
         args.scale,
         args.chunk_us,
-        PipelineConfig::default(),
+        archive_config(),
         wrap,
         reduce_day,
     ))
@@ -341,7 +378,7 @@ pub fn collect_archive_two_pass(args: &ArchiveBenchArgs) -> ArchiveOutcome {
         &args.days,
         args.scale,
         args.chunk_us,
-        PipelineConfig::default(),
+        archive_config(),
         reduce_day,
     ))
 }
@@ -386,7 +423,7 @@ pub fn collect_archive_warm(
         &args.days,
         args.scale,
         args.chunk_us,
-        PipelineConfig::default(),
+        archive_config(),
         &mut warm,
         reduce_day,
     ));
@@ -414,7 +451,7 @@ pub fn deterministic_view(outcome: &ArchiveOutcome) -> String {
         .map(|r| {
             format!(
                 "{} packets={} chunks={} peak={} items={} alarms={} communities={} \
-                 anomalous={} summary={:?}",
+                 anomalous={} tiers={:?} agreement={:?} summary={:?}",
                 r.summary.date,
                 r.packets,
                 r.chunks,
@@ -423,6 +460,8 @@ pub fn deterministic_view(outcome: &ArchiveOutcome) -> String {
                 r.alarms,
                 r.communities,
                 r.anomalous,
+                r.tier_counts,
+                r.agreement_hist,
                 r.summary,
             )
         })
@@ -633,6 +672,47 @@ fn era_boundaries_evaluated(outcome: &ArchiveOutcome) -> usize {
     era_boundaries_crossed(&dates)
 }
 
+/// Formats the top-level `confidence` block: the thresholds the sweep
+/// labeled under, pooled tier populations (summing to the pooled
+/// community count), the pooled strategy-agreement histogram, and the
+/// headline churn comparison — all matches versus the
+/// confidently-labeled subset. The abstention tier earns its place
+/// when `churn_confident` sits below `churn_all`.
+fn format_confidence_json(outcome: &ArchiveOutcome) -> String {
+    let thresholds = archive_config()
+        .confidence_thresholds
+        .expect("archive sweeps always label with thresholds");
+    let mut tiers = [0u64; 3];
+    let mut agreement = [0u64; 5];
+    let mut communities = 0u64;
+    for r in &outcome.records {
+        for (t, n) in tiers.iter_mut().zip(&r.tier_counts) {
+            *t += n;
+        }
+        for (a, n) in agreement.iter_mut().zip(&r.agreement_hist) {
+            *a += n;
+        }
+        communities += r.communities as u64;
+    }
+    let hist: Vec<String> = agreement.iter().map(|n| n.to_string()).collect();
+    format!(
+        "{{\n    \"thresholds\": {{\"low\": {}, \"high\": {}}},\n    \
+         \"communities\": {},\n    \
+         \"tiers\": {{\"anomalous\": {}, \"uncertain\": {}, \"benign\": {}}},\n    \
+         \"agreement_hist\": [{}],\n    \
+         \"churn_all\": {},\n    \"churn_confident\": {}\n  }}",
+        f(thresholds.low),
+        f(thresholds.high),
+        communities,
+        tiers[0],
+        tiers[1],
+        tiers[2],
+        hist.join(", "),
+        f(outcome.stability.label_churn),
+        f(outcome.stability.label_churn_confident),
+    )
+}
+
 /// Formats the benchmark JSON document.
 fn format_archive_json(
     args: &ArchiveBenchArgs,
@@ -664,6 +744,7 @@ fn format_archive_json(
                  \"ingest_passes\": {}, \
                  \"peak_chunk_packets\": {}, \"items\": {}, \"alarms\": {}, \
                  \"communities\": {}, \"anomalous\": {}, \"identities\": {}, \
+                 \"tiers\": [{}, {}, {}], \"strategy_agreement\": [{}], \
                  \"wall_s\": {}, \"packets_per_s\": {}, \"gen_s\": {}, \
                  \"gen_packets_per_s\": {}, \"detect_s\": {}, \
                  \"extract_s\": {}, \"graph_s\": {}, \"louvain_s\": {}, \
@@ -678,6 +759,14 @@ fn format_archive_json(
                 r.communities,
                 r.anomalous,
                 r.summary.labels.len(),
+                r.tier_counts[0],
+                r.tier_counts[1],
+                r.tier_counts[2],
+                r.agreement_hist
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
                 f(r.wall_s),
                 f(r.pps),
                 f(r.gen_s),
@@ -725,6 +814,8 @@ fn format_archive_json(
             format!(
                 "      {{\"from\": \"{}\", \"to\": \"{}\", \"gap_days\": {}, \
                  \"matched\": {}, \"label_flips\": {}, \"churn\": {}, \
+                 \"matched_confident\": {}, \"label_flips_confident\": {}, \
+                 \"churn_confident\": {}, \
                  \"jaccard_anomalous\": {}, \"jaccard_drift\": {}, \
                  \"strategies\": [{}]}}",
                 p.from,
@@ -733,6 +824,9 @@ fn format_archive_json(
                 p.matched,
                 p.label_flips,
                 f(p.churn()),
+                p.matched_confident,
+                p.label_flips_confident,
+                f(p.churn_confident()),
                 f(p.jaccard_anomalous),
                 f(p.jaccard_drift()),
                 strategies.join(", "),
@@ -831,11 +925,13 @@ fn format_archive_json(
          \"max_stability_gap_days\": {},\n  \
          \"days\": [\n{}\n  ],\n  \
          \"failed_days\": [{}],\n  \
-         \"stability\": {{\n    \"label_churn\": {},\n    \"jaccard_drift\": {},\n    \
+         \"stability\": {{\n    \"label_churn\": {},\n    \
+         \"label_churn_confident\": {},\n    \"jaccard_drift\": {},\n    \
          \"strategy_flip_rates\": [{}],\n    \
          \"monthly\": [\n{}\n    ],\n    \
          \"era_transitions\": [\n{}\n    ],\n    \
          \"adjacent_pairs\": [\n{}\n    ]\n  }},\n  \
+         \"confidence\": {},\n  \
          \"outbreaks\": [\n{}\n  ],\n  \
          \"generation\": {{\n    \"date\": \"{}\", \"packets\": {}, \
          \"sequential_s\": {},\n    \"sharded\": [\n{}\n    ]\n  }},\n  \
@@ -862,11 +958,13 @@ fn format_archive_json(
             format!("\n{}\n  ", failed_rows.join(",\n"))
         },
         f(stability.label_churn),
+        f(stability.label_churn_confident),
         f(stability.jaccard_drift),
         flip_rows.join(", "),
         monthly_rows.join(",\n"),
         transition_rows.join(",\n"),
         pair_rows.join(",\n"),
+        format_confidence_json(outcome),
         outbreak_rows.join(",\n"),
         gen.date,
         gen.packets,
@@ -1070,6 +1168,44 @@ mod tests {
         }
         // Three adjacent days → two stability pairs.
         assert_eq!(json.matches("\"gap_days\"").count(), 2);
+        // The confidence block: present, tier populations summing to
+        // the pooled community count, churn comparison well-ordered.
+        for key in [
+            "\"confidence\": {",
+            "\"thresholds\"",
+            "\"tiers\"",
+            "\"agreement_hist\"",
+            "\"churn_all\"",
+            "\"churn_confident\"",
+            "\"label_churn_confident\"",
+            "\"matched_confident\"",
+            "\"strategy_agreement\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        let conf = json.split("\"confidence\": {").nth(1).unwrap();
+        let grab = |key: &str| -> f64 {
+            conf.split(&format!("\"{key}\": "))
+                .nth(1)
+                .unwrap()
+                .split(&[',', '}', '\n'][..])
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        let total = grab("communities");
+        assert!(total > 0.0, "smoke sweep labeled no communities");
+        assert_eq!(
+            grab("anomalous") + grab("uncertain") + grab("benign"),
+            total,
+            "tier populations must sum to the community count"
+        );
+        assert!(
+            grab("churn_confident") <= grab("churn_all"),
+            "abstention can only remove flips"
+        );
         // The Sasser epoch is present in the outbreak table.
         assert!(json.contains("\"worm\": \"sasser\""));
         // Extract the headline churn value and check it parses.

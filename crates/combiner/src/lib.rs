@@ -15,16 +15,26 @@
 //!   the 0.5 acceptance threshold (§2.2.3), plus the classical
 //!   **majority vote** (§2.2.1, kept as a baseline extension);
 //! * [`scann`] — **SCANN** (Merz 1999): correspondence analysis of the
-//!   binary vote table, nearest-unanimous-reference classification,
-//!   and the *relative distance* `(d_rej/d_acc) − 1` that drives the
-//!   MAWILab taxonomy's Suspicious/Notice split (§4.2.3, Fig. 10).
+//!   binary vote table iterated to a stable class assignment,
+//!   nearest-unanimous-reference classification, and the *relative
+//!   distance* `(d_rej/d_acc) − 1` that drives the MAWILab taxonomy's
+//!   Suspicious/Notice split (§4.2.3, Fig. 10);
+//! * [`confidence`] — per-label **confidence scores** folded from the
+//!   evidence above (strategy agreement, SCANN margin, vote mass) and
+//!   the dual-threshold **abstention tier**
+//!   (anomalous/uncertain/benign).
 
 #![forbid(unsafe_code)]
 
+pub mod confidence;
 pub mod scann;
 pub mod strategies;
 pub mod votes;
 
-pub use scann::Scann;
+pub use confidence::{
+    confidence_score, label_confidences, margin_component, strategy_agreement,
+    ConfidenceThresholds, ConfidenceTier, LabelConfidence,
+};
+pub use scann::{Scann, SCANN_MAX_ROUNDS};
 pub use strategies::{Average, CombinationStrategy, MajorityVote, Maximum, Minimum};
 pub use votes::{Decision, VoteTable};

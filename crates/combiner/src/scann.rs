@@ -22,12 +22,26 @@
 //! `d_other/d_own − 1`: the distance to the *other* class's reference
 //! over the distance to the *assigned* class's reference. 0 = on the
 //! boundary; large = deep inside the assigned class.
+//!
+//! **Convergence.** Merz's SCANN iterates: after the first CA round
+//! assigns classes, the indicator table is *augmented* with one
+//! accepted/rejected membership column pair, CA is re-fit, and the
+//! communities are re-classified against the augmented references —
+//! until the class assignment is a fixed point (or [`SCANN_MAX_ROUNDS`]
+//! caps a cycle). The single-round path is retained as
+//! [`Scann::classify_single_round`], the equivalence oracle pinned in
+//! `lint/oracles.toml`: `max_rounds = 1` is byte-identical to it.
 
 use crate::strategies::CombinationStrategy;
 use crate::votes::{Decision, VoteTable, N_CONFIGS};
 use mawilab_linalg::ca::CaDims;
 use mawilab_linalg::matrix::distance;
 use mawilab_linalg::{CorrespondenceAnalysis, Matrix};
+
+/// Iteration cap for the convergence loop: boundary communities can
+/// oscillate between the two references, so the re-fit loop needs a
+/// deterministic stop. Clean tables converge in 2–3 rounds.
+pub const SCANN_MAX_ROUNDS: usize = 8;
 
 /// The SCANN combination strategy.
 #[derive(Debug, Clone, Copy)]
@@ -40,12 +54,17 @@ pub struct Scann {
     /// classification. The default keeps only the dominant axis —
     /// the very low dimensionality Merz's formulation operates at.
     pub dims: CaDims,
+    /// Upper bound on CA re-fit rounds. `1` disables the convergence
+    /// loop entirely and reproduces the single-round oracle byte for
+    /// byte.
+    pub max_rounds: usize,
 }
 
 impl Default for Scann {
     fn default() -> Self {
         Scann {
             dims: CaDims::Count(1),
+            max_rounds: SCANN_MAX_ROUNDS,
         }
     }
 }
@@ -62,31 +81,30 @@ impl Scann {
         row
     }
 
-    /// Classifies with full diagnostics. Falls back to the majority
-    /// vote when the table carries no discriminating inertia (e.g.
-    /// every community has the identical vote pattern).
-    pub fn classify_detailed(&self, table: &VoteTable) -> Vec<Decision> {
-        if table.is_empty() {
-            return Vec::new();
-        }
-        let rows: Vec<Vec<f64>> = (0..table.len())
-            .map(|c| Self::indicator_row(table.row(c)))
-            .collect();
-        let t = Matrix::from_rows(&rows);
-        let ca = CorrespondenceAnalysis::fit(&t, self.dims);
-        let total_inertia: f64 = ca.inertia().iter().sum();
-        if total_inertia < 1e-12 {
-            // Degenerate: all rows share one profile; no geometry to
-            // classify with. Fall back to the raw majority rule.
-            return crate::strategies::MajorityVote.classify(table);
-        }
-        let accept_ref = ca.project_row(&Self::indicator_row(&[true; N_CONFIGS]));
-        let reject_ref = ca.project_row(&Self::indicator_row(&[false; N_CONFIGS]));
+    /// Augments an indicator row with the previous round's class
+    /// membership as one more `[accepted, rejected]` column pair —
+    /// Merz's feedback step: the next CA round sees the current
+    /// assignment as an extra (equal-mass) categorical variable.
+    fn augmented_row(votes: &[bool; N_CONFIGS], accepted: bool) -> Vec<f64> {
+        let mut row = Self::indicator_row(votes);
+        row.push(if accepted { 1.0 } else { 0.0 });
+        row.push(if accepted { 0.0 } else { 1.0 });
+        row
+    }
+
+    /// Nearest-reference classification of every table row in a fitted
+    /// CA space.
+    fn classify_in_space(
+        table: &VoteTable,
+        ca: &CorrespondenceAnalysis,
+        accept_ref: &[f64],
+        reject_ref: &[f64],
+    ) -> Vec<Decision> {
         (0..table.len())
             .map(|c| {
                 let x = ca.row_coords(c);
-                let d_acc = distance(x, &accept_ref);
-                let d_rej = distance(x, &reject_ref);
+                let d_acc = distance(x, accept_ref);
+                let d_rej = distance(x, reject_ref);
                 let accepted = d_acc < d_rej;
                 let (d_own, d_other) = if accepted {
                     (d_acc, d_rej)
@@ -106,6 +124,71 @@ impl Scann {
                 }
             })
             .collect()
+    }
+
+    /// One CA round over the raw indicator table — the seed
+    /// implementation, kept verbatim as the equivalence oracle for the
+    /// convergence loop (`max_rounds = 1` ≡ this, byte for byte).
+    /// Falls back to the majority vote when the table carries no
+    /// discriminating inertia (e.g. every community has the identical
+    /// vote pattern).
+    pub fn classify_single_round(&self, table: &VoteTable) -> Vec<Decision> {
+        if table.is_empty() {
+            return Vec::new();
+        }
+        let rows: Vec<Vec<f64>> = (0..table.len())
+            .map(|c| Self::indicator_row(table.row(c)))
+            .collect();
+        let t = Matrix::from_rows(&rows);
+        let ca = CorrespondenceAnalysis::fit(&t, self.dims);
+        let total_inertia: f64 = ca.inertia().iter().sum();
+        if total_inertia < 1e-12 {
+            // Degenerate: all rows share one profile; no geometry to
+            // classify with. Fall back to the raw majority rule.
+            return crate::strategies::MajorityVote.classify(table);
+        }
+        let accept_ref = ca.project_row(&Self::indicator_row(&[true; N_CONFIGS]));
+        let reject_ref = ca.project_row(&Self::indicator_row(&[false; N_CONFIGS]));
+        Self::classify_in_space(table, &ca, &accept_ref, &reject_ref)
+    }
+
+    /// Classifies with full diagnostics, iterating CA re-fits on the
+    /// class-augmented table until the assignment is stable (Merz's
+    /// SCANN; see module docs). Relative distances come from the
+    /// final round's geometry.
+    pub fn classify_detailed(&self, table: &VoteTable) -> Vec<Decision> {
+        assert!(self.max_rounds >= 1, "SCANN needs at least one CA round");
+        let mut decisions = self.classify_single_round(table);
+        if decisions.is_empty() || decisions[0].relative_distance.is_none() {
+            // Empty table, or the majority-vote fallback fired: there
+            // is no CA geometry to iterate on.
+            return decisions;
+        }
+        for _ in 1..self.max_rounds {
+            let rows: Vec<Vec<f64>> = (0..table.len())
+                .map(|c| Self::augmented_row(table.row(c), decisions[c].accepted))
+                .collect();
+            let t = Matrix::from_rows(&rows);
+            let ca = CorrespondenceAnalysis::fit(&t, self.dims);
+            if ca.inertia().iter().sum::<f64>() < 1e-12 {
+                // The augmented table lost its geometry (cannot happen
+                // unless the class columns are uniform AND the votes
+                // are); keep the last well-defined round.
+                break;
+            }
+            let accept_ref = ca.project_row(&Self::augmented_row(&[true; N_CONFIGS], true));
+            let reject_ref = ca.project_row(&Self::augmented_row(&[false; N_CONFIGS], false));
+            let next = Self::classify_in_space(table, &ca, &accept_ref, &reject_ref);
+            let stable = next
+                .iter()
+                .zip(&decisions)
+                .all(|(n, p)| n.accepted == p.accepted);
+            decisions = next;
+            if stable {
+                break;
+            }
+        }
+        decisions
     }
 }
 
@@ -303,5 +386,59 @@ mod tests {
         let a = Scann::default().classify(&structured());
         let b = Scann::default().classify(&structured());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn one_round_cap_is_the_single_round_oracle() {
+        // The oracle contract registered in lint/oracles.toml:
+        // `max_rounds = 1` must reproduce the seed single-round path
+        // byte for byte, on every table shape including degenerate
+        // fallbacks.
+        let capped = Scann {
+            max_rounds: 1,
+            ..Scann::default()
+        };
+        for t in [
+            structured(),
+            realistic(),
+            VoteTable::from_rows(vec![row(&[0, 1, 2]); 4]),
+            VoteTable::from_rows(vec![]),
+            VoteTable::from_rows(vec![row(&[0, 5, 9])]),
+        ] {
+            assert_eq!(
+                capped.classify_detailed(&t),
+                capped.classify_single_round(&t)
+            );
+        }
+    }
+
+    #[test]
+    fn convergence_reaches_a_fixed_point() {
+        // Re-classifying with the converged assignment as the class
+        // augmentation must reproduce that assignment: running with a
+        // doubled round cap changes nothing.
+        for t in [structured(), realistic()] {
+            let converged = Scann::default().classify_detailed(&t);
+            let extra = Scann {
+                max_rounds: 2 * SCANN_MAX_ROUNDS,
+                ..Scann::default()
+            }
+            .classify_detailed(&t);
+            assert_eq!(converged, extra, "assignment not a fixed point");
+        }
+    }
+
+    #[test]
+    fn convergence_keeps_the_clean_separation() {
+        // On tables with clear structure the iterated assignment must
+        // agree with the single-round one — the loop sharpens
+        // geometry, it must not invent flips where separation is
+        // unambiguous.
+        let t = structured();
+        let single = Scann::default().classify_single_round(&t);
+        let converged = Scann::default().classify_detailed(&t);
+        for (c, (s, i)) in single.iter().zip(&converged).enumerate() {
+            assert_eq!(s.accepted, i.accepted, "community {c} flipped");
+        }
     }
 }

@@ -50,7 +50,7 @@
 use crate::pipeline::{LabeledReport, PipelineConfig, PipelineTimings};
 use crate::streaming::{DrainStats, StreamStats, StreamingReport, FANOUT_MIN_CHUNK_PACKETS};
 use crate::warm::WarmState;
-use mawilab_combiner::VoteTable;
+use mawilab_combiner::{label_confidences, VoteTable};
 use mawilab_detectors::{
     finish_all, observe_all, standard_configurations, ChunkView, Detector, IncrementalDetector,
 };
@@ -255,7 +255,7 @@ impl OnlinePipeline {
         // banked alongside.
         let t0 = Instant::now();
         if let Some(w) = warm.as_deref_mut() {
-            w.begin_day(meta.era);
+            w.begin_day(meta.era, meta.date);
         }
         let mut incs: Vec<Box<dyn IncrementalDetector>> =
             self.detectors.iter().map(|d| d.incremental()).collect();
@@ -263,7 +263,10 @@ impl OnlinePipeline {
             match warm.as_deref() {
                 Some(w) => {
                     let label = inc.label();
-                    inc.warm_begin(&meta, w.prior_for(&label), w.decay());
+                    // The gap-compounded decay: a multi-day calendar
+                    // gap shrinks yesterday's priors by decay^gap, so
+                    // an epoch jump is effectively a cold start.
+                    inc.warm_begin(&meta, w.prior_for(&label), w.effective_decay());
                 }
                 None => inc.begin(&meta),
             }
@@ -330,6 +333,7 @@ impl OnlinePipeline {
         let t2 = Instant::now();
         let votes = VoteTable::from_communities(&communities);
         let decisions = self.config.strategy.build().classify(&votes);
+        let confidences = label_confidences(&votes, &decisions, self.config.confidence_thresholds);
         let combine = t2.elapsed();
 
         let t3 = Instant::now();
@@ -340,6 +344,7 @@ impl OnlinePipeline {
                 &evidence,
                 &communities,
                 &decisions,
+                &confidences,
                 self.config.min_support,
             ),
         };
@@ -361,6 +366,13 @@ impl OnlinePipeline {
                     communities,
                 })
                 .collect();
+        // Count watermark seals that landed before their window's end
+        // — the clock inversion `latency_us` used to clamp to 0.
+        // Always 0 by `SealTracker` construction; a tripwire stat, not
+        // an expected population.
+        let mut horizon_stats = horizon_stats;
+        horizon_stats.negative_latency =
+            windows.iter().filter(|w| w.sealed_before_end()).count() as u64;
 
         Ok(OnlineReport {
             report: StreamingReport {

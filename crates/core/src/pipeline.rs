@@ -1,7 +1,8 @@
 //! The four-step MAWILab pipeline.
 
 use mawilab_combiner::{
-    Average, CombinationStrategy, Decision, MajorityVote, Maximum, Minimum, Scann, VoteTable,
+    label_confidences, Average, CombinationStrategy, ConfidenceThresholds, Decision, MajorityVote,
+    Maximum, Minimum, Scann, VoteTable,
 };
 use mawilab_detectors::{run_all, standard_configurations, Detector, TraceView};
 use mawilab_label::{label_communities, LabeledCommunity, MawilabLabel};
@@ -80,6 +81,10 @@ pub struct PipelineConfig {
     /// Apriori support threshold for community summaries (paper:
     /// 0.2).
     pub min_support: f64,
+    /// Dual confidence thresholds for the abstention tier. `None`
+    /// (the default) keeps the tier bound to the hard decision —
+    /// output is byte-identical to the pre-confidence pipeline.
+    pub confidence_thresholds: Option<ConfidenceThresholds>,
 }
 
 impl Default for PipelineConfig {
@@ -91,6 +96,7 @@ impl Default for PipelineConfig {
             resolution: 1.0,
             strategy: StrategyKind::Scann,
             min_support: 0.2,
+            confidence_thresholds: None,
         }
     }
 }
@@ -239,6 +245,7 @@ impl MawilabPipeline {
         let t2 = Instant::now();
         let votes = VoteTable::from_communities(&communities);
         let decisions = self.config.strategy.build().classify(&votes);
+        let confidences = label_confidences(&votes, &decisions, self.config.confidence_thresholds);
         let combine = t2.elapsed();
 
         let t3 = Instant::now();
@@ -247,6 +254,7 @@ impl MawilabPipeline {
                 &view,
                 &communities,
                 &decisions,
+                &confidences,
                 self.config.min_support,
             ),
         };
@@ -314,6 +322,41 @@ mod tests {
             } else {
                 assert_ne!(label, MawilabLabel::Anomalous);
             }
+        }
+    }
+
+    #[test]
+    fn confidence_rides_along_with_every_label() {
+        use mawilab_combiner::ConfidenceTier;
+        let lt = small_trace();
+        // Thresholds off: the tier IS the hard decision, never
+        // Uncertain, and the score is a valid probability-like value.
+        let report = MawilabPipeline::new(PipelineConfig::default()).run(&lt.trace);
+        for (c, lc) in report.labeled.communities.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&lc.confidence.score));
+            let expect = if report.decisions[c].accepted {
+                ConfidenceTier::Anomalous
+            } else {
+                ConfidenceTier::Benign
+            };
+            assert_eq!(lc.confidence.tier, expect);
+        }
+        // Thresholds on: same hard labels, same scores; only the tier
+        // may move into the abstention band.
+        let with = MawilabPipeline::new(PipelineConfig {
+            confidence_thresholds: Some(ConfidenceThresholds::default()),
+            ..PipelineConfig::default()
+        })
+        .run(&lt.trace);
+        assert_eq!(with.decisions, report.decisions);
+        for (a, b) in with
+            .labeled
+            .communities
+            .iter()
+            .zip(&report.labeled.communities)
+        {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.confidence.score, b.confidence.score);
         }
     }
 

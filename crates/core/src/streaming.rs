@@ -48,7 +48,7 @@
 //! state.
 
 use crate::pipeline::{LabeledReport, PipelineConfig, PipelineTimings};
-use mawilab_combiner::{Decision, VoteTable};
+use mawilab_combiner::{label_confidences, Decision, VoteTable};
 use mawilab_detectors::{
     finish_all, observe_all, standard_configurations, ChunkView, Detector, IncrementalDetector,
 };
@@ -261,6 +261,7 @@ impl StreamingPipeline {
         let t2 = Instant::now();
         let votes = VoteTable::from_communities(&communities);
         let decisions = self.config.strategy.build().classify(&votes);
+        let confidences = label_confidences(&votes, &decisions, self.config.confidence_thresholds);
         let combine = t2.elapsed();
 
         let t3 = Instant::now();
@@ -271,6 +272,7 @@ impl StreamingPipeline {
                 &evidence,
                 &communities,
                 &decisions,
+                &confidences,
                 self.config.min_support,
             ),
         };

@@ -26,7 +26,7 @@
 //! `--verify-cold` flag re-checks end to end.
 
 use mawilab_detectors::{Alarm, DetectorPrior};
-use mawilab_model::LinkEra;
+use mawilab_model::{LinkEra, TraceDate};
 use mawilab_similarity::{AlarmCommunities, Partition};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -44,7 +44,17 @@ fn alarm_signature(alarm: &Alarm) -> String {
 #[derive(Debug, Clone)]
 pub struct WarmState {
     decay: f64,
+    /// The decay actually applied *today*: `decay^gap_days`, where
+    /// the gap is the calendar distance to the previously begun day.
+    /// A prior is an EWMA over *days*, not over *runs* — the curated
+    /// archive sample jumps years between epochs, and a 2-year-old
+    /// baseline must enter with weight `decay^730` (≈ 0, effectively
+    /// cold), not `decay^1`.
+    effective_decay: f64,
     era: Option<LinkEra>,
+    /// The last date passed to [`begin_day`](Self::begin_day), for
+    /// the calendar-gap computation.
+    last_date: Option<TraceDate>,
     /// Detector baselines, keyed by configuration label
     /// (`"PCA/optimal"` …). A configuration that exports `None`
     /// (quiet day, no warm support) keeps its previous prior.
@@ -69,7 +79,9 @@ impl WarmState {
         );
         WarmState {
             decay,
+            effective_decay: decay,
             era: None,
+            last_date: None,
             priors: BTreeMap::new(),
             carry: BTreeMap::new(),
             days: 0,
@@ -78,9 +90,17 @@ impl WarmState {
         }
     }
 
-    /// The configured decay.
+    /// The configured per-day decay.
     pub fn decay(&self) -> f64 {
         self.decay
+    }
+
+    /// The gap-compounded decay in effect for the current day:
+    /// `decay^gap_days` against the previously begun day (= the
+    /// configured decay on consecutive days and before the first
+    /// [`begin_day`](Self::begin_day)).
+    pub fn effective_decay(&self) -> f64 {
+        self.effective_decay
     }
 
     /// Days absorbed so far.
@@ -103,16 +123,30 @@ impl WarmState {
         self.carry.len()
     }
 
-    /// Starts a day in the given link era. Crossing an era boundary
+    /// Starts `date` in the given link era. Crossing an era boundary
     /// drops **all** carried state — the upgraded link's normal
-    /// traffic invalidates the old baselines.
-    pub fn begin_day(&mut self, era: LinkEra) {
+    /// traffic invalidates the old baselines. The calendar distance
+    /// to the previously begun day compounds the decay
+    /// ([`effective_decay`](Self::effective_decay)): a multi-day gap
+    /// is that many EWMA steps, so the curated sample's epoch jumps
+    /// are effectively cold starts even without an era change.
+    pub fn begin_day(&mut self, era: LinkEra, date: TraceDate) {
         if self.era.is_some_and(|prev| prev != era) {
             self.priors.clear();
             self.carry.clear();
             self.resets += 1;
         }
         self.era = Some(era);
+        let gap_days = self
+            .last_date
+            .map(|last| (date.days_since_epoch() - last.days_since_epoch()).max(1))
+            .unwrap_or(1);
+        // powi(1) is exact, so consecutive days (and the first day)
+        // keep the configured decay bit for bit — the warm sweep's
+        // byte-identity contracts are untouched. decay^730 underflows
+        // to 0.0 outright for archive-scale gaps.
+        self.effective_decay = self.decay.powi(gap_days as i32);
+        self.last_date = Some(date);
     }
 
     /// The carried prior for a configuration label, if any.
@@ -153,7 +187,11 @@ impl WarmState {
     /// singletons. Returns `None` when there is nothing to seed from
     /// (zero decay or zero matches) — the caller then runs cold.
     pub fn seed_from(&mut self, matched: &[Option<u32>]) -> Option<Partition> {
-        if self.decay <= 0.0 || matched.iter().all(Option::is_none) {
+        // Gate on the gap-compounded decay: when a calendar gap has
+        // decayed the carried weight to nothing (decay^gap underflows
+        // to 0.0), yesterday's communities are as stale as its priors
+        // and Louvain runs cold.
+        if self.effective_decay <= 0.0 || matched.iter().all(Option::is_none) {
             return None;
         }
         let communities: BTreeMap<u32, usize> =
@@ -234,21 +272,65 @@ mod tests {
     #[test]
     fn era_boundary_drops_all_carried_state() {
         let mut w = WarmState::new(0.5);
-        w.begin_day(LinkEra::for_date(TraceDate::new(2006, 6, 30)));
+        let d = TraceDate::new(2006, 6, 30);
+        w.begin_day(LinkEra::for_date(d), d);
         w.absorb_prior("KL/optimal".into(), Some(kl_prior()));
         w.carry.insert("x".into(), (0, 0));
         assert!(w.prior_for("KL/optimal").is_some());
 
         // Same era: state survives.
-        w.begin_day(LinkEra::for_date(TraceDate::new(2006, 6, 30)));
+        w.begin_day(LinkEra::for_date(d), d);
         assert!(w.prior_for("KL/optimal").is_some());
         assert_eq!(w.resets(), 0);
 
         // 2006-07-01 upgrade: everything resets.
-        w.begin_day(LinkEra::for_date(TraceDate::new(2006, 7, 1)));
+        let up = TraceDate::new(2006, 7, 1);
+        w.begin_day(LinkEra::for_date(up), up);
         assert!(w.prior_for("KL/optimal").is_none());
         assert_eq!(w.carried_signatures(), 0);
         assert_eq!(w.resets(), 1);
+    }
+
+    #[test]
+    fn calendar_gaps_compound_the_decay() {
+        let mut w = WarmState::new(0.5);
+        assert_eq!(w.effective_decay(), 0.5, "pre-sweep default is 1 step");
+
+        // First day, then the consecutive day: exactly one EWMA step.
+        let d0 = TraceDate::new(2006, 6, 28);
+        w.begin_day(LinkEra::for_date(d0), d0);
+        assert_eq!(w.effective_decay(), 0.5);
+        let d1 = d0.plus_days(1);
+        w.begin_day(LinkEra::for_date(d1), d1);
+        assert_eq!(w.effective_decay(), 0.5);
+
+        // A 3-day gap is three steps.
+        let d4 = d1.plus_days(3);
+        w.begin_day(LinkEra::for_date(d4), d4);
+        assert_eq!(w.effective_decay(), 0.125);
+
+        // A 2-year epoch jump underflows to exactly 0: effectively a
+        // cold start, and the Louvain seed is gated off with it.
+        let mut jump = WarmState::new(0.15);
+        let a = TraceDate::new(2004, 5, 10);
+        jump.begin_day(LinkEra::for_date(a), a);
+        jump.carry.insert(
+            alarm_signature(&alarm(DetectorKind::Pca, Tuning::Optimal, 1)),
+            (0, 0),
+        );
+        let b = TraceDate::new(2006, 6, 1);
+        jump.begin_day(LinkEra::for_date(b), b);
+        assert_eq!(
+            jump.effective_decay(),
+            0.0,
+            "a 2-year gap's decay^gap must underflow to exactly 0"
+        );
+        assert!(
+            jump.seed_for(&[alarm(DetectorKind::Pca, Tuning::Optimal, 1)])
+                .is_none(),
+            "a fully decayed carry must not seed Louvain"
+        );
+        assert_eq!(jump.decay(), 0.15, "the configured decay is untouched");
     }
 
     #[test]

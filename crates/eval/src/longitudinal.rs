@@ -25,7 +25,7 @@
 //! of them can anchor a cross-day match; identities are built purely
 //! from day-invariant features of the labeled output.
 
-use mawilab_combiner::Decision;
+use mawilab_combiner::{ConfidenceTier, Decision};
 use mawilab_label::{label_of, HeuristicLabel, LabeledCommunity, MawilabLabel};
 use mawilab_model::{LinkEra, TraceDate, TrafficRule};
 use std::collections::{BTreeMap, BTreeSet};
@@ -149,6 +149,11 @@ pub struct DaySummary {
     /// Identity → most severe taxonomy label among the day's
     /// communities carrying it (`Anomalous` orders first).
     pub labels: BTreeMap<AnomalyIdentity, MawilabLabel>,
+    /// Identity → confidence tier of the community whose label won the
+    /// severity merge (first community wins ties). Lets churn and
+    /// flip-rate aggregates be restricted to confidently-labeled
+    /// identities.
+    pub tiers: BTreeMap<AnomalyIdentity, ConfidenceTier>,
     /// Identities labeled `anomalous` (the day's anomalous picture).
     pub anomalous: BTreeSet<AnomalyIdentity>,
     /// Per combination strategy: identity → whether any community
@@ -171,17 +176,23 @@ impl DaySummary {
         worms: Vec<WormStatus>,
     ) -> Self {
         let mut labels: BTreeMap<AnomalyIdentity, MawilabLabel> = BTreeMap::new();
+        let mut tiers: BTreeMap<AnomalyIdentity, ConfidenceTier> = BTreeMap::new();
         let mut anomalous = BTreeSet::new();
         for lc in labeled {
             let id = AnomalyIdentity::of(lc);
             // `MawilabLabel` orders by severity (Anomalous first);
             // identities merging several communities keep the most
             // severe view, as the published database effectively does
-            // when filters overlap.
-            labels
-                .entry(id)
-                .and_modify(|l| *l = (*l).min(lc.label))
-                .or_insert(lc.label);
+            // when filters overlap. The tier follows the community
+            // whose label won the merge (strict `<` keeps the first
+            // community on ties).
+            match labels.get(&id) {
+                Some(current) if lc.label >= *current => {}
+                _ => {
+                    labels.insert(id, lc.label);
+                    tiers.insert(id, lc.confidence.tier);
+                }
+            }
             if lc.label == MawilabLabel::Anomalous {
                 anomalous.insert(id);
             }
@@ -205,6 +216,7 @@ impl DaySummary {
         DaySummary {
             date,
             labels,
+            tiers,
             anomalous,
             strategy_accepts,
             worms,
@@ -254,6 +266,11 @@ pub struct AdjacentPair {
     pub matched: usize,
     /// Matched identities whose taxonomy label differs.
     pub label_flips: usize,
+    /// Matched identities whose merged tier is *not* `Uncertain` on
+    /// both days — the confidently-labeled subset of `matched`.
+    pub matched_confident: usize,
+    /// Label flips among `matched_confident`.
+    pub label_flips_confident: usize,
     /// Jaccard similarity of the two anomalous identity sets
     /// (1.0 when both are empty — nothing drifted).
     pub jaccard_anomalous: f64,
@@ -268,6 +285,19 @@ impl AdjacentPair {
             0.0
         } else {
             self.label_flips as f64 / self.matched as f64
+        }
+    }
+
+    /// Label flips over the confidently-labeled matches (0 when
+    /// nothing confident matched). The abstention tier exists exactly
+    /// so this number can sit below [`churn`](Self::churn): flips
+    /// concentrated in the uncertain band stop counting against the
+    /// service once the band abstains.
+    pub fn churn_confident(&self) -> f64 {
+        if self.matched_confident == 0 {
+            0.0
+        } else {
+            self.label_flips_confident as f64 / self.matched_confident as f64
         }
     }
 
@@ -321,11 +351,27 @@ impl IdentityTable {
 fn compare_pair(a: &DaySummary, b: &DaySummary) -> AdjacentPair {
     let mut matched = 0usize;
     let mut label_flips = 0usize;
+    let mut matched_confident = 0usize;
+    let mut label_flips_confident = 0usize;
     for (id, la) in &a.labels {
         if let Some(lb) = b.labels.get(id) {
             matched += 1;
-            if la != lb {
+            let flipped = la != lb;
+            if flipped {
                 label_flips += 1;
+            }
+            // An identity counts as confident only when *both* days'
+            // merged tiers sit outside the abstention band.
+            let confident = |d: &DaySummary| {
+                d.tiers
+                    .get(id)
+                    .is_some_and(|t| *t != ConfidenceTier::Uncertain)
+            };
+            if confident(a) && confident(b) {
+                matched_confident += 1;
+                if flipped {
+                    label_flips_confident += 1;
+                }
             }
         }
     }
@@ -369,6 +415,8 @@ fn compare_pair(a: &DaySummary, b: &DaySummary) -> AdjacentPair {
         gap_days: b.date.days_since_epoch() - a.date.days_since_epoch(),
         matched,
         label_flips,
+        matched_confident,
+        label_flips_confident,
         jaccard_anomalous,
         strategies,
     }
@@ -589,6 +637,11 @@ pub struct StabilityReport {
     pub pairs: Vec<AdjacentPair>,
     /// Pooled label churn: total flips / total matches over `pairs`.
     pub label_churn: f64,
+    /// Pooled label churn restricted to identities confidently
+    /// labeled on both days of their pair (tier ≠ `Uncertain`). With
+    /// abstention thresholds off every label is confident and this
+    /// equals `label_churn`.
+    pub label_churn_confident: f64,
     /// Mean Jaccard drift of the anomalous sets over `pairs`.
     pub jaccard_drift: f64,
     /// Pooled per-strategy decision flip rates.
@@ -630,11 +683,14 @@ pub fn stability_report_from_pairs(
         })
         .collect();
     let (mut matched, mut flips) = (0usize, 0usize);
+    let (mut matched_conf, mut flips_conf) = (0usize, 0usize);
     let mut drift_sum = 0.0;
     let mut strat: BTreeMap<usize, (&'static str, usize, usize)> = BTreeMap::new();
     for p in &pairs {
         matched += p.matched;
         flips += p.label_flips;
+        matched_conf += p.matched_confident;
+        flips_conf += p.label_flips_confident;
         drift_sum += p.jaccard_drift();
         for (i, s) in p.strategies.iter().enumerate() {
             let e = strat.entry(i).or_insert((s.strategy, 0, 0));
@@ -647,6 +703,11 @@ pub fn stability_report_from_pairs(
             0.0
         } else {
             flips as f64 / matched as f64
+        },
+        label_churn_confident: if matched_conf == 0 {
+            0.0
+        } else {
+            flips_conf as f64 / matched_conf as f64
         },
         jaccard_drift: if pairs.is_empty() {
             0.0
@@ -667,6 +728,7 @@ pub fn stability_report_from_pairs(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mawilab_combiner::LabelConfidence;
     use mawilab_label::{CommunitySummary, HeuristicLabel};
     use mawilab_model::TimeWindow;
     use std::net::Ipv4Addr;
@@ -687,9 +749,34 @@ mod tests {
         label: MawilabLabel,
         dom: Option<TrafficRule>,
     ) -> LabeledCommunity {
+        // Thresholds-off shape: every label is confident, tier bound
+        // to the hard decision.
+        let tier = if label == MawilabLabel::Anomalous {
+            ConfidenceTier::Anomalous
+        } else {
+            ConfidenceTier::Benign
+        };
+        community_tiered(c, heuristic, label, dom, tier)
+    }
+
+    fn community_tiered(
+        c: usize,
+        heuristic: HeuristicLabel,
+        label: MawilabLabel,
+        dom: Option<TrafficRule>,
+        tier: ConfidenceTier,
+    ) -> LabeledCommunity {
         LabeledCommunity {
             community: c,
             label,
+            confidence: LabelConfidence {
+                score: match tier {
+                    ConfidenceTier::Anomalous => 0.9,
+                    ConfidenceTier::Uncertain => 0.5,
+                    ConfidenceTier::Benign => 0.1,
+                },
+                tier,
+            },
             heuristic,
             summary: CommunitySummary {
                 community: c,
@@ -812,6 +899,93 @@ mod tests {
         assert_eq!(p.matched, 2, "sasser/src and ping/dst match");
         assert_eq!(p.label_flips, 1, "only sasser flipped");
         assert_eq!(p.churn(), 0.5);
+        // Thresholds-off fixtures: every label confident, so the
+        // confident view degenerates to the full one.
+        assert_eq!(p.matched_confident, p.matched);
+        assert_eq!(p.label_flips_confident, p.label_flips);
+        assert_eq!(p.churn_confident(), p.churn());
+    }
+
+    #[test]
+    fn uncertain_tiers_abstain_from_confident_churn() {
+        // Same two-day shape, but day 2's sasser community — the one
+        // that flips Anomalous→Suspicious — lands in the uncertain
+        // band. The flip then disappears from the confident view.
+        let d1 = vec![
+            community(
+                0,
+                HeuristicLabel::Sasser,
+                MawilabLabel::Anomalous,
+                Some(rule(true, false, Some(5554))),
+            ),
+            community(
+                1,
+                HeuristicLabel::Ping,
+                MawilabLabel::Notice,
+                Some(rule(false, true, None)),
+            ),
+        ];
+        let d2 = vec![
+            community_tiered(
+                0,
+                HeuristicLabel::Sasser,
+                MawilabLabel::Suspicious,
+                Some(rule(true, false, Some(5554))),
+                ConfidenceTier::Uncertain,
+            ),
+            community(
+                1,
+                HeuristicLabel::Ping,
+                MawilabLabel::Notice,
+                Some(rule(false, true, None)),
+            ),
+        ];
+        let days = vec![
+            DaySummary::new(date(1), &d1, &[], vec![]),
+            DaySummary::new(date(2), &d2, &[], vec![]),
+        ];
+        let p = &adjacent_pairs(&days)[0];
+        assert_eq!((p.matched, p.label_flips), (2, 1));
+        assert_eq!(
+            (p.matched_confident, p.label_flips_confident),
+            (1, 0),
+            "the uncertain sasser identity abstains"
+        );
+        assert_eq!(p.churn(), 0.5);
+        assert_eq!(p.churn_confident(), 0.0);
+        let report = stability_report(&days, 7);
+        assert_eq!(report.label_churn, 0.5);
+        assert_eq!(report.label_churn_confident, 0.0);
+        assert!(report.label_churn_confident < report.label_churn);
+    }
+
+    #[test]
+    fn tier_follows_the_severity_merge_winner() {
+        // Two communities share an identity; the Anomalous one wins
+        // the severity merge, so its tier (Uncertain here) is the
+        // identity's tier — not the Benign tier of the Notice loser.
+        let d = vec![
+            community(
+                0,
+                HeuristicLabel::Smb,
+                MawilabLabel::Notice,
+                Some(rule(true, true, Some(445))),
+            ),
+            community_tiered(
+                1,
+                HeuristicLabel::Smb,
+                MawilabLabel::Anomalous,
+                Some(rule(true, true, Some(445))),
+                ConfidenceTier::Uncertain,
+            ),
+        ];
+        let s = DaySummary::new(date(1), &d, &[], vec![]);
+        assert_eq!(s.tiers.len(), 1);
+        assert_eq!(
+            *s.tiers.values().next().unwrap(),
+            ConfidenceTier::Uncertain,
+            "tier of the merge winner"
+        );
     }
 
     #[test]

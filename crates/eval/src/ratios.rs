@@ -78,6 +78,10 @@ mod tests {
         LabeledCommunity {
             community,
             label: MawilabLabel::Anomalous,
+            confidence: mawilab_combiner::LabelConfidence {
+                score: 1.0,
+                tier: mawilab_combiner::ConfidenceTier::Anomalous,
+            },
             heuristic,
             summary: CommunitySummary {
                 community,

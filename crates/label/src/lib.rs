@@ -35,3 +35,6 @@ pub use summary::{summarize_community, CommunitySummary};
 pub use taxonomy::{
     label_communities, label_communities_streaming, label_of, LabeledCommunity, MawilabLabel,
 };
+// Re-exported so labeling callers can speak the confidence vocabulary
+// without a direct combiner dependency.
+pub use mawilab_combiner::{ConfidenceThresholds, ConfidenceTier, LabelConfidence};

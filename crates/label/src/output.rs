@@ -11,7 +11,7 @@ use std::io::{self, Write};
 
 /// CSV header written by [`write_csv`].
 pub const CSV_HEADER: &str =
-    "community,label,heuristic,category,alarms,detectors,start_s,end_s,src,sport,dst,dport,rule_support_units";
+    "community,label,confidence,tier,heuristic,category,alarms,detectors,start_s,end_s,src,sport,dst,dport,rule_support_units";
 
 fn opt<T: std::fmt::Display>(v: &Option<T>) -> String {
     v.as_ref().map_or_else(String::new, |x| x.to_string())
@@ -24,9 +24,11 @@ pub fn write_csv<W: Write>(mut w: W, report: &[LabeledCommunity]) -> io::Result<
     writeln!(w, "{CSV_HEADER}")?;
     for lc in report {
         let base = format!(
-            "{},{},{},{},{},{},{:.6},{:.6}",
+            "{},{},{:.6},{},{},{},{},{},{:.6},{:.6}",
             lc.community,
             lc.label,
+            lc.confidence.score,
+            lc.confidence.tier.name(),
             lc.heuristic,
             lc.heuristic.category(),
             lc.alarms,
@@ -75,9 +77,11 @@ pub fn write_xml<W: Write>(
     for lc in report {
         writeln!(
             w,
-            r#"  <anomaly community="{}" type="{}" heuristic="{}" alarms="{}" detectors="{}">"#,
+            r#"  <anomaly community="{}" type="{}" confidence="{:.6}" tier="{}" heuristic="{}" alarms="{}" detectors="{}">"#,
             lc.community,
             lc.label,
+            lc.confidence.score,
+            lc.confidence.tier.name(),
             xml_escape(&lc.heuristic.to_string()),
             lc.alarms,
             lc.detectors
@@ -123,6 +127,10 @@ mod tests {
             LabeledCommunity {
                 community: 0,
                 label: MawilabLabel::Anomalous,
+                confidence: mawilab_combiner::LabelConfidence {
+                    score: 0.875,
+                    tier: mawilab_combiner::ConfidenceTier::Anomalous,
+                },
                 heuristic: HeuristicLabel::Smb,
                 summary: CommunitySummary {
                     community: 0,
@@ -145,6 +153,10 @@ mod tests {
             LabeledCommunity {
                 community: 1,
                 label: MawilabLabel::Notice,
+                confidence: mawilab_combiner::LabelConfidence {
+                    score: 0.41,
+                    tier: mawilab_combiner::ConfidenceTier::Uncertain,
+                },
                 heuristic: HeuristicLabel::Unknown,
                 summary: CommunitySummary {
                     community: 1,
@@ -169,8 +181,10 @@ mod tests {
         assert_eq!(lines[0], CSV_HEADER);
         assert_eq!(lines.len(), 3); // header + 1 rule row + 1 empty row
         assert!(lines[1].contains("anomalous"));
+        assert!(lines[1].contains("0.875000"));
         assert!(lines[1].contains("9.8.7.6"));
         assert!(lines[1].contains("445"));
+        assert!(lines[2].contains("uncertain"));
         assert!(lines[2].ends_with(",,,,,0"));
     }
 
@@ -195,6 +209,8 @@ mod tests {
         assert_eq!(s.matches("</anomaly>").count(), 2);
         assert!(s.contains(r#"dst_port="445""#));
         assert!(s.contains(r#"type="anomalous""#));
+        assert!(s.contains(r#"confidence="0.875000""#));
+        assert!(s.contains(r#"tier="uncertain""#));
         assert!(s.trim_end().ends_with("</admd:data>"));
     }
 

@@ -41,8 +41,29 @@ impl LabeledWindow {
     /// Label latency of the window: how long after the window closed
     /// its labels became available. Bounded by `lag + one chunk` for
     /// windows sealed by the moving high-water mark.
+    ///
+    /// A watermark seal *before* the window's end is a clock
+    /// inversion — the `SealTracker` monotonicity invariant broken —
+    /// not a zero-latency label. Tail windows sealed by end-of-stream
+    /// (`sealed_by_finish`) legitimately seal before their nominal
+    /// end and clamp to 0.
     pub fn latency_us(&self) -> u64 {
+        debug_assert!(
+            self.sealed_by_finish || self.sealed_at_us >= self.window.end_us,
+            "window [{}, {}) watermark-sealed at {} — before its own end",
+            self.window.start_us,
+            self.window.end_us,
+            self.sealed_at_us
+        );
         self.sealed_at_us.saturating_sub(self.window.end_us)
+    }
+
+    /// True when the watermark seal landed before the window's end —
+    /// the clock inversion `latency_us` refuses to report as zero
+    /// latency. Counted into `HorizonStats::negative_latency` by the
+    /// online pipeline.
+    pub fn sealed_before_end(&self) -> bool {
+        !self.sealed_by_finish && self.sealed_at_us < self.window.end_us
     }
 }
 
@@ -174,6 +195,10 @@ mod tests {
         LabeledCommunity {
             community: id,
             label: MawilabLabel::Anomalous,
+            confidence: mawilab_combiner::LabelConfidence {
+                score: 1.0,
+                tier: mawilab_combiner::ConfidenceTier::Anomalous,
+            },
             heuristic: HeuristicLabel::Unknown,
             summary: CommunitySummary {
                 community: id,
@@ -195,6 +220,42 @@ mod tests {
             sealed_by_finish: false,
             communities,
         }
+    }
+
+    #[test]
+    fn finish_sealed_tails_clamp_watermark_inversions_trip() {
+        // A tail window sealed by end-of-stream before its nominal end
+        // is legitimate: zero latency, not an inversion.
+        let tail = LabeledWindow {
+            window: TimeWindow::new(0, 60),
+            sealed_at_us: 45,
+            sealed_by_finish: true,
+            communities: vec![],
+        };
+        assert_eq!(tail.latency_us(), 0);
+        assert!(!tail.sealed_before_end());
+        // A watermark seal before the end is the counted invariant
+        // breach.
+        let inverted = LabeledWindow {
+            window: TimeWindow::new(0, 60),
+            sealed_at_us: 45,
+            sealed_by_finish: false,
+            communities: vec![],
+        };
+        assert!(inverted.sealed_before_end());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "before its own end")]
+    fn watermark_seal_before_window_end_asserts() {
+        let inverted = LabeledWindow {
+            window: TimeWindow::new(0, 60),
+            sealed_at_us: 45,
+            sealed_by_finish: false,
+            communities: vec![],
+        };
+        let _ = inverted.latency_us();
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::evidence::CommunityEvidence;
 use crate::heuristics::{classify_packets, HeuristicLabel};
 use crate::summary::{summarize_community, CommunitySummary};
-use mawilab_combiner::Decision;
+use mawilab_combiner::{Decision, LabelConfidence};
 use mawilab_detectors::TraceView;
 use mawilab_mining::mine_rules;
 use mawilab_model::{Granularity, ItemIndex, TimeWindow};
@@ -70,6 +70,8 @@ pub struct LabeledCommunity {
     pub community: usize,
     /// Taxonomy label derived from the combiner decision.
     pub label: MawilabLabel,
+    /// Confidence score + abstention tier from combiner evidence.
+    pub confidence: LabelConfidence,
     /// Table-1 heuristic label of the community's traffic.
     pub heuristic: HeuristicLabel,
     /// Association-rule summary.
@@ -108,12 +110,18 @@ pub fn label_communities(
     view: &TraceView<'_>,
     communities: &AlarmCommunities,
     decisions: &[Decision],
+    confidences: &[LabelConfidence],
     min_support: f64,
 ) -> Vec<LabeledCommunity> {
     assert_eq!(
         decisions.len(),
         communities.community_count(),
         "one decision per community required"
+    );
+    assert_eq!(
+        confidences.len(),
+        communities.community_count(),
+        "one confidence per community required"
     );
     // Inverted index item-id → communities, then a single pass over
     // packets gathers each community's packet sample for heuristics.
@@ -148,6 +156,7 @@ pub fn label_communities(
             LabeledCommunity {
                 community: c,
                 label: label_of(&decisions[c]),
+                confidence: confidences[c],
                 heuristic,
                 summary,
                 window: communities
@@ -176,12 +185,18 @@ pub fn label_communities_streaming(
     evidence: &CommunityEvidence,
     communities: &AlarmCommunities,
     decisions: &[Decision],
+    confidences: &[LabelConfidence],
     min_support: f64,
 ) -> Vec<LabeledCommunity> {
     assert_eq!(
         decisions.len(),
         communities.community_count(),
         "one decision per community required"
+    );
+    assert_eq!(
+        confidences.len(),
+        communities.community_count(),
+        "one confidence per community required"
     );
     (0..communities.community_count())
         .map(|c| {
@@ -199,6 +214,7 @@ pub fn label_communities_streaming(
             LabeledCommunity {
                 community: c,
                 label: label_of(&decisions[c]),
+                confidence: confidences[c],
                 heuristic,
                 summary,
                 window: communities.community_window(c).unwrap_or(fallback_window),

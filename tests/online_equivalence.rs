@@ -47,6 +47,17 @@ fn assert_labels_identical(online: &[LabeledCommunity], oracle: &[LabeledCommuni
         assert_eq!(s.community, b.community);
         assert_eq!(s.label, b.label, "label of community {}", s.community);
         assert_eq!(
+            s.confidence.score.to_bits(),
+            b.confidence.score.to_bits(),
+            "confidence score of community {}",
+            s.community
+        );
+        assert_eq!(
+            s.confidence.tier, b.confidence.tier,
+            "confidence tier of community {}",
+            s.community
+        );
+        assert_eq!(
             s.heuristic, b.heuristic,
             "heuristic of community {}",
             s.community

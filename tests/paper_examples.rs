@@ -109,6 +109,58 @@ fn figure1_granularity_effect() {
     assert_eq!(g2.edge_count(), 3); // complete triangle
 }
 
+/// §2.2.3 / Table 2: SCANN iterates correspondence analysis to
+/// convergence — re-fitting on the reduced-space assignments until
+/// they stabilise — and on clearly separated communities its verdicts
+/// agree with the strong consensus that Table 2 reports for the
+/// optimally-tuned detectors. `classify_single_round` is the one-CA
+/// pass the iteration starts from and is pinned as its equivalence
+/// oracle at `max_rounds = 1` (see `lint/oracles.toml`,
+/// `scann-convergence`).
+#[test]
+fn table2_scann_converges_and_keeps_the_consensus() {
+    use mawilab::combiner::{Scann, SCANN_MAX_ROUNDS};
+    // Strong anomalies: broad multi-detector agreement. Noise: a
+    // single sensitive configuration fires.
+    let mut rows = Vec::new();
+    for i in 0..6usize {
+        let mut row = [false; 12];
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = (i + j) % 3 != 2; // 8 of 12 configurations agree
+        }
+        rows.push(row);
+    }
+    for i in 0..6usize {
+        let mut row = [false; 12];
+        row[i % 12] = true;
+        rows.push(row);
+    }
+    let table = VoteTable::from_rows(rows);
+
+    let iterated = Scann::default().classify_detailed(&table);
+    // Capping at one round reproduces the single-round oracle exactly.
+    let capped = Scann {
+        max_rounds: 1,
+        ..Scann::default()
+    };
+    let single = capped.classify_single_round(&table);
+    assert_eq!(capped.classify_detailed(&table), single);
+    // Convergence reached a fixed point within the default cap: a
+    // doubled cap changes nothing.
+    let relaxed = Scann {
+        max_rounds: 2 * SCANN_MAX_ROUNDS,
+        ..Scann::default()
+    };
+    assert_eq!(iterated, relaxed.classify_detailed(&table));
+    // Table-2 expectation: the converged verdicts keep the clean
+    // separation — every strong community accepted, every noise
+    // community rejected, with a usable relative distance.
+    for (c, d) in iterated.iter().enumerate() {
+        assert_eq!(d.accepted, c < 6, "community {c}");
+        assert!(d.relative_distance.is_some());
+    }
+}
+
 /// §4.1.1: rule degree example — rules <IPA,*,IPB,*> and
 /// <IPA,80,IPC,12345> give degree (2+4)/2 = 3.
 #[test]

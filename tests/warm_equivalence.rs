@@ -86,6 +86,53 @@ fn warm_state_resets_exactly_at_the_era_boundary() {
     assert!(s.carried_signatures > 0, "alarming days must leave a carry");
 }
 
+/// Calendar gaps compound the decay: a warm sweep that jumps two
+/// years mid-era must arrive at the post-gap day effectively cold —
+/// `decay^gap_days` underflows to zero, so the day's reduction is
+/// byte-identical to a cold run of that day alone. Consecutive days
+/// are untouched by the gap rule (`decay.powi(1)` is exact), which
+/// the sweeps above pin byte-for-byte at every thread count.
+#[test]
+fn a_multi_day_gap_decays_the_carry_to_cold() {
+    let _lock = ENV_LOCK.lock().unwrap();
+    use mawilab::model::TraceDate;
+
+    // Two consecutive Sasser-onset days, then a ~750-day jump that
+    // stays inside the 18 Mbps era: no era reset fires, so only the
+    // gap decay separates the carried state from the post-gap day.
+    let args = ArchiveBenchArgs {
+        scale: 0.2,
+        days: vec![
+            TraceDate::new(2004, 5, 10),
+            TraceDate::new(2004, 5, 11),
+            TraceDate::new(2006, 6, 1),
+        ],
+        ..Default::default()
+    };
+    let (warm, stats) = collect_archive_warm(&args, 0.15);
+    assert_eq!(stats.era_resets, 0, "same-era jump must not reset");
+
+    let cold_day = ArchiveBenchArgs {
+        scale: 0.2,
+        days: vec![TraceDate::new(2006, 6, 1)],
+        ..Default::default()
+    };
+    let cold = collect_archive(&cold_day);
+    // The first record line carries the "days:" prefix of the view.
+    let day_line = |view: String| {
+        view.lines()
+            .find(|l| l.contains("2006-06-01 packets="))
+            .expect("post-gap day reduced")
+            .trim_start_matches("days:")
+            .to_string()
+    };
+    assert_eq!(
+        day_line(deterministic_view(&warm)),
+        day_line(deterministic_view(&cold)),
+        "a two-year gap must decay the carried priors to nothing"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
